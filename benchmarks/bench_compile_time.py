@@ -1,0 +1,42 @@
+"""Experiment C1 — §V-C.1: compile-time overhead.
+
+Runs full pack/place/route for both flows on the small-design subset and
+reports wires, CLBs and P&R runtimes.  The paper's numbers: ~3× fewer
+wires (5316 vs 15699), up to 4× fewer CLBs, up to 3× faster P&R for the
+parameterized flow.
+
+stereov. runs by default; set ``REPRO_C1_FULL=1`` to include the other
+small designs (diffeq2/diffeq1 — several extra minutes of routing).
+"""
+
+from __future__ import annotations
+
+import os
+
+from benchmarks.conftest import emit
+from repro.analysis import run_compile_time
+from repro.workloads import get_spec
+
+
+def _specs():
+    if os.environ.get("REPRO_C1_FULL"):
+        return None  # the full small-design subset
+    return [get_spec("stereov.")]
+
+
+def test_compile_time_overhead(benchmark, results_dir):
+    text = benchmark.pedantic(
+        lambda: run_compile_time(_specs()),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    emit(results_dir, "compile_time", text)
+    # the parameterized flow must use fewer wires and fewer CLBs
+    for line in text.splitlines():
+        if line.startswith("stereov."):
+            cells = [c.strip() for c in line.split("|")]
+            wires_ratio = float(cells[3].rstrip("x"))
+            clb_ratio = float(cells[6].rstrip("x"))
+            assert wires_ratio > 1.3, f"wire ratio {wires_ratio}"
+            assert clb_ratio > 1.2, f"CLB ratio {clb_ratio}"

@@ -1,0 +1,19 @@
+"""Experiment F7 — Fig. 7: area results in terms of look-up tables.
+
+Same data as Table I rendered as the per-benchmark series (ASCII bars +
+CSV) the figure plots.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.analysis import run_fig7
+
+
+def test_fig7_area_chart(benchmark, results_dir):
+    text = benchmark.pedantic(
+        lambda: run_fig7(), rounds=1, iterations=1, warmup_rounds=0
+    )
+    emit(results_dir, "fig7_area_chart", text)
+    assert "CSV series" in text
+    assert "Proposed" in text

@@ -1,0 +1,37 @@
+"""Experiment R1 — §V-C.2: run-time overhead of the online stage.
+
+Specialization (PConf Boolean-function evaluation + partial
+reconfiguration) vs full reconfiguration on the modeled Virtex-5:
+the paper quotes ≤50 µs evaluation, 176 ms full configuration (~3 orders
+of magnitude) and a break-even of ~5000 debugging turns at 400 MHz with a
+4-tick debug loop.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.analysis import run_runtime_overhead
+from repro.core.costmodel import Virtex5Model
+
+
+def test_runtime_overhead(benchmark, results_dir):
+    text = benchmark.pedantic(
+        lambda: run_runtime_overhead(),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    emit(results_dir, "runtime_overhead", text)
+
+    model = Virtex5Model()
+    full = model.full_reconfig_s()
+    assert abs(full - 0.176) < 0.002, "full reconfiguration must be ~176 ms"
+    assert model.debug_turn_s() == 4 / 400e6
+    # 50 us of specialization amortizes over ~5000 debugging turns
+    assert model.break_even_turns(50e-6) == 5000
+
+    # three-orders-of-magnitude shape from the measured report
+    for line in text.splitlines():
+        if line.startswith("shape check"):
+            factor = float(line.split("is ")[1].split("x")[0])
+            assert factor >= 1000, f"only {factor}x faster than full reconfig"

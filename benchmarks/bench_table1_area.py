@@ -1,0 +1,37 @@
+"""Experiment T1 — Table I: area results in #LUTs.
+
+Regenerates the Initial / SimpleMap / ABC / Proposed(TLUT/TCON) columns for
+all eight benchmarks and checks the paper's headline shape: the proposed
+parameterized flow is ≈3.5× smaller than the conventional mappers on the
+instrumented designs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis import run_benchmark_columns, run_table1
+from repro.workloads import paper_suite
+
+
+def test_table1_area(benchmark, results_dir):
+    text = benchmark.pedantic(
+        lambda: run_table1(), rounds=1, iterations=1, warmup_rounds=0
+    )
+    emit(results_dir, "table1_area", text)
+
+    # shape assertions on the cached columns
+    ratios = []
+    for spec in paper_suite():
+        cols = run_benchmark_columns(spec)
+        conv = (cols.sm.n_luts + cols.abc.n_luts) / 2.0
+        prop = cols.proposed.n_luts
+        ratios.append(conv / prop)
+        # proposed stays within the initial-to-conventional corridor
+        assert cols.initial.n_luts <= cols.proposed.n_luts * 1.25
+        assert cols.proposed.n_luts < conv
+        # the mux network lands in routing: TCONs scale with the tap count
+        assert cols.proposed.n_tcons > len(cols.offline.taps)
+    avg = sum(ratios) / len(ratios)
+    assert 2.5 <= avg <= 5.0, f"avg conventional/proposed ratio {avg:.2f}"

@@ -1,0 +1,29 @@
+"""Experiment T2 — Table II: logic depth after adding debug infrastructure.
+
+Shape: the proposed flow never deepens the user logic relative to the
+golden (initial) mapping, while the conventional mappers may add a level.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.analysis import run_benchmark_columns, run_table2
+from repro.workloads import paper_suite
+
+
+def test_table2_depth(benchmark, results_dir):
+    text = benchmark.pedantic(
+        lambda: run_table2(), rounds=1, iterations=1, warmup_rounds=0
+    )
+    emit(results_dir, "table2_depth", text)
+
+    for spec in paper_suite():
+        cols = run_benchmark_columns(spec)
+        golden = cols.initial.depth_to(cols.user_sinks)
+        assert golden == spec.golden_depth, (
+            f"{spec.name}: golden depth {golden} != paper {spec.golden_depth}"
+        )
+        prop = cols.proposed.depth_to(cols.user_sinks)
+        assert prop <= golden, f"{spec.name}: proposed deepened user logic"
+        assert cols.sm.user_depth <= golden + 1
+        assert cols.abc.user_depth <= golden + 1

@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one paper artifact (table/figure/section) and
+writes its output under ``results/`` as well as printing it, so
+``pytest benchmarks/ --benchmark-only -s`` reproduces the full evaluation
+section in one run.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+sys.stdout.reconfigure(line_buffering=True)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    from repro.analysis.reporting import results_dir as _rd
+
+    return _rd(os.path.join(os.path.dirname(__file__), "..", "results"))
+
+
+def emit(results_dir: str, name: str, text: str) -> None:
+    """Print a result block and persist it to results/<name>.txt."""
+    from repro.analysis.reporting import save_result
+
+    path = save_result(name, text, results_dir)
+    print(f"\n{'=' * 72}\n{text}\n[saved to {path}]\n{'=' * 72}")

@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""Area exploration: regenerate the paper's Table I comparison locally.
+
+Sweeps the benchmark suite through all four flows (Initial mapping,
+SimpleMap and ABC conventional instrumentation, the proposed TCONMap) and
+prints the measured table next to the published one.  Pass benchmark
+names to restrict the set (the full suite takes a few minutes):
+
+    python examples/area_exploration.py stereov. diffeq2
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import run_table1, run_table2
+from repro.workloads import get_spec, paper_suite
+
+
+def main(argv: list[str]) -> None:
+    if argv:
+        specs = [get_spec(name) for name in argv]
+    else:
+        specs = paper_suite(small_only=True)
+        print(
+            "(small benchmarks only — pass benchmark names or 'all' for more)\n"
+        )
+    if argv == ["all"]:
+        specs = paper_suite()
+    print(run_table1(specs))
+    print()
+    print(run_table2(specs))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment ships setuptools without the ``wheel`` package, so PEP-517
+editable installs (which need ``bdist_wheel``) fail.  This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` work; all real
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

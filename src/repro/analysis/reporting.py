@@ -1,0 +1,62 @@
+"""Plain-text rendering of experiment results.
+
+Every benchmark target writes its output both to stdout (visible with
+``pytest -s``) and to ``results/<name>.txt``, so the EXPERIMENTS.md record
+can be regenerated without scraping terminal logs.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_bar_chart", "save_result", "results_dir"]
+
+
+def results_dir(base: str | None = None) -> str:
+    """The results directory (created on demand)."""
+    d = base or os.environ.get("REPRO_RESULTS_DIR") or os.path.join(
+        os.getcwd(), "results"
+    )
+    os.makedirs(d, exist_ok=True)
+    return d
+
+
+def save_result(name: str, text: str, base: str | None = None) -> str:
+    """Write ``text`` to ``results/<name>.txt``; returns the path."""
+    path = os.path.join(results_dir(base), f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text.rstrip() + "\n")
+    return path
+
+
+def ascii_bar_chart(
+    groups: Sequence[tuple[str, Mapping[str, float]]],
+    *,
+    width: int = 50,
+    unit: str = "LUTs",
+) -> str:
+    """Grouped horizontal bar chart (one block per benchmark).
+
+    >>> print(ascii_bar_chart([("x", {"a": 2.0, "b": 4.0})], width=4))
+    x
+      a  ##    2 LUTs
+      b  ####  4 LUTs
+    """
+    peak = max(
+        (v for _g, series in groups for v in series.values()), default=1.0
+    )
+    label_w = max(
+        (len(k) for _g, series in groups for k in series), default=1
+    )
+    lines: list[str] = []
+    for gname, series in groups:
+        lines.append(gname)
+        for key, value in series.items():
+            n = max(0, round(width * value / peak)) if peak else 0
+            bar = "#" * n
+            lines.append(
+                f"  {key.ljust(label_w)}  {bar.ljust(width)}  "
+                f"{value:.0f} {unit}"
+            )
+    return "\n".join(lines)

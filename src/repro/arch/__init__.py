@@ -1,0 +1,31 @@
+"""Island-style FPGA architecture model.
+
+The device model follows the academic VPR template the paper's TPaR tools
+target: a square grid of CLBs (each with N basic logic elements of one
+K-LUT + one flip-flop), an I/O ring, horizontal/vertical routing channels
+of W bidirectional single-length wires, Wilton-style switch boxes, and
+connection boxes with configurable pin flexibility.
+
+Every configuration cell of the device — LUT masks, BLE pin selectors,
+flip-flop controls and routing switches — has an explicit bitstream
+address (:mod:`repro.arch.config_cells`), organized in per-column frames
+like real devices, so partial reconfiguration works at frame granularity.
+"""
+
+from repro.arch.spec import ArchSpec
+from repro.arch.device import DeviceGrid, TileType
+from repro.arch.routing_graph import RRGraph, RRNodeType, build_rr_graph
+from repro.arch.config_cells import ConfigLayout, build_config_layout
+from repro.arch.virtex5 import VIRTEX5_LIKE
+
+__all__ = [
+    "ArchSpec",
+    "DeviceGrid",
+    "TileType",
+    "RRGraph",
+    "RRNodeType",
+    "build_rr_graph",
+    "ConfigLayout",
+    "build_config_layout",
+    "VIRTEX5_LIKE",
+]

@@ -1,0 +1,117 @@
+"""Configuration-memory layout: every cell gets a bitstream address.
+
+SRAM FPGAs organize configuration memory in *frames* — the smallest unit
+partial reconfiguration can write.  Frames are column-aligned on real
+devices (a frame holds one column's slice of config cells), which is what
+makes partial reconfiguration of a localized change cheap.  We reproduce
+that: all configuration bits of the tiles and channels in grid column ``x``
+are packed consecutively, then cut into fixed-size frames.
+
+Cell inventory per device:
+
+* per BLE: ``2**K`` LUT mask bits, K input-select fields (cluster crossbar),
+  one output-select bit (LUT vs FF), one FF-init bit;
+* per programmable routing edge: one switch bit (owned by the column of its
+  source node).
+
+:class:`ConfigLayout` exposes the forward maps (cell → bit address) used by
+bitstream generation and the reverse maps used by the emulator's decoder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arch.device import DeviceGrid
+from repro.arch.routing_graph import RRGraph
+from repro.errors import BitstreamError
+
+__all__ = ["ConfigLayout", "build_config_layout"]
+
+
+@dataclass
+class ConfigLayout:
+    """Addresses of every configuration cell, frame-organized by column."""
+
+    grid: DeviceGrid
+    frame_bits: int
+    n_bits: int = 0
+    #: (x, y, ble) -> first bit of the LUT mask (2**K bits)
+    lut_base: dict = field(default_factory=dict)
+    #: (x, y, ble, pin) -> first bit of that pin's select field
+    pin_select_base: dict = field(default_factory=dict)
+    #: (x, y, ble) -> (output-select bit, ff-init bit)
+    ble_ctrl: dict = field(default_factory=dict)
+    #: routing edge index -> switch bit
+    switch_bit: dict = field(default_factory=dict)
+    #: per grid column: (first bit, n bits) before frame padding
+    column_span: dict = field(default_factory=dict)
+
+    @property
+    def n_frames(self) -> int:
+        return -(-self.n_bits // self.frame_bits) if self.n_bits else 0
+
+    def frame_of_bit(self, bit: int) -> int:
+        if not 0 <= bit < self.n_bits:
+            raise BitstreamError(f"bit address {bit} out of range")
+        return bit // self.frame_bits
+
+    def frames_of_column(self, x: int) -> range:
+        base, span = self.column_span[x]
+        if span == 0:
+            return range(0, 0)
+        return range(base // self.frame_bits, (base + span - 1) // self.frame_bits + 1)
+
+    def select_width(self) -> int:
+        return self.grid.spec.ble_select_bits
+
+
+def build_config_layout(rr: RRGraph, *, frame_bits: int = 1312) -> ConfigLayout:
+    """Assign every config cell a bit address, column by column.
+
+    Column ``x`` owns: the BLE cells of CLBs at that x, plus the switch bit
+    of every programmable routing edge whose *source* node sits at that x.
+    Each column is padded to a frame boundary so a localized change touches
+    only its own column's frames.
+    """
+    grid = rr.grid
+    spec = grid.spec
+    layout = ConfigLayout(grid=grid, frame_bits=frame_bits)
+
+    edge_src = rr.edge_src_array()
+    prog_edges = np.nonzero(rr.edge_programmable)[0]
+    edges_by_col: dict[int, list[int]] = {}
+    for e in prog_edges.tolist():
+        x = int(rr.xs[edge_src[e]])
+        edges_by_col.setdefault(x, []).append(e)
+
+    clbs_by_col: dict[int, list[tuple[int, int]]] = {}
+    for (x, y) in grid.clb_positions():
+        clbs_by_col.setdefault(x, []).append((x, y))
+
+    bit = 0
+    sel_w = spec.ble_select_bits
+    for x in range(grid.width):
+        col_base = bit
+        for (cx, cy) in sorted(clbs_by_col.get(x, [])):
+            for b in range(spec.n_ble):
+                layout.lut_base[(cx, cy, b)] = bit
+                bit += spec.lut_bits
+                for pin in range(spec.k):
+                    layout.pin_select_base[(cx, cy, b, pin)] = bit
+                    bit += sel_w
+                layout.ble_ctrl[(cx, cy, b)] = (bit, bit + 1)
+                bit += 2
+        for e in sorted(edges_by_col.get(x, [])):
+            layout.switch_bit[e] = bit
+            bit += 1
+        span = bit - col_base
+        layout.column_span[x] = (col_base, span)
+        # pad to frame boundary so columns own whole frames
+        if bit % frame_bits:
+            bit += frame_bits - (bit % frame_bits)
+
+    layout.n_bits = bit
+    return layout

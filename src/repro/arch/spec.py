@@ -1,0 +1,93 @@
+"""Architecture specification.
+
+All device parameters in one immutable dataclass, validated on
+construction.  The defaults describe the K=6, N=8 cluster architecture the
+VTR flow ships (and the paper maps to), with a routing fabric small enough
+to route our benchmark set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ArchitectureError
+
+__all__ = ["ArchSpec"]
+
+
+@dataclass(frozen=True)
+class ArchSpec:
+    """Island-style FPGA parameters.
+
+    Attributes
+    ----------
+    k:
+        LUT input count.
+    n_ble:
+        BLEs (K-LUT + FF pairs) per CLB.
+    n_cluster_inputs:
+        Distinct external input signals a CLB may consume (the cluster
+        input bandwidth; VPR convention ≈ K/2 × N + 2).
+    channel_width:
+        Bidirectional wires per routing channel (W).
+    fc_in / fc_out:
+        Connection-box flexibility: fraction of adjacent channel tracks an
+        input pin listens to / an output pin can drive.
+    io_capacity:
+        Pads per I/O tile on the perimeter.
+    switch_fanout:
+        Switch-box connections per wire end (3 = Wilton).
+    """
+
+    k: int = 6
+    n_ble: int = 8
+    n_cluster_inputs: int = 26
+    channel_width: int = 48
+    fc_in: float = 0.5
+    fc_out: float = 0.25
+    io_capacity: int = 8
+    switch_fanout: int = 3
+
+    def __post_init__(self) -> None:
+        if self.k < 2:
+            raise ArchitectureError(f"k must be >= 2, got {self.k}")
+        if self.n_ble < 1:
+            raise ArchitectureError("n_ble must be >= 1")
+        if self.n_cluster_inputs < self.k:
+            raise ArchitectureError(
+                "cluster must accept at least one LUT's worth of inputs"
+            )
+        if self.channel_width < 2:
+            raise ArchitectureError("channel_width must be >= 2")
+        if not 0.0 < self.fc_in <= 1.0 or not 0.0 < self.fc_out <= 1.0:
+            raise ArchitectureError("fc_in/fc_out must be in (0, 1]")
+        if self.io_capacity < 1:
+            raise ArchitectureError("io_capacity must be >= 1")
+        if self.switch_fanout < 1:
+            raise ArchitectureError("switch_fanout must be >= 1")
+
+    @property
+    def lut_bits(self) -> int:
+        """Configuration bits of one LUT mask."""
+        return 1 << self.k
+
+    @property
+    def ble_select_bits(self) -> int:
+        """Bits selecting each BLE input pin from the cluster crossbar.
+
+        Encoding: 0 = unconnected (the all-zero erased state), 1..I = cluster
+        input pins, I+1..I+N = BLE feedback outputs.
+        """
+        max_code = self.n_cluster_inputs + self.n_ble + 1
+        return max(1, max_code.bit_length())
+
+    @property
+    def ble_config_bits(self) -> int:
+        """All config bits of one BLE: LUT mask + pin selects + FF controls.
+
+        FF controls: 1 bit output-select (LUT vs FF), 1 bit initial state.
+        """
+        return self.lut_bits + self.k * self.ble_select_bits + 2
+
+    def clb_config_bits(self) -> int:
+        return self.n_ble * self.ble_config_bits

@@ -1,0 +1,32 @@
+"""Virtex-5-like reference constants.
+
+The paper quotes its run-time numbers for "a Xilinx Virtex-5 FPGA": 176 ms
+full reconfiguration and ≤50 µs PConf evaluation.  This module centralizes
+the corresponding architecture spec (K=6 LUTs, large CLBs) and the derived
+cost model so every experiment prices device time identically.
+"""
+
+from __future__ import annotations
+
+from repro.arch.spec import ArchSpec
+from repro.core.costmodel import Virtex5Model
+
+__all__ = ["VIRTEX5_LIKE", "VIRTEX5_MODEL"]
+
+#: Architecture spec used when experiments need a concrete device: 6-input
+#: LUTs in 8-BLE clusters — the Virtex-5 CLB provides 8 six-input LUTs
+#: (two SLICEs of four), which this mirrors at the abstraction level of the
+#: academic model.
+VIRTEX5_LIKE = ArchSpec(
+    k=6,
+    n_ble=8,
+    n_cluster_inputs=26,
+    channel_width=48,
+    fc_in=0.5,
+    fc_out=0.25,
+    io_capacity=8,
+    switch_fanout=3,
+)
+
+#: Timing model calibrated to the paper's quoted device numbers.
+VIRTEX5_MODEL = Virtex5Model()

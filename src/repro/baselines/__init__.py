@@ -1,0 +1,15 @@
+"""Conventional (vendor-style) debugging baselines.
+
+These model the embedded-logic-analyzer flows the paper compares against
+(ChipScope / SignalTap / Certus class, §II-B): the debug multiplexers and
+trigger units are pre-synthesized macros consuming regular LUTs, and every
+change of the observed-signal set requires a recompilation.
+"""
+
+from repro.baselines.conventional import (
+    ConventionalResult,
+    run_conventional_flow,
+)
+from repro.baselines.recompile_model import RecompileModel
+
+__all__ = ["ConventionalResult", "run_conventional_flow", "RecompileModel"]

@@ -1,0 +1,124 @@
+"""The conventional instrumented-in-logic debug flow.
+
+Pipeline (mirrors vendor ELA insertion, §II-B of the paper):
+
+1. map the user design with the chosen conventional mapper (SimpleMap or
+   ABC-style) — the mapper's own LUT roots become the observable signals;
+2. instrument the gate-level netlist with the trace mux network *plus*
+   trigger units, select/pattern inputs being ordinary PIs;
+3. re-map the instrumented design with the same mapper, with every
+   instrumentation node pinned as a macro (vendor debug cores ship
+   pre-synthesized and are excluded from re-synthesis) and every observed
+   signal forced to remain a physical net.
+
+The resulting LUT count is the Table I "SM"/"ABC" column; the user-sink
+depth is the Table II column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+from repro.core.muxnet import InstrumentedDesign, build_trace_network
+from repro.errors import DebugFlowError
+from repro.mapping import AbcMap, MappingResult, SimpleMap
+from repro.netlist.network import LogicNetwork
+
+__all__ = ["ConventionalResult", "run_conventional_flow", "user_sink_names"]
+
+MapperName = Literal["simplemap", "abc"]
+
+
+def user_sink_names(net: LogicNetwork) -> list[str]:
+    """Original design sinks: POs plus latch-driver signals.
+
+    Used as the Table II depth sink set so debug-infrastructure paths
+    (trace-buffer and trigger outputs) don't pollute the user-depth metric.
+    """
+    names = list(net.po_names)
+    names += [
+        net.node_name(l.driver) for l in net.latches if l.driver >= 0
+    ]
+    return names
+
+
+@dataclass
+class ConventionalResult:
+    """All artifacts and metrics of one conventional-flow run."""
+
+    mapper_name: str
+    phase1: MappingResult
+    instrumented: InstrumentedDesign
+    final: MappingResult
+    user_sinks: list[str]
+
+    @property
+    def n_luts(self) -> int:
+        return self.final.n_luts
+
+    @property
+    def n_instrumentation_luts(self) -> int:
+        macro = self.instrumented.macro_nodes
+        return sum(1 for r in self.final.luts if r in macro)
+
+    @property
+    def user_depth(self) -> int:
+        return self.final.depth_to(self.user_sinks)
+
+    @property
+    def n_taps(self) -> int:
+        return len(self.instrumented.taps)
+
+    def summary(self) -> str:
+        return (
+            f"{self.mapper_name}: {self.n_luts} LUTs "
+            f"({self.n_instrumentation_luts} instrumentation), "
+            f"user depth {self.user_depth}, {self.n_taps} observable signals"
+        )
+
+
+def _make_mapper(name: MapperName, k: int, **kw):
+    if name == "simplemap":
+        return SimpleMap(k=k, **kw)
+    if name == "abc":
+        return AbcMap(k=k, **kw)
+    raise DebugFlowError(f"unknown conventional mapper {name!r}")
+
+
+def run_conventional_flow(
+    net: LogicNetwork,
+    mapper: MapperName = "abc",
+    *,
+    k: int = 6,
+    n_buffer_inputs: int | None = None,
+    with_triggers: bool = True,
+) -> ConventionalResult:
+    """Run the full conventional instrument-and-map flow on ``net``."""
+    sinks = user_sink_names(net)
+
+    phase1 = _make_mapper(mapper, k).map(net)
+    taps = sorted(phase1.luts.keys()) + [l.q for l in net.latches]
+    if not taps:
+        raise DebugFlowError("nothing observable after phase-1 mapping")
+
+    instrumented = build_trace_network(
+        net,
+        taps,
+        n_buffer_inputs=n_buffer_inputs,
+        with_triggers=with_triggers,
+    )
+    final = _make_mapper(
+        mapper,
+        k,
+        macro_nodes=instrumented.macro_nodes,
+        forced_roots=frozenset(taps),
+    ).map(instrumented.network)
+
+    return ConventionalResult(
+        mapper_name=mapper,
+        phase1=phase1,
+        instrumented=instrumented,
+        final=final,
+        user_sinks=sinks,
+    )

@@ -1,0 +1,99 @@
+"""The ``.par`` annotation file.
+
+The paper's flow (§V-A) runs signal identification/parameterisation on the
+synthesized ``.blif`` and emits two files: a new ``.blif`` (the instrumented
+netlist, staying as close as possible to the original design) and a
+``.par`` file telling the mapper which signals are parameters.  This module
+models the ``.par`` side: the parameter names, the tapped (observable)
+signal names, and the trace-buffer outputs — with a plain-text round-trip
+format so the artifacts can be inspected and diffed like the originals.
+
+Format::
+
+    # repro .par v1
+    .param dbg_sel_0_0_0
+    .param dbg_sel_0_0_1
+    .tap n17
+    .tap n42
+    .buffer tb_0
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import TextIO
+
+from repro.errors import ParameterError
+
+__all__ = ["ParAnnotation", "write_par", "parse_par"]
+
+
+@dataclass
+class ParAnnotation:
+    """Names of parameters, taps and trace-buffer outputs."""
+
+    param_names: list[str] = field(default_factory=list)
+    tap_names: list[str] = field(default_factory=list)
+    buffer_names: list[str] = field(default_factory=list)
+
+    def validate(self) -> None:
+        for group_name, group in (
+            ("param", self.param_names),
+            ("tap", self.tap_names),
+            ("buffer", self.buffer_names),
+        ):
+            seen: set[str] = set()
+            for n in group:
+                if not n or any(c.isspace() for c in n):
+                    raise ParameterError(
+                        f"bad {group_name} name {n!r} (empty or whitespace)"
+                    )
+                if n in seen:
+                    raise ParameterError(f"duplicate {group_name} name {n!r}")
+                seen.add(n)
+        overlap = set(self.param_names) & set(self.tap_names)
+        if overlap:
+            raise ParameterError(
+                f"names both parameter and tap: {sorted(overlap)[:4]}"
+            )
+
+
+def write_par(ann: ParAnnotation, fh: TextIO | None = None) -> str:
+    """Serialize an annotation (also writes to ``fh`` when given)."""
+    ann.validate()
+    out = io.StringIO()
+    out.write("# repro .par v1\n")
+    for n in ann.param_names:
+        out.write(f".param {n}\n")
+    for n in ann.tap_names:
+        out.write(f".tap {n}\n")
+    for n in ann.buffer_names:
+        out.write(f".buffer {n}\n")
+    text = out.getvalue()
+    if fh is not None:
+        fh.write(text)
+    return text
+
+
+def parse_par(text: str) -> ParAnnotation:
+    """Parse the text format produced by :func:`write_par`."""
+    ann = ParAnnotation()
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        if len(tokens) != 2:
+            raise ParameterError(f".par line {line_no}: expected 2 tokens")
+        kind, name = tokens
+        if kind == ".param":
+            ann.param_names.append(name)
+        elif kind == ".tap":
+            ann.tap_names.append(name)
+        elif kind == ".buffer":
+            ann.buffer_names.append(name)
+        else:
+            raise ParameterError(f".par line {line_no}: unknown kind {kind!r}")
+    ann.validate()
+    return ann

@@ -1,0 +1,343 @@
+"""Boolean functions of parameters (the PConf's tunable-bit expressions).
+
+A parameterized configuration expresses some bitstream bits as Boolean
+functions of the debug parameters (§II-A).  :class:`BoolExpr` is a
+hash-consed expression DAG with constant folding; identical subexpressions
+are shared, so the SCG can memoize one evaluation per distinct node when
+specializing thousands of bits (see :mod:`repro.core.scg`).
+
+Expressions are built with the module-level constructors or operators::
+
+    e = (bf_var(0) & ~bf_var(3)) | bf_const(0)
+
+Mutual-exclusivity queries (:func:`mutually_exclusive`) power the router's
+wire sharing: two tunable connections may occupy one wire iff their
+activation conditions can never be true together.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "BoolExpr",
+    "bf_const",
+    "bf_var",
+    "bf_not",
+    "bf_and",
+    "bf_or",
+    "bf_xor",
+    "bf_mux",
+    "bf_conj",
+    "mutually_exclusive",
+]
+
+
+class BoolExpr:
+    """Immutable node of a Boolean expression DAG over parameter indices."""
+
+    __slots__ = ("op", "args", "var", "value", "_support", "__weakref__")
+
+    _interned: dict[tuple, "BoolExpr"] = {}
+
+    def __init__(
+        self,
+        op: str,
+        args: tuple["BoolExpr", ...] = (),
+        var: int = -1,
+        value: int = 0,
+    ) -> None:
+        self.op = op
+        self.args = args
+        self.var = var
+        self.value = value
+        self._support: frozenset[int] | None = None
+
+    # -- interning ---------------------------------------------------------
+
+    @classmethod
+    def _make(cls, op: str, args: tuple = (), var: int = -1, value: int = 0):
+        key = (op, tuple(id(a) for a in args), var, value)
+        got = cls._interned.get(key)
+        if got is None:
+            got = cls(op, args, var, value)
+            cls._interned[key] = got
+        return got
+
+    # -- queries ------------------------------------------------------------
+
+    def is_const(self) -> bool:
+        return self.op == "const"
+
+    def support(self) -> frozenset[int]:
+        """Parameter indices the expression may depend on."""
+        if self._support is None:
+            if self.op == "const":
+                self._support = frozenset()
+            elif self.op == "var":
+                self._support = frozenset((self.var,))
+            else:
+                acc: set[int] = set()
+                for a in self.args:
+                    acc |= a.support()
+                self._support = frozenset(acc)
+        return self._support
+
+    def evaluate(self, vector: np.ndarray | Mapping[int, int]) -> int:
+        """Evaluate against a dense 0/1 vector (or index→bit mapping)."""
+        memo: dict[int, int] = {}
+        return self._eval(vector, memo)
+
+    def _eval(self, vec, memo: dict[int, int]) -> int:
+        got = memo.get(id(self))
+        if got is not None:
+            return got
+        op = self.op
+        if op == "const":
+            r = self.value
+        elif op == "var":
+            r = int(vec[self.var]) & 1
+        elif op == "not":
+            r = 1 - self.args[0]._eval(vec, memo)
+        elif op == "and":
+            r = 1
+            for a in self.args:
+                if a._eval(vec, memo) == 0:
+                    r = 0
+                    break
+        elif op == "or":
+            r = 0
+            for a in self.args:
+                if a._eval(vec, memo) == 1:
+                    r = 1
+                    break
+        elif op == "xor":
+            r = 0
+            for a in self.args:
+                r ^= a._eval(vec, memo)
+        else:  # pragma: no cover - constructors prevent this
+            raise ParameterError(f"unknown op {op!r}")
+        memo[id(self)] = r
+        return r
+
+    def n_nodes(self) -> int:
+        """Distinct DAG nodes — the SCG's per-bit evaluation cost proxy."""
+        seen: set[int] = set()
+
+        def walk(e: "BoolExpr") -> None:
+            if id(e) in seen:
+                return
+            seen.add(id(e))
+            for a in e.args:
+                walk(a)
+
+        walk(self)
+        return len(seen)
+
+    # -- operators -----------------------------------------------------------
+
+    def __invert__(self) -> "BoolExpr":
+        return bf_not(self)
+
+    def __and__(self, other: "BoolExpr") -> "BoolExpr":
+        return bf_and(self, other)
+
+    def __or__(self, other: "BoolExpr") -> "BoolExpr":
+        return bf_or(self, other)
+
+    def __xor__(self, other: "BoolExpr") -> "BoolExpr":
+        return bf_xor(self, other)
+
+    def __repr__(self) -> str:
+        if self.op == "const":
+            return f"bf_const({self.value})"
+        if self.op == "var":
+            return f"p{self.var}"
+        if self.op == "not":
+            return f"~{self.args[0]!r}"
+        sym = {"and": " & ", "or": " | ", "xor": " ^ "}[self.op]
+        return "(" + sym.join(repr(a) for a in self.args) + ")"
+
+
+_TRUE = BoolExpr("const", value=1)
+_FALSE = BoolExpr("const", value=0)
+
+
+def bf_const(value: int) -> BoolExpr:
+    """Constant 0 or 1 expression."""
+    return _TRUE if value else _FALSE
+
+
+def bf_var(index: int) -> BoolExpr:
+    """The parameter with dense index ``index``."""
+    if index < 0:
+        raise ParameterError(f"negative parameter index {index}")
+    return BoolExpr._make("var", var=index)
+
+
+def bf_not(e: BoolExpr) -> BoolExpr:
+    if e.op == "const":
+        return bf_const(1 - e.value)
+    if e.op == "not":
+        return e.args[0]
+    return BoolExpr._make("not", (e,))
+
+
+def _flatten(op: str, args: Iterable[BoolExpr]) -> list[BoolExpr]:
+    out: list[BoolExpr] = []
+    for a in args:
+        if a.op == op:
+            out.extend(a.args)
+        else:
+            out.append(a)
+    return out
+
+
+def bf_and(*args: BoolExpr) -> BoolExpr:
+    flat = _flatten("and", args)
+    kept: list[BoolExpr] = []
+    seen: set[int] = set()
+    for a in flat:
+        if a.op == "const":
+            if a.value == 0:
+                return _FALSE
+            continue
+        if id(a) in seen:
+            continue
+        seen.add(id(a))
+        kept.append(a)
+    for a in kept:  # x & ~x == 0
+        if a.op == "not" and id(a.args[0]) in seen:
+            return _FALSE
+    if not kept:
+        return _TRUE
+    if len(kept) == 1:
+        return kept[0]
+    return BoolExpr._make("and", tuple(kept))
+
+
+def bf_or(*args: BoolExpr) -> BoolExpr:
+    flat = _flatten("or", args)
+    kept: list[BoolExpr] = []
+    seen: set[int] = set()
+    for a in flat:
+        if a.op == "const":
+            if a.value == 1:
+                return _TRUE
+            continue
+        if id(a) in seen:
+            continue
+        seen.add(id(a))
+        kept.append(a)
+    for a in kept:  # x | ~x == 1
+        if a.op == "not" and id(a.args[0]) in seen:
+            return _TRUE
+    if not kept:
+        return _FALSE
+    if len(kept) == 1:
+        return kept[0]
+    return BoolExpr._make("or", tuple(kept))
+
+
+def bf_xor(*args: BoolExpr) -> BoolExpr:
+    flat = _flatten("xor", args)
+    const = 0
+    kept: list[BoolExpr] = []
+    for a in flat:
+        if a.op == "const":
+            const ^= a.value
+        else:
+            kept.append(a)
+    # cancel duplicate pairs
+    counts: dict[int, int] = {}
+    uniq: dict[int, BoolExpr] = {}
+    for a in kept:
+        counts[id(a)] = counts.get(id(a), 0) + 1
+        uniq[id(a)] = a
+    final = [uniq[i] for i, c in counts.items() if c % 2 == 1]
+    if not final:
+        return bf_const(const)
+    expr = final[0] if len(final) == 1 else BoolExpr._make("xor", tuple(final))
+    return bf_not(expr) if const else expr
+
+
+def bf_mux(sel: BoolExpr, a: BoolExpr, b: BoolExpr) -> BoolExpr:
+    """``sel ? b : a``."""
+    return bf_or(bf_and(bf_not(sel), a), bf_and(sel, b))
+
+
+def bf_conj(literals: Iterable[tuple[int, int]]) -> BoolExpr:
+    """Conjunction of parameter literals ``(index, phase)``.
+
+    >>> e = bf_conj([(0, 1), (3, 0)])
+    >>> e.evaluate({0: 1, 3: 0})
+    1
+    """
+    terms = [
+        bf_var(i) if phase else bf_not(bf_var(i)) for i, phase in literals
+    ]
+    return bf_and(*terms) if terms else _TRUE
+
+
+def mutually_exclusive(a: BoolExpr, b: BoolExpr, *, max_vars: int = 20) -> bool:
+    """Can ``a`` and ``b`` never be true simultaneously?
+
+    Decided exactly by enumerating the joint support when it has at most
+    ``max_vars`` variables; returns ``False`` (conservative: "may overlap")
+    beyond that.  Debug-path conditions are conjunctions over one mux tree's
+    selects, so supports stay small in practice.
+    """
+    sup = sorted(a.support() | b.support())
+    if len(sup) > max_vars:
+        return False
+    # Fast path: conjunctions conflict iff some variable appears in
+    # opposite phases.
+    lits_a = _as_conjunction(a)
+    lits_b = _as_conjunction(b)
+    if lits_a is not None and lits_b is not None:
+        for var, phase in lits_a.items():
+            if var in lits_b and lits_b[var] != phase:
+                return True
+        # compatible conjunctions are simultaneously satisfiable
+        return False
+    vec: dict[int, int] = {}
+    for point in range(1 << len(sup)):
+        for j, var in enumerate(sup):
+            vec[var] = (point >> j) & 1
+        if a.evaluate(vec) and b.evaluate(vec):
+            return False
+    return True
+
+
+def _as_conjunction(e: BoolExpr) -> dict[int, int] | None:
+    """If ``e`` is a conjunction of literals, map var→phase; else None."""
+    lits: dict[int, int] = {}
+
+    def add(term: BoolExpr) -> bool:
+        if term.op == "var":
+            if lits.get(term.var, 1) == 0:
+                return False
+            lits[term.var] = 1
+            return True
+        if term.op == "not" and term.args[0].op == "var":
+            v = term.args[0].var
+            if lits.get(v, 0) == 1:
+                return False
+            lits[v] = 0
+            return True
+        return False
+
+    if e.op == "const":
+        return lits if e.value == 1 else None
+    if e.op in ("var", "not"):
+        return lits if add(e) else None
+    if e.op == "and":
+        for t in e.args:
+            if not add(t):
+                return None
+        return lits
+    return None

@@ -1,0 +1,211 @@
+"""The online debugging loop (§IV-B, Fig. 4(b)).
+
+A :class:`DebugSession` drives the specialisation stage over an
+:class:`~repro.core.flow.OfflineStage`:
+
+1. ``observe(signals)`` — compute the select-parameter values routing the
+   requested signals to trace-buffer inputs, run the SCG (respecialize the
+   PConf; only changed frames are rewritten) and account the overhead;
+2. ``run(n_cycles, stimulus)`` — emulate the specialized design cycle by
+   cycle, capturing every trace-buffer input into the trace memory;
+3. ``waveforms()`` — hand back the captured windows keyed by the *observed
+   signal names*, exactly what an engineer inspects.
+
+The session executes the **mapped** network (LUTs/TLUTs/TCONs materialized
+via :meth:`~repro.mapping.result.MappingResult.to_lut_network`), so what
+runs is the artifact the flow produced, not the source netlist; parameters
+enter the emulation as the PIs they physically are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.core.costmodel import Virtex5Model
+from repro.core.flow import OfflineStage
+from repro.core.parameters import ParameterAssignment
+from repro.core.scg import SpecializedConfigGenerator
+from repro.core.tracebuffer import TraceBuffer
+from repro.core.virtual import build_virtual_pconf
+from repro.errors import DebugFlowError
+from repro.netlist.simulate import SequentialSimulator
+
+__all__ = ["DebugSession", "DebugTurnLog"]
+
+Stimulus = Callable[[int], Mapping[str, int]]
+"""Per-cycle primary-input values: cycle → {pi name: 0/1}."""
+
+
+@dataclass
+class DebugTurnLog:
+    """Bookkeeping for one observe+run round."""
+
+    observed: list[str]
+    cycles_run: int
+    modeled_overhead_s: float
+    frames_touched: int
+    software_s: float
+
+
+class DebugSession:
+    """Interactive debugging against an offline-stage artifact."""
+
+    def __init__(
+        self,
+        offline: OfflineStage,
+        *,
+        model: Virtex5Model | None = None,
+        trace_depth: int | None = None,
+    ) -> None:
+        self.offline = offline
+        self.design = offline.instrumented
+        self.model = model or Virtex5Model()
+        self.mapped_net = offline.mapping.to_lut_network()
+        self.sim = SequentialSimulator(self.mapped_net, n_words=1)
+        self.pconf = build_virtual_pconf(offline.mapping, self.design)
+        self.scg = SpecializedConfigGenerator(
+            self.pconf.bitstream, model=self.model
+        )
+        self.assignment: ParameterAssignment = self.design.param_space.zeros()
+        self.scg.load_full(self.assignment)
+        depth = trace_depth or offline.config.trace_depth
+        self.trace = TraceBuffer(
+            width=self.design.n_buffer_inputs, depth=depth
+        )
+        self._observed: dict[str, str] = self.design.observed_at({})
+        self.turns: list[DebugTurnLog] = []
+        self._cycles_this_turn = 0
+
+        self._param_pi_values = {
+            self.mapped_net.require(name): np.zeros(1, dtype=np.uint64)
+            for name in self.design.param_space.names
+        }
+        self._user_pis = [
+            pi
+            for pi in self.mapped_net.pis
+            if self.mapped_net.node_name(pi) not in self.design.param_nodes
+        ]
+        self._tb_nodes = [
+            self.mapped_net.require(g.po_name) for g in self.design.groups
+        ]
+
+    # -- observation ------------------------------------------------------------
+
+    @property
+    def observable_signals(self) -> list[str]:
+        net = self.design.network
+        return [net.node_name(t) for t in self.design.taps]
+
+    def observe(self, signals: list[str]) -> dict[str, str]:
+        """Route ``signals`` to trace buffers; returns buffer→signal map.
+
+        This closes the previous debug turn: its cycle count and the
+        specialization overhead are logged for the amortization analysis.
+        """
+        values = self.design.selection_for(signals)
+        self.assignment = self.design.param_space.assignment(values)
+        rec = self.scg.respecialize(self.assignment)
+        for name in self.design.param_space.names:
+            nid = self.mapped_net.require(name)
+            self._param_pi_values[nid][0] = np.uint64(values.get(name, 0))
+        self._observed = self.design.observed_at(values)
+        self.trace.reset()
+        self.turns.append(
+            DebugTurnLog(
+                observed=list(signals),
+                cycles_run=0,
+                modeled_overhead_s=rec.device_cost.specialization_s,
+                frames_touched=len(rec.frames_touched),
+                software_s=rec.software_seconds,
+            )
+        )
+        return dict(self._observed)
+
+    @property
+    def observed(self) -> dict[str, str]:
+        """Current buffer input → observed signal name."""
+        return dict(self._observed)
+
+    # -- execution ----------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Reset emulated latches and the trace memory (not the turn log)."""
+        self.sim.reset()
+        self.trace.reset()
+
+    def run(
+        self,
+        n_cycles: int,
+        stimulus: Stimulus,
+        *,
+        trigger: Callable[[int, dict[str, int]], bool] | None = None,
+    ) -> np.ndarray:
+        """Emulate ``n_cycles``, capturing trace-buffer inputs every cycle.
+
+        ``stimulus(cycle)`` provides user PI values (missing PIs default 0).
+        ``trigger(cycle, buffer_values)`` may arm the trace buffer's
+        post-trigger stop.  Returns the captured window.
+        """
+        if n_cycles < 0:
+            raise DebugFlowError("n_cycles must be non-negative")
+        for c in range(n_cycles):
+            pi_vals: dict[int, np.ndarray] = dict(self._param_pi_values)
+            stim = stimulus(self.sim.cycle)
+            for pi in self._user_pis:
+                name = self.mapped_net.node_name(pi)
+                bit = int(stim.get(name, 0)) & 1
+                pi_vals[pi] = np.array([bit], dtype=np.uint64)
+            values = self.sim.step(pi_vals)
+            sample = [int(values[n][0] & np.uint64(1)) for n in self._tb_nodes]
+            named = {
+                g.po_name: sample[i]
+                for i, g in enumerate(self.design.groups)
+            }
+            fire = bool(trigger(self.sim.cycle - 1, named)) if trigger else False
+            self.trace.capture(sample, trigger=fire)
+        if self.turns:
+            self.turns[-1].cycles_run += n_cycles
+        return self.trace.window()
+
+    # -- results --------------------------------------------------------------------
+
+    def waveforms(self) -> dict[str, np.ndarray]:
+        """Captured windows keyed by observed *signal* name."""
+        window = self.trace.window()
+        out: dict[str, np.ndarray] = {}
+        for i, g in enumerate(self.design.groups):
+            sig = self._observed.get(g.po_name)
+            if sig is not None:
+                out[sig] = window[:, i]
+        return out
+
+    # -- session accounting ------------------------------------------------------------
+
+    def total_modeled_overhead_s(self) -> float:
+        return sum(t.modeled_overhead_s for t in self.turns)
+
+    def total_cycles(self) -> int:
+        return sum(t.cycles_run for t in self.turns)
+
+    def amortization_report(self) -> dict[str, float]:
+        """Overhead vs emulation time — the §V-C.2 trade-off for this session."""
+        overhead = self.total_modeled_overhead_s()
+        turn_s = self.model.debug_turn_s()
+        run_s = self.total_cycles() * (1.0 / self.model.fpga_clock_hz)
+        return {
+            "specializations": float(len(self.turns)),
+            "modeled_overhead_s": overhead,
+            "emulated_run_s": run_s,
+            "overhead_fraction": overhead / (overhead + run_s)
+            if (overhead + run_s) > 0
+            else 0.0,
+            "break_even_turns_per_specialization": float(
+                self.model.break_even_turns(
+                    overhead / max(1, len(self.turns))
+                )
+            ),
+            "debug_turn_s": turn_s,
+        }

@@ -1,0 +1,152 @@
+"""The offline ("generic") stage of the proposed debug flow (§IV-A).
+
+``run_generic_stage`` executes, once per design:
+
+1. **Synthesis front-end** — the caller provides a synthesized gate-level
+   :class:`~repro.netlist.network.LogicNetwork` (from BLIF or a workload
+   generator); we run the light cleanup conventional flows apply.
+2. **Initial mapping** — the ABC-style K-LUT mapping of the *un-instrumented*
+   design; its LUT roots define the observable signal set (these are the
+   nets that physically exist on the emulator) and its metrics are the
+   "Initial"/"Golden" reference columns of Tables I/II.
+3. **Signal parameterisation** — :func:`~repro.core.muxnet.build_trace_network`
+   inserts the parameterized mux network toward the trace buffers and emits
+   the ``.par`` annotation.
+4. **TCON technology mapping** — :class:`~repro.mapping.tconmap.TconMap`
+   maps logic to LUTs/TLUTs and the mux network to TCONs.
+
+The physical back-end (TPaR placement/routing and PConf bitstream
+generation) lives in :func:`run_physical_stage`, which imports the physical
+design subpackages lazily so mapping-level users don't pay for them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.core.annotate import ParAnnotation
+from repro.core.muxnet import InstrumentedDesign, build_trace_network
+from repro.errors import DebugFlowError
+from repro.mapping import AbcMap, MappingResult, TconMap
+from repro.netlist.network import LogicNetwork
+from repro.netlist.transforms import cleanup
+from repro.netlist.validate import validate_network
+from repro.util.timing import PhaseTimer
+
+__all__ = ["DebugFlowConfig", "OfflineStage", "run_generic_stage", "run_physical_stage"]
+
+
+@dataclass(frozen=True)
+class DebugFlowConfig:
+    """Knobs of the offline stage."""
+
+    k: int = 6
+    cut_limit: int = 8
+    area_rounds: int = 2
+    n_buffer_inputs: int | None = None
+    """Trace-buffer inputs; default = #taps // 4."""
+    run_cleanup: bool = True
+    fold_polarity: bool = True
+    trace_depth: int = 1024
+    """Trace-buffer sample depth used by online sessions."""
+
+
+@dataclass
+class OfflineStage:
+    """Everything the online stage needs, produced once per design."""
+
+    source: LogicNetwork
+    config: DebugFlowConfig
+    initial: MappingResult
+    instrumented: InstrumentedDesign
+    mapping: MappingResult
+    annotation: ParAnnotation
+    timers: PhaseTimer = field(default_factory=PhaseTimer)
+    physical: Any | None = None
+    """Filled by :func:`run_physical_stage` (a PhysicalStage)."""
+
+    @property
+    def taps(self) -> list[int]:
+        return self.instrumented.taps
+
+    def summary(self) -> str:
+        m = self.mapping
+        return (
+            f"{self.source.name}: initial {self.initial.n_luts} LUTs "
+            f"depth {self.initial.depth()}; proposed {m.n_luts} LUTs "
+            f"({m.n_tluts} TLUTs, {m.n_tcons} TCONs) depth {m.depth()}; "
+            f"{len(self.taps)} observable signals on "
+            f"{self.instrumented.n_buffer_inputs} buffer inputs"
+        )
+
+
+def run_generic_stage(
+    net: LogicNetwork, config: DebugFlowConfig | None = None
+) -> OfflineStage:
+    """Run the offline flow on a synthesized network.
+
+    The input network is not modified; all artifacts reference fresh copies.
+    """
+    config = config or DebugFlowConfig()
+    timers = PhaseTimer()
+
+    with timers.phase("validate"):
+        validate_network(net)
+
+    work = net
+    if config.run_cleanup:
+        with timers.phase("cleanup"):
+            work = cleanup(net)
+
+    with timers.phase("initial-map"):
+        initial = AbcMap(
+            k=config.k,
+            cut_limit=config.cut_limit,
+            area_rounds=config.area_rounds,
+        ).map(work)
+
+    taps = sorted(initial.luts.keys()) + [l.q for l in work.latches]
+    if not taps:
+        raise DebugFlowError("design has no observable signals after mapping")
+
+    with timers.phase("signal-parameterisation"):
+        instrumented = build_trace_network(
+            work,
+            taps,
+            n_buffer_inputs=config.n_buffer_inputs,
+            with_triggers=False,
+        )
+
+    with timers.phase("tcon-map"):
+        mapping = TconMap(
+            k=config.k,
+            cut_limit=config.cut_limit,
+            area_rounds=config.area_rounds,
+            params=instrumented.param_ids,
+            taps=set(taps),
+            fold_polarity=config.fold_polarity,
+        ).map(instrumented.network)
+
+    return OfflineStage(
+        source=work,
+        config=config,
+        initial=initial,
+        instrumented=instrumented,
+        mapping=mapping,
+        annotation=instrumented.annotation(),
+        timers=timers,
+    )
+
+
+def run_physical_stage(offline: OfflineStage, arch=None):
+    """TPaR + bitstream generation: pack, place, route, emit the PConf.
+
+    Returns the :class:`~repro.physical.PhysicalStage` and stores it on
+    ``offline.physical``.  Imported lazily — see :mod:`repro.physical`.
+    """
+    from repro.physical import build_physical_stage
+
+    stage = build_physical_stage(offline, arch=arch)
+    offline.physical = stage
+    return stage

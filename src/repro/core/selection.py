@@ -1,0 +1,141 @@
+"""Signal-selection strategies for the online debug loop.
+
+The paper's conclusion names "a critical signal selection technique" as
+planned work; we implement three strategies a debug session can iterate:
+
+* :class:`ManualSelection` — an explicit script of signal sets;
+* :class:`RoundRobinSweep` — sweep every observable signal across
+  debugging runs, one new signal per trace group per run (the "virtually
+  enlarge the observed set" usage of §I);
+* :class:`ConeOfInfluenceSelection` — prioritize signals in the structural
+  cone feeding a failing output, nearest first (the usual manual debugging
+  heuristic, automated).
+
+A strategy is an iterator of signal-name lists; each list is collision-free
+(at most one signal per trace group) by construction.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Iterator, Protocol
+
+from repro.core.muxnet import InstrumentedDesign
+from repro.errors import DebugFlowError
+
+__all__ = [
+    "SelectionStrategy",
+    "ManualSelection",
+    "RoundRobinSweep",
+    "ConeOfInfluenceSelection",
+]
+
+
+class SelectionStrategy(Protocol):
+    """Anything yielding successive collision-free signal selections."""
+
+    def __iter__(self) -> Iterator[list[str]]: ...
+
+
+class ManualSelection:
+    """A fixed script of selections, validated against the instrumentation.
+
+    >>> # doctest-level illustration; real use needs an InstrumentedDesign
+    """
+
+    def __init__(
+        self, design: InstrumentedDesign, script: Iterable[list[str]]
+    ) -> None:
+        self.design = design
+        self.script = [list(sel) for sel in script]
+        for sel in self.script:
+            design.selection_for(sel)  # raises on collisions/unknowns
+
+    def __iter__(self) -> Iterator[list[str]]:
+        return iter(self.script)
+
+
+class RoundRobinSweep:
+    """Observe every tapped signal over ⌈max group size⌉ debugging runs."""
+
+    def __init__(self, design: InstrumentedDesign) -> None:
+        self.design = design
+
+    def __iter__(self) -> Iterator[list[str]]:
+        net = self.design.network
+        queues = [deque(g.leaves) for g in self.design.groups]
+        while any(queues):
+            sel: list[str] = []
+            for q in queues:
+                if q:
+                    sel.append(net.node_name(q.popleft()))
+            yield sel
+
+
+class ConeOfInfluenceSelection:
+    """Prioritize tapped signals feeding a failing output, nearest first.
+
+    Breadth-first from the failing signal's driver through the
+    combinational fan-in (crossing latches), signals are ranked by
+    structural distance; each round packs the highest-priority signals
+    whose trace groups are still free.
+    """
+
+    def __init__(
+        self,
+        design: InstrumentedDesign,
+        failing_signal: str,
+        *,
+        max_rounds: int | None = None,
+    ) -> None:
+        self.design = design
+        self.max_rounds = max_rounds
+        net = design.network
+        start = net.find(failing_signal)
+        if start is None:
+            raise DebugFlowError(f"unknown failing signal {failing_signal!r}")
+        self._priority = self._rank(start)
+
+    def _rank(self, start: int) -> list[int]:
+        net = self.design.network
+        tapped = set(self.design.taps)
+        latch_by_q = {l.q: l for l in net.latches}
+        dist: dict[int, int] = {start: 0}
+        frontier = deque([start])
+        while frontier:
+            nid = frontier.popleft()
+            preds: tuple[int, ...] = net.fanins(nid)
+            if nid in latch_by_q:
+                drv = latch_by_q[nid].driver
+                preds = preds + ((drv,) if drv >= 0 else ())
+            for p in preds:
+                if p not in dist:
+                    dist[p] = dist[nid] + 1
+                    frontier.append(p)
+        ranked = [nid for nid in dist if nid in tapped]
+        ranked.sort(key=lambda n: (dist[n], n))
+        return ranked
+
+    def __iter__(self) -> Iterator[list[str]]:
+        design = self.design
+        net = design.network
+        remaining = list(self._priority)
+        rounds = 0
+        while remaining:
+            if self.max_rounds is not None and rounds >= self.max_rounds:
+                return
+            used_groups: set[int] = set()
+            sel: list[str] = []
+            rest: list[int] = []
+            for nid in remaining:
+                g = design.group_of(nid)
+                if g.index in used_groups:
+                    rest.append(nid)
+                else:
+                    used_groups.add(g.index)
+                    sel.append(net.node_name(nid))
+            if not sel:
+                return
+            yield sel
+            remaining = rest
+            rounds += 1

@@ -1,0 +1,145 @@
+"""The virtual (pre-placement) parameterized bitstream.
+
+The paper's offline stage first creates "a virtual intermediate level" —
+a generalized configuration whose bits are Boolean functions, *before* the
+design is committed to device frames (§III, §IV-A.3).  This module builds
+exactly that from a mapping result:
+
+* every LUT contributes ``2**n`` configuration bits (its truth table over
+  physical inputs).  For a **TLUT**, each bit is the parameter-cofactored
+  function — a :class:`~repro.core.boolfunc.BoolExpr`;
+* every **TCON** contributes one bit per candidate connection, whose
+  expression is the connection's activation condition (``sel`` / ``~sel``).
+
+The same layout logic is reused by the physical bitstream generator
+(:mod:`repro.bitgen.genbit`), which simply re-bases the regions onto device
+frames; and the online debug session uses the virtual PConf to drive the
+SCG before any place-and-route has happened.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.boolfunc import BoolExpr, bf_conj, bf_const, bf_not, bf_var
+from repro.core.muxnet import InstrumentedDesign
+from repro.core.pconf import ParameterizedBitstream
+from repro.errors import SpecializationError
+from repro.mapping.result import LutImpl, MappingResult
+from repro.netlist.sop import truthtable_to_cover
+
+__all__ = ["VirtualPConf", "build_virtual_pconf", "tlut_bit_expr"]
+
+
+@dataclass
+class VirtualPConf:
+    """A parameterized bitstream plus its region directory."""
+
+    bitstream: ParameterizedBitstream
+    lut_regions: dict[int, tuple[int, int]] = field(default_factory=dict)
+    """LUT root node → (first bit, n bits)."""
+    tcon_regions: dict[int, tuple[int, int]] = field(default_factory=dict)
+    """TCON root node → (first bit, n bits=2)."""
+
+    @property
+    def n_bits(self) -> int:
+        return self.bitstream.n_bits
+
+
+def tlut_bit_expr(
+    lut: LutImpl,
+    phys_index: int,
+    param_index_of: dict[int, int],
+) -> BoolExpr:
+    """Configuration-bit expression for one TLUT truth-table entry.
+
+    ``phys_index`` packs the physical-input assignment (bit ``i`` equals
+    physical input ``i``).  Cofactoring the mixed function on that
+    assignment leaves a function of the parameter leaves only, which is
+    converted to a BoolExpr through its ISOP cover.
+    """
+    func = lut.func
+    phys = lut.physical_inputs
+    pset = set(lut.param_leaves)
+    # fix each physical variable to its bit in phys_index
+    tt = func
+    phys_pos = 0
+    for var, leaf in enumerate(lut.leaves):
+        if leaf in pset:
+            continue
+        tt = tt.cofactor(var, (phys_index >> phys_pos) & 1)
+        phys_pos += 1
+    # remaining support is over parameter variables
+    const = tt.const_value()
+    if const is not None:
+        return bf_const(const)
+    cover = truthtable_to_cover(tt)
+    terms = []
+    param_var_of: dict[int, int] = {}
+    for var, leaf in enumerate(lut.leaves):
+        if leaf in pset:
+            param_var_of[var] = param_index_of[leaf]
+    for cube in cover.cubes:
+        lits = []
+        for var in range(func.n_vars):
+            if (cube.mask >> var) & 1:
+                if var not in param_var_of:
+                    raise SpecializationError(
+                        "cofactored TLUT function depends on a physical var"
+                    )
+                lits.append((param_var_of[var], (cube.polarity >> var) & 1))
+        terms.append(bf_conj(lits))
+    expr = terms[0]
+    for t in terms[1:]:
+        expr = expr | t
+    return expr
+
+
+def build_virtual_pconf(
+    mapping: MappingResult, design: InstrumentedDesign
+) -> VirtualPConf:
+    """Lay out every LUT/TCON configuration bit and parameterize it."""
+    space = design.param_space
+    param_index_of = {
+        nid: space.index_of(name) for name, nid in design.param_nodes.items()
+    }
+
+    # layout: LUTs first (sorted by root id for determinism), then TCONs
+    total = 0
+    lut_regions: dict[int, tuple[int, int]] = {}
+    for root in sorted(mapping.luts):
+        n = 1 << len(mapping.luts[root].physical_inputs)
+        lut_regions[root] = (total, n)
+        total += n
+    tcon_regions: dict[int, tuple[int, int]] = {}
+    for root in sorted(mapping.tcons):
+        tcon_regions[root] = (total, 2)
+        total += 2
+
+    pb = ParameterizedBitstream(space, total)
+
+    for root, (base, n) in lut_regions.items():
+        lut = mapping.luts[root]
+        if not lut.is_tlut:
+            # static truth table over its (physical == all) inputs
+            for i in range(n):
+                pb.set_constant(base + i, lut.func.eval_index(i))
+            continue
+        for i in range(n):
+            pb.set_tunable(base + i, tlut_bit_expr(lut, i, param_index_of))
+
+    for root, (base, _n) in tcon_regions.items():
+        t = mapping.tcons[root]
+        sel_idx = param_index_of.get(t.sel)
+        if sel_idx is None:
+            raise SpecializationError(
+                f"TCON select {mapping.network.node_name(t.sel)!r} "
+                "is not a declared parameter"
+            )
+        sel = bf_var(sel_idx)
+        pb.set_tunable(base + 0, bf_not(sel))  # source0 active when sel=0
+        pb.set_tunable(base + 1, sel)          # source1 active when sel=1
+
+    return VirtualPConf(
+        bitstream=pb, lut_regions=lut_regions, tcon_regions=tcon_regions
+    )

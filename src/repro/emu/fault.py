@@ -1,0 +1,80 @@
+"""Emulation-level fault injection.
+
+Separate from :mod:`repro.workloads.perturb` (which mutates netlists),
+this injector forces values onto *running* signals during simulation —
+modeling transient upsets or environment-dependent bugs that only internal
+observability can catch, the motivating scenario of the paper's
+introduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.netlist.network import LogicNetwork
+from repro.netlist.simulate import SequentialSimulator
+
+__all__ = ["FaultInjector"]
+
+
+@dataclass(frozen=True)
+class _Fault:
+    node: int
+    value: int
+    first_cycle: int
+    last_cycle: int
+
+
+class FaultInjector:
+    """Drives a simulator while forcing faulty values on chosen signals.
+
+    >>> # fi = FaultInjector(net); fi.stuck_at("n17", 0, first_cycle=5)
+    """
+
+    def __init__(self, net: LogicNetwork, *, n_words: int = 1) -> None:
+        self.net = net
+        self.sim = SequentialSimulator(net, n_words=n_words)
+        self._faults: list[_Fault] = []
+
+    def stuck_at(
+        self,
+        signal: str,
+        value: int,
+        *,
+        first_cycle: int = 0,
+        last_cycle: int | None = None,
+    ) -> None:
+        """Force ``signal`` to ``value`` during [first_cycle, last_cycle]."""
+        nid = self.net.find(signal)
+        if nid is None:
+            raise SimulationError(f"unknown signal {signal!r}")
+        if value not in (0, 1):
+            raise SimulationError("fault value must be 0/1")
+        self._faults.append(
+            _Fault(
+                node=nid,
+                value=value,
+                first_cycle=first_cycle,
+                last_cycle=last_cycle if last_cycle is not None else 2**62,
+            )
+        )
+
+    def clear(self) -> None:
+        self._faults.clear()
+
+    def step(self, pi_values: Mapping[int, np.ndarray]) -> dict[int, np.ndarray]:
+        """One cycle with active faults applied as overrides."""
+        cyc = self.sim.cycle
+        overrides: dict[int, np.ndarray] = {}
+        ones = np.full(
+            self.sim.n_words, np.uint64(0xFFFFFFFFFFFFFFFF), dtype=np.uint64
+        )
+        zeros = np.zeros(self.sim.n_words, dtype=np.uint64)
+        for f in self._faults:
+            if f.first_cycle <= cyc <= f.last_cycle:
+                overrides[f.node] = ones if f.value else zeros
+        return self.sim.step(pi_values, overrides=overrides)

@@ -1,0 +1,34 @@
+"""Technology mapping onto K-input LUTs and tunable primitives.
+
+Three mappers are provided, mirroring the tools compared in Table I of the
+paper:
+
+* :class:`~repro.mapping.simplemap.SimpleMap` — a structural, depth-oriented
+  mapper without area recovery (the "SM" column);
+* :class:`~repro.mapping.abc_map.AbcMap` — a priority-cuts mapper with
+  area-flow recovery in the style of ABC's ``if`` command (the "ABC" column);
+* :class:`~repro.mapping.tconmap.TconMap` — the parameter-aware mapper of
+  the proposed flow: parameter inputs are folded into configuration bits
+  (TLUTs) and parameter-controlled multiplexers map onto the routing fabric
+  as tunable connections (TCONs).
+"""
+
+from repro.mapping.cuts import Cut, enumerate_cuts
+from repro.mapping.result import LutImpl, TconImpl, MappingResult
+from repro.mapping.mapper_base import PriorityCutMapper, cone_function
+from repro.mapping.simplemap import SimpleMap
+from repro.mapping.abc_map import AbcMap
+from repro.mapping.tconmap import TconMap
+
+__all__ = [
+    "Cut",
+    "enumerate_cuts",
+    "LutImpl",
+    "TconImpl",
+    "MappingResult",
+    "PriorityCutMapper",
+    "cone_function",
+    "SimpleMap",
+    "AbcMap",
+    "TconMap",
+]

@@ -1,0 +1,145 @@
+"""Priority-cut enumeration.
+
+A *cut* of node ``n`` is a set of nodes (leaves) such that every path from
+the combinational sources to ``n`` passes through a leaf; the logic between
+the leaves and ``n`` (the cone) can then be collapsed into one LUT.  We use
+the standard priority-cuts scheme: per node, keep only the ``cut_limit``
+best cuts under the active cost mode, merging fan-in cut sets pairwise.
+
+The enumeration is parameter-aware: leaves in ``free_leaves`` (debug
+parameters) do not count toward the K-input limit, because parameters are
+folded into LUT configuration bits rather than occupying physical pins —
+the TLUT mechanism of the paper (§IV-A.3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Collection, Iterable
+
+from repro.errors import MappingError
+from repro.netlist.network import LogicNetwork, NodeKind
+
+__all__ = ["Cut", "cut_size", "merge_cut_lists", "enumerate_cuts"]
+
+Cut = frozenset
+"""A cut is a frozenset of leaf node ids."""
+
+
+def cut_size(cut: Cut, free_leaves: Collection[int]) -> int:
+    """Physical input count of a cut: leaves minus parameter leaves."""
+    if not free_leaves:
+        return len(cut)
+    return sum(1 for l in cut if l not in free_leaves)
+
+
+def _prune(
+    cuts: list[Cut],
+    limit: int,
+    rank: Callable[[Cut], tuple],
+) -> list[Cut]:
+    """Dedup, drop dominated cuts, keep the ``limit`` best by ``rank``."""
+    uniq = list(dict.fromkeys(cuts))
+    uniq.sort(key=rank)
+    kept: list[Cut] = []
+    for c in uniq:
+        dominated = False
+        for k in kept:
+            if k <= c:  # an existing cut with a subset of leaves is better
+                dominated = True
+                break
+        if not dominated:
+            kept.append(c)
+            if len(kept) >= limit:
+                break
+    return kept
+
+
+def merge_cut_lists(
+    lists: list[list[Cut]],
+    k: int,
+    limit: int,
+    free_leaves: Collection[int],
+    rank: Callable[[Cut], tuple],
+    max_total_leaves: int,
+) -> list[Cut]:
+    """Pairwise-merge fan-in cut lists under the size limits.
+
+    Intermediate results are pruned to ``limit`` after every pairwise merge
+    (standard priority-cuts practice: slightly lossy, massively faster than
+    the full cross product for 3+ fan-ins).
+    """
+    if not lists:
+        return [frozenset()]
+    current = lists[0]
+    for nxt in lists[1:]:
+        merged: list[Cut] = []
+        for a in current:
+            for b in nxt:
+                u = a | b
+                if len(u) > max_total_leaves:
+                    continue
+                if cut_size(u, free_leaves) > k:
+                    continue
+                merged.append(u)
+        if not merged:
+            return []
+        current = _prune(merged, limit, rank)
+    return current
+
+
+def enumerate_cuts(
+    net: LogicNetwork,
+    k: int = 6,
+    cut_limit: int = 8,
+    *,
+    boundary: Collection[int] = (),
+    free_leaves: Collection[int] = (),
+    rank: Callable[[Cut], tuple] | None = None,
+    max_total_leaves: int | None = None,
+) -> dict[int, list[Cut]]:
+    """Enumerate priority cuts for every node of ``net``.
+
+    Parameters
+    ----------
+    boundary:
+        Nodes that expose only their trivial cut to fan-outs (mapping may
+        not absorb through them) — used for observability constraints.
+    free_leaves:
+        Parameter nodes that don't count toward ``k``.
+    rank:
+        Cut ranking (smaller = better); default ranks by physical size.
+    max_total_leaves:
+        Hard cap on total leaves (including free ones) to bound truth-table
+        width; defaults to ``k + 6``.
+
+    Returns the *fan-out-visible* cut lists (trivial cut always included).
+    """
+    if k < 2:
+        raise MappingError(f"K must be >= 2, got {k}")
+    free = frozenset(free_leaves)
+    bset = frozenset(boundary)
+    cap = max_total_leaves if max_total_leaves is not None else k + 6
+    if rank is None:
+        rank = lambda c: (cut_size(c, free), len(c))  # noqa: E731
+
+    cuts: dict[int, list[Cut]] = {}
+    for nid in net.topo_order():
+        trivial = frozenset((nid,))
+        if net.kind(nid) != NodeKind.GATE or nid in free:
+            cuts[nid] = [trivial]
+            continue
+        fanins = net.fanins(nid)
+        if not fanins:  # constant gate
+            cuts[nid] = [trivial]
+            continue
+        if nid in bset:
+            cuts[nid] = [trivial]
+            continue
+        merged = merge_cut_lists(
+            [cuts[f] for f in fanins], k, cut_limit, free, rank, cap
+        )
+        result = [trivial] + [c for c in merged if c != trivial]
+        cuts[nid] = _prune(result, cut_limit + 1, rank)
+        if trivial not in cuts[nid]:
+            cuts[nid].append(trivial)
+    return cuts

@@ -1,0 +1,388 @@
+"""Generic priority-cuts technology mapper.
+
+:class:`PriorityCutMapper` implements the classical two-phase scheme:
+
+1. **Forward pass** — enumerate priority cuts per node in topological order,
+   tracking arrival times (LUT levels); choose a depth-optimal cut per node.
+2. **Area recovery** (optional, ``area_rounds`` > 0) — compute per-node
+   required times and reference counts from the current cover, then
+   re-choose cuts minimizing area flow wherever slack permits, and re-cover.
+3. **Covering** — walk from the required roots (PO drivers, latch drivers,
+   observability boundaries) emitting one :class:`LutImpl` per needed node.
+
+Subclasses configure ranking (SimpleMap ranks by depth only; AbcMap adds
+area flow and recovery rounds) and may override node handling (TconMap
+diverts parameter-muxes to TCONs).
+
+Observability boundaries: node ids in ``boundary`` expose only their trivial
+cut to fan-outs, so no downstream LUT can absorb them — this models debug
+flows in which an instrumented signal must remain physically present.
+"""
+
+from __future__ import annotations
+
+from typing import Collection, Iterable
+
+from repro.errors import MappingError
+from repro.netlist.network import LogicNetwork, NodeKind
+from repro.netlist.truthtable import TruthTable
+from repro.mapping.cuts import Cut, cut_size, merge_cut_lists
+from repro.mapping.result import LutImpl, MappingResult
+
+__all__ = ["PriorityCutMapper", "cone_function"]
+
+_INF = float("inf")
+
+
+def cone_function(
+    net: LogicNetwork, root: int, leaves: tuple[int, ...]
+) -> TruthTable:
+    """Collapse the cone between ``leaves`` and ``root`` into one function.
+
+    Variable ``i`` of the result corresponds to ``leaves[i]``.  Raises
+    :class:`MappingError` if the cone escapes the leaf set (i.e. ``leaves``
+    is not actually a cut of ``root``).
+    """
+    n_vars = len(leaves)
+    var_of = {leaf: i for i, leaf in enumerate(leaves)}
+    memo: dict[int, TruthTable] = {}
+
+    def build(nid: int) -> TruthTable:
+        if nid in var_of:
+            return TruthTable.var(var_of[nid], n_vars)
+        got = memo.get(nid)
+        if got is not None:
+            return got
+        if net.kind(nid) != NodeKind.GATE:
+            raise MappingError(
+                f"cone of {net.node_name(root)!r} escapes its cut at "
+                f"{net.node_name(nid)!r}"
+            )
+        func = net.func(nid)
+        assert func is not None
+        if func.n_vars == 0:
+            tt = TruthTable.const(func.bits & 1, n_vars)
+        else:
+            children = [build(f) for f in net.fanins(nid)]
+            tt = func.compose(children, n_vars=n_vars)
+        memo[nid] = tt
+        return tt
+
+    return build(root)
+
+
+class PriorityCutMapper:
+    """Configurable priority-cuts LUT mapper.
+
+    Parameters
+    ----------
+    k:
+        LUT input count (physical pins).
+    cut_limit:
+        Priority cuts kept per node.
+    area_rounds:
+        Area-flow recovery rounds after the depth-oriented pass.
+    free_leaves:
+        Parameter node ids that do not count toward ``k`` (TLUT folding).
+    boundary:
+        Observability boundaries (see module docstring).
+    max_total_leaves:
+        Cap on total cut leaves including free ones (truth-table width).
+    """
+
+    name = "priority-cuts"
+
+    def __init__(
+        self,
+        k: int = 6,
+        cut_limit: int = 8,
+        area_rounds: int = 2,
+        *,
+        free_leaves: Collection[int] = (),
+        boundary: Collection[int] = (),
+        forced_roots: Collection[int] = (),
+        macro_nodes: Collection[int] = (),
+        max_total_leaves: int | None = None,
+    ) -> None:
+        if k < 2:
+            raise MappingError(f"K must be >= 2, got {k}")
+        self.k = k
+        self.cut_limit = cut_limit
+        self.area_rounds = area_rounds
+        self.free = frozenset(free_leaves)
+        # macro nodes (pre-synthesized debug cores) are both boundaries and
+        # pinned to their structural 1:1 implementation
+        self.macro_nodes = frozenset(macro_nodes)
+        self.boundary = frozenset(boundary) | self.macro_nodes
+        # forced roots: signals that must exist physically (observability),
+        # yet may still be duplicated into readers' cones
+        self.forced_roots = frozenset(forced_roots)
+        self.cap = max_total_leaves if max_total_leaves is not None else k + 6
+
+        # per-run state
+        self._net: LogicNetwork | None = None
+        self._order: list[int] = []
+        self._cuts: dict[int, list[Cut]] = {}
+        self._best: dict[int, Cut] = {}
+        self._arrival: dict[int, float] = {}
+        self._est_refs: dict[int, float] = {}
+
+    # -- hooks for subclasses ------------------------------------------------
+
+    def _is_source_like(self, nid: int) -> bool:
+        """Nodes treated as mapping inputs (no LUT emitted)."""
+        net = self._net
+        assert net is not None
+        return net.kind(nid) != NodeKind.GATE or nid in self.free
+
+    def _forced_roots(self) -> set[int]:
+        """Extra nodes that must appear as LUT roots besides POs/latches."""
+        return set(self.boundary) | set(self.forced_roots)
+
+    def _handle_special(self, nid: int, result: MappingResult) -> bool:
+        """Covering hook: return True if the node was emitted specially
+        (e.g. as a TCON) and its own dependencies were pushed by the caller
+        via :meth:`_special_deps`."""
+        return False
+
+    def _special_deps(self, nid: int) -> tuple[int, ...]:
+        return ()
+
+    # -- cost functions ---------------------------------------------------------
+
+    def _cut_arrival(self, cut: Cut) -> float:
+        arr = 0.0
+        for leaf in cut:
+            a = self._arrival.get(leaf, 0.0)
+            if a > arr:
+                arr = a
+        return arr + 1.0
+
+    def _cut_area_flow(self, cut: Cut) -> float:
+        af = 1.0
+        for leaf in cut:
+            if leaf in self.free:
+                continue
+            laf = self._leaf_af.get(leaf, 0.0)
+            refs = max(1.0, self._est_refs.get(leaf, 1.0))
+            af += laf / refs
+        return af
+
+    def _rank_depth(self, cut: Cut):
+        return (
+            self._cut_arrival(cut),
+            cut_size(cut, self.free),
+            self._cut_area_flow(cut),
+        )
+
+    def _rank_area(self, cut: Cut):
+        return (
+            self._cut_area_flow(cut),
+            self._cut_arrival(cut),
+            cut_size(cut, self.free),
+        )
+
+    # -- main entry -------------------------------------------------------------
+
+    def map(self, net: LogicNetwork) -> MappingResult:
+        """Map ``net``; returns a verified-structure :class:`MappingResult`."""
+        self._net = net
+        self._order = net.topo_order()
+        self._est_refs = {
+            nid: float(c) for nid, c in enumerate(net.fanout_counts())
+        }
+        self._leaf_af: dict[int, float] = {}
+
+        self._forward_pass(depth_mode=True)
+        # depth-optimal arrivals anchor the required times of every later
+        # area-recovery round, so recovery can never worsen any root's depth
+        self._target_arrival = dict(self._arrival)
+        result = self._cover()
+
+        for _ in range(self.area_rounds):
+            required = self._compute_required(result)
+            refs = self._cover_refs(result)
+            self._est_refs = {
+                nid: float(max(1, refs.get(nid, 0))) for nid in net.nodes()
+            }
+            self._recover_area(required)
+            result = self._cover()
+        return result
+
+    # -- passes -----------------------------------------------------------------
+
+    def _forward_pass(self, depth_mode: bool) -> None:
+        net = self._net
+        assert net is not None
+        self._cuts = {}
+        self._best = {}
+        self._arrival = {}
+        self._leaf_af = {}
+        rank = self._rank_depth if depth_mode else self._rank_area
+
+        for nid in self._order:
+            trivial = frozenset((nid,))
+            if self._is_source_like(nid):
+                self._cuts[nid] = [trivial]
+                self._arrival[nid] = 0.0
+                self._leaf_af[nid] = 0.0
+                continue
+            fanins = net.fanins(nid)
+            if not fanins:  # constant gate: a 0-input LUT
+                self._cuts[nid] = [trivial]
+                self._best[nid] = frozenset()
+                self._arrival[nid] = 0.0
+                self._leaf_af[nid] = 1.0
+                continue
+
+            if nid in self.macro_nodes:
+                # pre-synthesized macros keep their structural 1:1 shape
+                direct = frozenset(fanins)
+                if cut_size(direct, self.free) > self.k:
+                    raise MappingError(
+                        f"macro node {net.node_name(nid)!r} exceeds K inputs"
+                    )
+                merged = [direct]
+            else:
+                merged = merge_cut_lists(
+                    [self._cuts[f] for f in fanins],
+                    self.k,
+                    self.cut_limit,
+                    self.free,
+                    rank,
+                    self.cap,
+                )
+                if not merged:
+                    # fall back: direct fan-in cut (always legal for fanin<=k)
+                    direct = frozenset(fanins)
+                    if cut_size(direct, self.free) > self.k:
+                        raise MappingError(
+                            f"node {net.node_name(nid)!r} has unmappable fan-in"
+                        )
+                    merged = [direct]
+            best = min(merged, key=rank)
+            self._best[nid] = best
+            self._arrival[nid] = self._cut_arrival(best)
+            self._leaf_af[nid] = self._cut_area_flow(best)
+
+            if nid in self.boundary:
+                visible = [trivial]
+            else:
+                visible = merged + [trivial]
+            self._cuts[nid] = visible
+
+    def _recover_area(self, required: dict[int, float]) -> None:
+        """Re-choose cuts minimizing area flow where timing slack permits."""
+        net = self._net
+        assert net is not None
+        for nid in self._order:
+            if self._is_source_like(nid) or nid in self.macro_nodes:
+                continue
+            fanins = net.fanins(nid)
+            if not fanins:
+                continue
+            merged = merge_cut_lists(
+                [self._cuts[f] for f in fanins],
+                self.k,
+                self.cut_limit,
+                self.free,
+                self._rank_area,
+                self.cap,
+            )
+            prev_best = self._best.get(nid)
+            if prev_best is not None and prev_best not in merged:
+                merged = merged + [prev_best]
+            if not merged:
+                continue
+            req = required.get(nid, _INF)
+            feasible = [c for c in merged if self._cut_arrival(c) <= req]
+            if feasible:
+                best = min(feasible, key=self._rank_area)
+            elif prev_best is not None:
+                # No cut meets the deadline (area pruning lost the fast
+                # ones): keep the previous depth-optimal choice so recovery
+                # can never worsen the mapping's depth.
+                best = prev_best
+            else:
+                best = min(merged, key=self._rank_area)
+            self._best[nid] = best
+            self._arrival[nid] = self._cut_arrival(best)
+            self._leaf_af[nid] = self._cut_area_flow(best)
+            trivial = frozenset((nid,))
+            if nid in self.boundary:
+                self._cuts[nid] = [trivial]
+            else:
+                self._cuts[nid] = merged + [trivial]
+
+    # -- covering ----------------------------------------------------------------
+
+    def _roots(self) -> set[int]:
+        net = self._net
+        assert net is not None
+        roots: set[int] = set()
+        for po in net.po_names:
+            roots.add(net.require(po))
+        for latch in net.latches:
+            if latch.driver >= 0:
+                roots.add(latch.driver)
+        roots |= self._forced_roots()
+        return {r for r in roots if not self._is_source_like(r)}
+
+    def _cover(self) -> MappingResult:
+        net = self._net
+        assert net is not None
+        result = MappingResult(network=net, k=self.k, params=self.free)
+        stack = sorted(self._roots())
+        visited: set[int] = set()
+        while stack:
+            nid = stack.pop()
+            if nid in visited or self._is_source_like(nid):
+                continue
+            visited.add(nid)
+            if self._handle_special(nid, result):
+                stack.extend(self._special_deps(nid))
+                continue
+            cut = self._best.get(nid)
+            if cut is None:
+                raise MappingError(
+                    f"no cut chosen for {net.node_name(nid)!r}"
+                )
+            leaves = tuple(sorted(cut))
+            func = cone_function(net, nid, leaves)
+            params = tuple(l for l in leaves if l in self.free)
+            result.luts[nid] = LutImpl(
+                root=nid, leaves=leaves, func=func, param_leaves=params
+            )
+            stack.extend(l for l in leaves if l not in visited)
+        return result
+
+    # -- timing/refs over a cover -----------------------------------------------
+
+    def _compute_required(self, result: MappingResult) -> dict[int, float]:
+        """Required times: every root pinned to its depth-optimal arrival."""
+        target = float(result.depth())
+        required: dict[int, float] = {}
+        for r in self._roots():
+            required[r] = self._target_arrival.get(r, target)
+        for nid in reversed(self._order):
+            if nid not in result.luts:
+                continue
+            req = required.get(nid, target)
+            lut = result.luts[nid]
+            for leaf in lut.leaves:
+                if self._is_source_like(leaf):
+                    continue
+                cur = required.get(leaf, _INF)
+                required[leaf] = min(cur, req - 1.0)
+        return required
+
+    def _cover_refs(self, result: MappingResult) -> dict[int, int]:
+        """How many LUTs of the current cover reference each node."""
+        refs: dict[int, int] = {}
+        for lut in result.luts.values():
+            for leaf in lut.leaves:
+                refs[leaf] = refs.get(leaf, 0) + 1
+        for t in result.tcons.values():
+            for s in (t.source0, t.source1):
+                refs[s] = refs.get(s, 0) + 1
+        return refs

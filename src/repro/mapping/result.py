@@ -1,0 +1,254 @@
+"""Mapping results: LUT covers, tunable primitives, and derived metrics.
+
+A :class:`MappingResult` is the output of every mapper.  It references the
+*original* network's node ids: each :class:`LutImpl` implements one original
+node (its root) as a LUT over a cut of original nodes, and each
+:class:`TconImpl` implements a parameter-controlled multiplexer node as
+tunable routing connections.
+
+The result can be re-materialized as a plain LUT-level
+:class:`~repro.netlist.network.LogicNetwork` (:meth:`MappingResult.to_lut_network`)
+for equivalence checking against the source network and for the physical
+design stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import MappingError
+from repro.netlist.network import LogicNetwork, NodeKind
+from repro.netlist.truthtable import TruthTable
+
+__all__ = ["LutImpl", "TconImpl", "MappingResult"]
+
+
+@dataclass(frozen=True)
+class LutImpl:
+    """One LUT of the mapped design.
+
+    Attributes
+    ----------
+    root:
+        Original node id whose signal this LUT produces.
+    leaves:
+        Cut leaves (original node ids); variable ``i`` of ``func`` is
+        ``leaves[i]``.
+    func:
+        The collapsed cone function over the leaves.
+    param_leaves:
+        Leaves that are debug parameters — non-empty makes this a **TLUT**:
+        the physical LUT has only the non-parameter leaves as inputs, and
+        its configuration bits are Boolean functions of the parameters.
+    """
+
+    root: int
+    leaves: tuple[int, ...]
+    func: TruthTable
+    param_leaves: tuple[int, ...] = ()
+
+    @property
+    def is_tlut(self) -> bool:
+        return bool(self.param_leaves)
+
+    @property
+    def physical_inputs(self) -> tuple[int, ...]:
+        """Leaves that occupy physical LUT input pins (parameters do not)."""
+        pset = set(self.param_leaves)
+        return tuple(l for l in self.leaves if l not in pset)
+
+
+@dataclass(frozen=True)
+class TconImpl:
+    """A parameter-controlled 2:1 multiplexer realized in routing.
+
+    The original node ``root`` selects ``source0`` when parameter ``sel`` is
+    0 and ``source1`` when it is 1.  Each data edge is one *tunable
+    connection* — the unit counted in Table I's TCON column.
+    """
+
+    root: int
+    source0: int
+    source1: int
+    sel: int
+
+    @property
+    def n_edges(self) -> int:
+        return 2
+
+
+@dataclass
+class MappingResult:
+    """Complete output of a technology-mapping run."""
+
+    network: LogicNetwork
+    """The (possibly instrumented) source network that was mapped."""
+    k: int
+    luts: dict[int, LutImpl] = field(default_factory=dict)
+    tcons: dict[int, TconImpl] = field(default_factory=dict)
+    params: frozenset[int] = frozenset()
+    """Original node ids annotated as debug parameters."""
+    polarity_folds: int = 0
+    """Buffers/inverters folded into reader configuration bits (TconMap)."""
+
+    # -- area metrics --------------------------------------------------------
+
+    @property
+    def n_luts(self) -> int:
+        """Total LUT count (TLUTs included) — Table I's headline number."""
+        return len(self.luts)
+
+    @property
+    def n_tluts(self) -> int:
+        return sum(1 for l in self.luts.values() if l.is_tlut)
+
+    @property
+    def n_tcons(self) -> int:
+        """Number of tunable connections (data edges of routed muxes)."""
+        return sum(t.n_edges for t in self.tcons.values())
+
+    # -- depth ----------------------------------------------------------------
+
+    def levels(self) -> dict[int, int]:
+        """LUT level per implemented node; TCONs add no logic level."""
+        level: dict[int, int] = {}
+        for nid in self.network.sources():
+            level[nid] = 0
+        for nid in self.params:
+            level[nid] = 0
+
+        order = self._impl_topo_order()
+        for nid in order:
+            if nid in self.luts:
+                lut = self.luts[nid]
+                deps = [level.get(l, 0) for l in lut.physical_inputs]
+                level[nid] = 1 + max(deps, default=0)
+            elif nid in self.tcons:
+                t = self.tcons[nid]
+                level[nid] = max(level.get(t.source0, 0), level.get(t.source1, 0))
+        return level
+
+    def depth(self) -> int:
+        """Mapped logic depth to POs and latch inputs."""
+        level = self.levels()
+        net = self.network
+        sinks = [net.require(n) for n in net.po_names]
+        sinks += [l.driver for l in net.latches if l.driver >= 0]
+        depths = [level.get(s, 0) for s in sinks]
+        return max(depths, default=0)
+
+    def depth_to(self, sink_names: Iterable[str]) -> int:
+        """Mapped depth restricted to the named sink signals.
+
+        Table II reports the *user design's* logic depth, so the experiment
+        drivers pass the original POs and latch-driver names here, excluding
+        debug-infrastructure sinks (trace-buffer and trigger outputs).
+        """
+        level = self.levels()
+        net = self.network
+        depths = [level.get(net.require(n), 0) for n in sink_names]
+        return max(depths, default=0)
+
+    def _impl_topo_order(self) -> list[int]:
+        """Topological order over implemented nodes (LUT/TCON dependency DAG)."""
+        deps: dict[int, tuple[int, ...]] = {}
+        for nid, lut in self.luts.items():
+            deps[nid] = lut.physical_inputs
+        for nid, t in self.tcons.items():
+            deps[nid] = (t.source0, t.source1)
+        state: dict[int, int] = {}
+        order: list[int] = []
+
+        for start in deps:
+            if state.get(start):
+                continue
+            stack = [(start, iter(deps[start]))]
+            state[start] = 1
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for child in it:
+                    if child in deps and not state.get(child):
+                        state[child] = 1
+                        stack.append((child, iter(deps[child])))
+                        advanced = True
+                        break
+                    if state.get(child) == 1:
+                        raise MappingError(
+                            f"cycle through mapped node "
+                            f"{self.network.node_name(child)!r}"
+                        )
+                if not advanced:
+                    state[node] = 2
+                    order.append(node)
+                    stack.pop()
+        return order
+
+    # -- materialization -------------------------------------------------------
+
+    def to_lut_network(self, name: str | None = None) -> LogicNetwork:
+        """Rebuild a LUT-level :class:`LogicNetwork`.
+
+        LUTs become gates over their leaves (parameters included, so TLUTs
+        stay functionally faithful); TCONs become explicit 2:1 mux gates.
+        The result is bit-for-bit equivalent to the source network on the
+        implemented signals — verified by the test suite.
+        """
+        src = self.network
+        out = LogicNetwork(name or f"{src.name}_mapped")
+        remap: dict[int, int] = {}
+        for pi in src.pis:
+            remap[pi] = out.add_pi(src.node_name(pi))
+        for latch in src.latches:
+            remap[latch.q] = out.add_latch(src.node_name(latch.q), init=latch.init)
+
+        mux_tt = TruthTable.mux(
+            TruthTable.var(2, 3), TruthTable.var(0, 3), TruthTable.var(1, 3)
+        )
+
+        for nid in self._impl_topo_order():
+            node_name = src.node_name(nid)
+            if nid in self.luts:
+                lut = self.luts[nid]
+                fanins = []
+                for leaf in lut.leaves:
+                    if leaf not in remap:
+                        raise MappingError(
+                            f"LUT {node_name!r} depends on unimplemented leaf "
+                            f"{src.node_name(leaf)!r}"
+                        )
+                    fanins.append(remap[leaf])
+                remap[nid] = out.add_gate(node_name, fanins, lut.func)
+            else:
+                t = self.tcons[nid]
+                for dep in (t.source0, t.source1, t.sel):
+                    if dep not in remap:
+                        raise MappingError(
+                            f"TCON {node_name!r} depends on unimplemented "
+                            f"{src.node_name(dep)!r}"
+                        )
+                remap[nid] = out.add_gate(
+                    node_name,
+                    (remap[t.source0], remap[t.source1], remap[t.sel]),
+                    mux_tt,
+                )
+
+        for latch in src.latches:
+            if latch.driver not in remap:
+                raise MappingError(
+                    f"latch {src.node_name(latch.q)!r} driver not implemented"
+                )
+            out.set_latch_driver(remap[latch.q], remap[latch.driver])
+        for po in src.po_names:
+            if src.require(po) not in remap:
+                raise MappingError(f"PO {po!r} not implemented")
+            out.add_po(po)
+        return out
+
+    def summary(self) -> str:
+        return (
+            f"{self.network.name}: {self.n_luts} LUTs "
+            f"({self.n_tluts} TLUTs), {self.n_tcons} TCONs, "
+            f"depth {self.depth()}"
+        )

@@ -1,0 +1,91 @@
+"""Netlist statistics: sizes, depths, fan-in/fan-out profiles.
+
+``logic_depth`` here is the *gate-level* depth; the mapped (LUT-level) depth
+reported in the paper's Table II is computed by :mod:`repro.mapping.depth`
+on mapped networks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netlist.network import LogicNetwork, NodeKind
+
+__all__ = ["NetworkStats", "network_stats", "logic_depth", "node_levels"]
+
+
+def node_levels(net: LogicNetwork) -> list[int]:
+    """Combinational level per node (sources = 0, gate = 1 + max(fanins))."""
+    levels = [0] * net.n_nodes
+    for nid in net.topo_order():
+        if net.kind(nid) == NodeKind.GATE:
+            fanins = net.fanins(nid)
+            if fanins:
+                levels[nid] = 1 + max(levels[f] for f in fanins)
+            else:
+                levels[nid] = 0
+    return levels
+
+
+def logic_depth(net: LogicNetwork) -> int:
+    """Maximum combinational level over PO drivers and latch D inputs."""
+    levels = node_levels(net)
+    sinks = [net.require(n) for n in net.po_names]
+    sinks += [l.driver for l in net.latches if l.driver >= 0]
+    if not sinks:
+        return 0
+    return max(levels[s] for s in sinks)
+
+
+@dataclass(frozen=True)
+class NetworkStats:
+    """Aggregate structural statistics for reporting."""
+
+    name: str
+    n_pis: int
+    n_pos: int
+    n_latches: int
+    n_gates: int
+    n_consts: int
+    depth: int
+    max_fanin: int
+    avg_fanin: float
+    max_fanout: int
+
+    def row(self) -> list[object]:
+        return [
+            self.name,
+            self.n_pis,
+            self.n_pos,
+            self.n_latches,
+            self.n_gates,
+            self.depth,
+            self.max_fanin,
+            f"{self.avg_fanin:.2f}",
+            self.max_fanout,
+        ]
+
+
+def network_stats(net: LogicNetwork) -> NetworkStats:
+    """Compute :class:`NetworkStats` for a network."""
+    fanin_sizes = []
+    n_consts = 0
+    for nid in net.gates():
+        k = len(net.fanins(nid))
+        if k == 0:
+            n_consts += 1
+        else:
+            fanin_sizes.append(k)
+    counts = net.fanout_counts()
+    return NetworkStats(
+        name=net.name,
+        n_pis=net.n_pis,
+        n_pos=len(net.po_names),
+        n_latches=net.n_latches,
+        n_gates=net.n_gates - n_consts,
+        n_consts=n_consts,
+        depth=logic_depth(net),
+        max_fanin=max(fanin_sizes, default=0),
+        avg_fanin=(sum(fanin_sizes) / len(fanin_sizes)) if fanin_sizes else 0.0,
+        max_fanout=max(counts, default=0),
+    )

@@ -1,0 +1,113 @@
+"""Netlist cleanup transforms.
+
+These mirror the light-weight cleanup passes conventional synthesis applies
+before mapping: constant propagation, buffer collapsing and dead-node
+sweeping.  They are deliberately conservative — signal parameterisation
+(:mod:`repro.core.annotate`) relies on internal signal names surviving, so
+every transform preserves the name of any node listed in ``protected``.
+"""
+
+from __future__ import annotations
+
+from typing import Collection
+
+from repro.netlist.network import LogicNetwork, NodeKind
+from repro.netlist.truthtable import TruthTable
+
+__all__ = ["sweep_dead", "propagate_constants", "remove_buffers", "cleanup"]
+
+
+def sweep_dead(
+    net: LogicNetwork, protected: Collection[int] = ()
+) -> LogicNetwork:
+    """Drop nodes not reachable from POs/latches (keeps ``protected``)."""
+    return net.compact(keep=protected)
+
+
+def propagate_constants(net: LogicNetwork) -> int:
+    """Fold constant fan-ins into gate functions, in place.
+
+    Iterates to a fixed point.  Gates whose functions collapse to constants
+    become 0-input constant gates and their readers are re-examined.
+    Returns the number of gates simplified.
+    """
+    changed_total = 0
+    changed = True
+    while changed:
+        changed = False
+        const_of: dict[int, int] = {}
+        for nid in net.gates():
+            func = net.func(nid)
+            assert func is not None
+            cv = func.const_value()
+            if cv is not None and func.n_vars == 0:
+                const_of[nid] = cv
+        if not const_of:
+            break
+        for nid in net.gates():
+            fanins = net.fanins(nid)
+            if not fanins:
+                continue
+            func = net.func(nid)
+            assert func is not None
+            if not any(f in const_of for f in fanins):
+                continue
+            new_fanins: list[int] = []
+            tt = func
+            # Fix constant vars one at a time, highest index first so that
+            # remaining variable indices stay aligned.
+            const_positions = [
+                (i, const_of[f]) for i, f in enumerate(fanins) if f in const_of
+            ]
+            keep_positions = [i for i, f in enumerate(fanins) if f not in const_of]
+            for i, value in const_positions:
+                tt = tt.cofactor(i, value)
+            small, kept = tt.shrink_to_support()
+            kept_set = set(kept)
+            # kept indexes into the *original* variable order
+            new_fanins = [fanins[i] for i in range(len(fanins)) if i in kept_set]
+            # shrink_to_support orders kept ascending == original order, so
+            # variable i of `small` is new_fanins[i].
+            net.rewire(nid, new_fanins, small)
+            changed = True
+            changed_total += 1
+    return changed_total
+
+
+def remove_buffers(net: LogicNetwork, protected: Collection[int] = ()) -> int:
+    """Bypass single-input identity gates, in place.
+
+    A buffer whose id is in ``protected`` (e.g. an observed debug signal
+    that must keep its own net) is left alone.  Returns the number of
+    buffers bypassed.  Inverters are kept — they change polarity and are
+    real logic.
+    """
+    protected_set = set(protected)
+    po_set = set(net.po_names)
+    removed = 0
+    for nid in list(net.gates()):
+        if nid in protected_set:
+            continue
+        if net.node_name(nid) in po_set:
+            # bypassing a PO-driving buffer would rename the output
+            # interface; keep it
+            continue
+        func = net.func(nid)
+        assert func is not None
+        var = func.is_buffer_of()
+        if var is None:
+            continue
+        source = net.fanins(nid)[var]
+        net.replace_uses(nid, source)
+        removed += 1
+    return removed
+
+
+def cleanup(
+    net: LogicNetwork, protected: Collection[int] = ()
+) -> LogicNetwork:
+    """propagate constants → remove buffers → sweep; returns a new network."""
+    work = net.copy()
+    propagate_constants(work)
+    remove_buffers(work, protected)
+    return sweep_dead(work, protected)

@@ -1,0 +1,357 @@
+"""Truth tables over a small number of variables.
+
+A :class:`TruthTable` stores the complete function of up to
+:data:`MAX_VARS` inputs as a Python integer bitmask: bit ``b`` holds the
+output for the input assignment whose variable ``i`` equals ``(b >> i) & 1``.
+Python integers give us arbitrary width for free, branch-free bitwise
+algebra, and hashability (tables are interned as dict keys all over the
+mapper).
+
+This representation is the work-horse of technology mapping: cut functions,
+LUT configuration contents, and TLUT parameter folding are all truth-table
+manipulations (cofactoring, support reduction, composition).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterable, Sequence
+
+__all__ = ["TruthTable", "MAX_VARS"]
+
+MAX_VARS = 16
+"""Upper bound on variable count (2**16 bits keeps ints comfortably small)."""
+
+
+@lru_cache(maxsize=None)
+def _var_mask(n_vars: int, var: int) -> int:
+    """Bitmask of truth-table positions where ``var`` is 1 (n_vars-wide)."""
+    period = 1 << (var + 1)
+    half = 1 << var
+    block = ((1 << half) - 1) << half
+    mask = 0
+    for start in range(0, 1 << n_vars, period):
+        mask |= block << start
+    return mask
+
+
+@lru_cache(maxsize=None)
+def _full_mask(n_vars: int) -> int:
+    return (1 << (1 << n_vars)) - 1
+
+
+class TruthTable:
+    """An immutable complete truth table on ``n_vars`` ordered inputs.
+
+    Examples
+    --------
+    >>> a = TruthTable.var(0, 2)
+    >>> b = TruthTable.var(1, 2)
+    >>> (a & b).bits == 0b1000
+    True
+    >>> (a | b).count_ones()
+    3
+    >>> TruthTable.mux(TruthTable.var(0, 3), TruthTable.var(1, 3), TruthTable.var(2, 3)).n_vars
+    3
+    """
+
+    __slots__ = ("n_vars", "bits")
+
+    def __init__(self, n_vars: int, bits: int) -> None:
+        if not 0 <= n_vars <= MAX_VARS:
+            raise ValueError(f"n_vars must be in [0, {MAX_VARS}], got {n_vars}")
+        self.n_vars = int(n_vars)
+        self.bits = int(bits) & _full_mask(self.n_vars)
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def const(value: bool | int, n_vars: int = 0) -> "TruthTable":
+        """Constant-0 or constant-1 function on ``n_vars`` inputs."""
+        return TruthTable(n_vars, _full_mask(n_vars) if value else 0)
+
+    @staticmethod
+    def var(index: int, n_vars: int) -> "TruthTable":
+        """The projection function returning input ``index``."""
+        if not 0 <= index < n_vars:
+            raise ValueError(f"var index {index} out of range for {n_vars} vars")
+        return TruthTable(n_vars, _var_mask(n_vars, index))
+
+    @staticmethod
+    def from_outputs(outputs: Sequence[int]) -> "TruthTable":
+        """Build from an explicit output column of length ``2**n``.
+
+        >>> TruthTable.from_outputs([0, 1, 1, 0]).bits == 0b0110
+        True
+        """
+        n = len(outputs)
+        if n == 0 or n & (n - 1):
+            raise ValueError("output column length must be a power of two")
+        n_vars = n.bit_length() - 1
+        bits = 0
+        for i, v in enumerate(outputs):
+            if v:
+                bits |= 1 << i
+        return TruthTable(n_vars, bits)
+
+    @staticmethod
+    def mux(sel: "TruthTable", a: "TruthTable", b: "TruthTable") -> "TruthTable":
+        """``sel ? b : a`` (when sel=0 choose ``a``) on a shared variable set."""
+        return (~sel & a) | (sel & b)
+
+    # -- algebra -----------------------------------------------------------
+
+    def _check_compat(self, other: "TruthTable") -> None:
+        if self.n_vars != other.n_vars:
+            raise ValueError(
+                f"variable-count mismatch: {self.n_vars} vs {other.n_vars}"
+            )
+
+    def __and__(self, other: "TruthTable") -> "TruthTable":
+        self._check_compat(other)
+        return TruthTable(self.n_vars, self.bits & other.bits)
+
+    def __or__(self, other: "TruthTable") -> "TruthTable":
+        self._check_compat(other)
+        return TruthTable(self.n_vars, self.bits | other.bits)
+
+    def __xor__(self, other: "TruthTable") -> "TruthTable":
+        self._check_compat(other)
+        return TruthTable(self.n_vars, self.bits ^ other.bits)
+
+    def __invert__(self) -> "TruthTable":
+        return TruthTable(self.n_vars, ~self.bits & _full_mask(self.n_vars))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TruthTable)
+            and self.n_vars == other.n_vars
+            and self.bits == other.bits
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.n_vars, self.bits))
+
+    def __repr__(self) -> str:
+        width = 1 << self.n_vars
+        return f"TruthTable({self.n_vars}, 0b{self.bits:0{width}b})"
+
+    # -- queries -----------------------------------------------------------
+
+    def is_const(self) -> bool:
+        return self.bits == 0 or self.bits == _full_mask(self.n_vars)
+
+    def const_value(self) -> int | None:
+        """0 or 1 for constant functions, None otherwise."""
+        if self.bits == 0:
+            return 0
+        if self.bits == _full_mask(self.n_vars):
+            return 1
+        return None
+
+    def count_ones(self) -> int:
+        return self.bits.bit_count()
+
+    def eval_point(self, assignment: Sequence[int]) -> int:
+        """Evaluate on a single 0/1 input assignment.
+
+        >>> TruthTable.var(1, 3).eval_point([0, 1, 0])
+        1
+        """
+        if len(assignment) != self.n_vars:
+            raise ValueError("assignment length mismatch")
+        idx = 0
+        for i, v in enumerate(assignment):
+            if v:
+                idx |= 1 << i
+        return (self.bits >> idx) & 1
+
+    def eval_index(self, idx: int) -> int:
+        """Evaluate at a packed assignment index (bit i = variable i)."""
+        return (self.bits >> (idx & ((1 << self.n_vars) - 1))) & 1
+
+    # -- cofactors and support ---------------------------------------------
+
+    def cofactor(self, var: int, value: int) -> "TruthTable":
+        """Shannon cofactor with ``var`` fixed to ``value`` (same n_vars).
+
+        The returned table no longer depends on ``var``.
+        """
+        if not 0 <= var < self.n_vars:
+            raise ValueError(f"var {var} out of range")
+        mask = _var_mask(self.n_vars, var)
+        shift = 1 << var
+        if value:
+            hi = self.bits & mask
+            return TruthTable(self.n_vars, hi | (hi >> shift))
+        lo = self.bits & ~mask
+        return TruthTable(self.n_vars, lo | (lo << shift))
+
+    def depends_on(self, var: int) -> bool:
+        return self.cofactor(var, 0).bits != self.cofactor(var, 1).bits
+
+    def support(self) -> tuple[int, ...]:
+        """Indices of variables the function truly depends on."""
+        return tuple(i for i in range(self.n_vars) if self.depends_on(i))
+
+    def shrink_to_support(self) -> tuple["TruthTable", tuple[int, ...]]:
+        """Remove don't-care variables.
+
+        Returns ``(table, kept)`` where ``kept[i]`` is the original index of
+        the new variable ``i``.
+
+        >>> t = TruthTable.var(2, 4)
+        >>> small, kept = t.shrink_to_support()
+        >>> small.n_vars, kept
+        (1, (2,))
+        """
+        kept = self.support()
+        if len(kept) == self.n_vars:
+            return self, tuple(range(self.n_vars))
+        new_n = len(kept)
+        bits = 0
+        for new_idx in range(1 << new_n):
+            old_idx = 0
+            for j, orig in enumerate(kept):
+                if (new_idx >> j) & 1:
+                    old_idx |= 1 << orig
+            if (self.bits >> old_idx) & 1:
+                bits |= 1 << new_idx
+        return TruthTable(new_n, bits), kept
+
+    def extend(self, n_vars: int) -> "TruthTable":
+        """View this function on a larger variable set (new vars are don't-care)."""
+        if n_vars < self.n_vars:
+            raise ValueError("extend target smaller than current n_vars")
+        tt = self
+        bits = tt.bits
+        for extra in range(tt.n_vars, n_vars):
+            bits |= bits << (1 << extra)
+        return TruthTable(n_vars, bits)
+
+    def permute(self, mapping: Sequence[int]) -> "TruthTable":
+        """Reorder variables: new variable ``mapping[i]`` := old variable ``i``.
+
+        ``mapping`` must be a permutation-compatible injection into
+        ``range(new_n)`` where ``new_n = max(mapping)+1``.
+        """
+        if len(mapping) != self.n_vars:
+            raise ValueError("mapping length mismatch")
+        new_n = max(mapping, default=-1) + 1
+        if len(set(mapping)) != len(mapping):
+            raise ValueError("mapping must be injective")
+        bits = 0
+        for old_idx in range(1 << self.n_vars):
+            if (self.bits >> old_idx) & 1:
+                new_idx = 0
+                for i in range(self.n_vars):
+                    if (old_idx >> i) & 1:
+                        new_idx |= 1 << mapping[i]
+                # the new index pattern repeats over unconstrained vars
+                bits |= 1 << new_idx
+        tt = TruthTable(new_n, bits)
+        # account for vars in range(new_n) not present in mapping: the
+        # function must not depend on them, and since we only set bits at
+        # positions where those vars are 0, replicate across them.
+        present = set(mapping)
+        for v in range(new_n):
+            if v not in present:
+                shift = 1 << v
+                tt = TruthTable(new_n, tt.bits | (tt.bits << shift))
+        return tt
+
+    # -- composition ---------------------------------------------------------
+
+    def compose(
+        self, inputs: Sequence["TruthTable"], n_vars: int | None = None
+    ) -> "TruthTable":
+        """Substitute ``inputs[i]`` for variable ``i``.
+
+        All input tables must share a common variable count, which becomes
+        the variable count of the result.  Used to collapse a cut's cone
+        into a single LUT function during mapping.  ``n_vars`` must be given
+        when composing a constant (0-variable) table, since there are no
+        inputs to infer the target arity from.
+
+        >>> f = TruthTable.var(0, 2) & TruthTable.var(1, 2)   # AND
+        >>> x = TruthTable.var(0, 3)
+        >>> y = TruthTable.var(2, 3)
+        >>> g = f.compose([x, y])
+        >>> g == (x & y)
+        True
+        """
+        if len(inputs) != self.n_vars:
+            raise ValueError("compose arity mismatch")
+        if self.n_vars == 0:
+            if n_vars is None:
+                raise ValueError("compose of 0-var table needs explicit n_vars")
+            return TruthTable.const(self.bits & 1, n_vars)
+        base_n = inputs[0].n_vars
+        for t in inputs:
+            if t.n_vars != base_n:
+                raise ValueError("compose inputs must share n_vars")
+        ones = _full_mask(base_n)
+        result = 0
+        for idx in range(1 << self.n_vars):
+            if not (self.bits >> idx) & 1:
+                continue
+            term = ones
+            for i in range(self.n_vars):
+                if (idx >> i) & 1:
+                    term &= inputs[i].bits
+                else:
+                    term &= ~inputs[i].bits & ones
+                if not term:
+                    break
+            result |= term
+        return TruthTable(base_n, result)
+
+    def outputs(self) -> list[int]:
+        """The explicit output column as a list of 0/1 ints."""
+        return [(self.bits >> i) & 1 for i in range(1 << self.n_vars)]
+
+    # -- structure recognition ---------------------------------------------
+
+    def as_mux(self) -> tuple[int, int, int] | None:
+        """Recognize a 2:1 multiplexer structure.
+
+        Returns ``(sel, a, b)`` variable indices such that the function is
+        ``sel ? b : a`` with ``a``, ``b``, ``sel`` distinct projection
+        variables — or ``None`` if the function is not such a mux.  Used by
+        TCONMap to peel parameter-controlled multiplexers into tunable
+        connections.
+        """
+        sup = self.support()
+        if len(sup) != 3:
+            return None
+        for sel in sup:
+            c0 = self.cofactor(sel, 0)
+            c1 = self.cofactor(sel, 1)
+            others = [v for v in sup if v != sel]
+            for a, b in ((others[0], others[1]), (others[1], others[0])):
+                if (
+                    c0 == TruthTable.var(a, self.n_vars)
+                    and c1 == TruthTable.var(b, self.n_vars)
+                ):
+                    return (sel, a, b)
+        return None
+
+    def is_buffer_of(self) -> int | None:
+        """If the function equals one input verbatim, return that variable."""
+        sup = self.support()
+        if len(sup) != 1:
+            return None
+        v = sup[0]
+        if self == TruthTable.var(v, self.n_vars):
+            return v
+        return None
+
+    def is_inverter_of(self) -> int | None:
+        """If the function equals the complement of one input, return it."""
+        sup = self.support()
+        if len(sup) != 1:
+            return None
+        v = sup[0]
+        if self == ~TruthTable.var(v, self.n_vars):
+            return v
+        return None

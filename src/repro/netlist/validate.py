@@ -1,0 +1,87 @@
+"""Structural validation of logic networks.
+
+Called at flow-stage boundaries (after parsing, after instrumentation, after
+mapping) so that malformed networks fail loudly at the stage that produced
+them rather than corrupting downstream results.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NetlistError
+from repro.netlist.network import LogicNetwork, NodeKind
+
+__all__ = ["validate_network"]
+
+
+def validate_network(net: LogicNetwork, *, require_pos: bool = True) -> None:
+    """Raise :class:`NetlistError` on any structural inconsistency.
+
+    Checks performed:
+
+    * every fan-in id is a valid node defined before use (DAG over ids not
+      required, but combinational acyclicity is);
+    * gate function arity matches fan-in count;
+    * latch drivers are connected and valid;
+    * primary-output names resolve to nodes;
+    * node names are unique and non-empty;
+    * no combinational cycles (via :meth:`LogicNetwork.topo_order`).
+    """
+    n = net.n_nodes
+    seen_names: set[str] = set()
+    for nid in net.nodes():
+        name = net.node_name(nid)
+        if not name:
+            raise NetlistError(f"node {nid} has an empty name")
+        if name in seen_names:
+            raise NetlistError(f"duplicate node name {name!r}")
+        seen_names.add(name)
+
+        kind = net.kind(nid)
+        fanins = net.fanins(nid)
+        func = net.func(nid)
+        if kind == NodeKind.GATE:
+            if func is None:
+                raise NetlistError(f"gate {name!r} has no function")
+            if func.n_vars != len(fanins):
+                raise NetlistError(
+                    f"gate {name!r}: {func.n_vars} vars vs {len(fanins)} fanins"
+                )
+            for f in fanins:
+                if not 0 <= f < n:
+                    raise NetlistError(f"gate {name!r}: fanin id {f} out of range")
+        else:
+            if fanins:
+                raise NetlistError(f"{kind.name} node {name!r} must have no fanins")
+            if func is not None:
+                raise NetlistError(f"{kind.name} node {name!r} must have no function")
+
+    q_seen: set[int] = set()
+    for latch in net.latches:
+        if latch.q in q_seen:
+            raise NetlistError(f"latch output {latch.q} declared twice")
+        q_seen.add(latch.q)
+        if net.kind(latch.q) != NodeKind.LATCH:
+            raise NetlistError(
+                f"latch q node {net.node_name(latch.q)!r} has kind "
+                f"{net.kind(latch.q).name}"
+            )
+        if latch.driver < 0:
+            raise NetlistError(f"latch {net.node_name(latch.q)!r} is undriven")
+        if not 0 <= latch.driver < n:
+            raise NetlistError(
+                f"latch {net.node_name(latch.q)!r}: driver id out of range"
+            )
+    latch_q_nodes = {latch.q for latch in net.latches}
+    for nid in net.nodes():
+        if net.kind(nid) == NodeKind.LATCH and nid not in latch_q_nodes:
+            raise NetlistError(
+                f"LATCH node {net.node_name(nid)!r} missing from latch list"
+            )
+
+    if require_pos and not net.po_names:
+        raise NetlistError("network has no primary outputs")
+    for name in net.po_names:
+        if net.find(name) is None:
+            raise NetlistError(f"primary output {name!r} resolves to no node")
+
+    net.topo_order()  # raises on combinational cycles

@@ -1,0 +1,20 @@
+"""TPack: clustering mapped logic into CLBs.
+
+Atoms (LUTs and flip-flops) are paired into BLEs and greedily clustered
+into CLBs under the cluster input-bandwidth constraint, in the style of
+VPack/T-VPack as used by the paper's TPaR flow.  Parameters never occupy
+pins (they are configuration, not signals), and TCON multiplexers occupy
+no BLEs at all — their sharing happens in routing.
+"""
+
+from repro.pack.cluster import Atom, Ble, Cluster, PhysicalNetlist, build_atoms
+from repro.pack.tpack import pack_design
+
+__all__ = [
+    "Atom",
+    "Ble",
+    "Cluster",
+    "PhysicalNetlist",
+    "build_atoms",
+    "pack_design",
+]

@@ -1,0 +1,231 @@
+"""Physical netlist atoms and the packing data model.
+
+Signals are identified by the mapped network's node ids throughout the
+physical stages.  An :class:`Atom` is the smallest placeable unit (a LUT or
+a flip-flop); a :class:`Ble` pairs one LUT with at most one FF (the BLE
+output is either the LUT or the FF, one config bit); a :class:`Cluster` is
+a CLB's worth of BLEs.
+
+:func:`build_atoms` lowers a :class:`~repro.mapping.result.MappingResult`
+into atoms plus the *tunable groups* — for every TCON tree, the set of
+alternative leaf drivers with their activation conditions, which the router
+later turns into wire-sharing connections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.boolfunc import BoolExpr, bf_and, bf_not, bf_var
+from repro.core.muxnet import InstrumentedDesign
+from repro.errors import PackingError
+from repro.mapping.result import MappingResult
+from repro.netlist.network import LogicNetwork, NodeKind
+from repro.netlist.truthtable import TruthTable
+
+__all__ = [
+    "Atom",
+    "Ble",
+    "Cluster",
+    "TunableGroup",
+    "PhysicalNetlist",
+    "build_atoms",
+]
+
+
+@dataclass
+class Atom:
+    """A LUT or FF instance; ``output`` is the signal (node id) it drives."""
+
+    kind: str  # "lut" | "ff"
+    output: int
+    inputs: tuple[int, ...]
+    func: TruthTable | None = None
+    ff_init: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("lut", "ff"):
+            raise PackingError(f"bad atom kind {self.kind!r}")
+        if self.kind == "ff" and len(self.inputs) != 1:
+            raise PackingError("FF atom needs exactly one input")
+
+
+@dataclass
+class Ble:
+    """One basic logic element: LUT and/or FF sharing an output pin."""
+
+    index: int
+    lut: Atom | None = None
+    ff: Atom | None = None
+
+    @property
+    def output(self) -> int:
+        if self.ff is not None:
+            return self.ff.output
+        assert self.lut is not None
+        return self.lut.output
+
+    @property
+    def inputs(self) -> tuple[int, ...]:
+        if self.lut is not None:
+            return self.lut.inputs
+        assert self.ff is not None
+        return self.ff.inputs
+
+    @property
+    def uses_ff(self) -> bool:
+        return self.ff is not None
+
+    @property
+    def internal_signals(self) -> set[int]:
+        """Signals produced inside this BLE (LUT out and/or FF out)."""
+        out = {self.output}
+        if self.lut is not None and self.ff is not None:
+            out.add(self.lut.output)
+        return out
+
+
+@dataclass
+class Cluster:
+    """A CLB's worth of BLEs plus its external connectivity."""
+
+    index: int
+    bles: list[Ble] = field(default_factory=list)
+
+    def produced(self) -> set[int]:
+        out: set[int] = set()
+        for b in self.bles:
+            out |= b.internal_signals
+        return out
+
+    def external_inputs(self) -> set[int]:
+        produced = self.produced()
+        need: set[int] = set()
+        for b in self.bles:
+            need.update(s for s in b.inputs if s not in produced)
+        return need
+
+
+@dataclass
+class TunableGroup:
+    """One TCON tree: alternative drivers of a single logical signal.
+
+    ``root`` is the tree's output signal; ``options`` maps each candidate
+    leaf driver signal to the parameter condition under which it is the
+    active driver.  All options are pairwise mutually exclusive, which is
+    what lets their routes share wires.
+    """
+
+    root: int
+    options: list[tuple[int, BoolExpr]] = field(default_factory=list)
+
+
+@dataclass
+class PhysicalNetlist:
+    """Everything the physical design stages operate on."""
+
+    mapping: MappingResult
+    atoms: list[Atom]
+    pi_signals: list[int]
+    po_signals: list[int]
+    tunable_groups: dict[int, TunableGroup]
+    producer: dict[int, Atom]
+
+    @property
+    def network(self) -> LogicNetwork:
+        return self.mapping.network
+
+    def signal_name(self, sig: int) -> str:
+        return self.network.node_name(sig)
+
+
+def _expand_tcon(
+    mapping: MappingResult,
+    param_index_of: dict[int, int],
+    root: int,
+    memo: dict[int, list[tuple[int, BoolExpr]]],
+) -> list[tuple[int, BoolExpr]]:
+    """All leaf drivers of a TCON subtree with their activation conditions."""
+    got = memo.get(root)
+    if got is not None:
+        return got
+    t = mapping.tcons[root]
+    sel_idx = param_index_of[t.sel]
+    sel = bf_var(sel_idx)
+    out: list[tuple[int, BoolExpr]] = []
+    for src, cond in ((t.source0, bf_not(sel)), (t.source1, sel)):
+        if src in mapping.tcons:
+            for leaf, sub in _expand_tcon(mapping, param_index_of, src, memo):
+                out.append((leaf, bf_and(cond, sub)))
+        else:
+            out.append((src, cond))
+    memo[root] = out
+    return out
+
+
+def build_atoms(
+    mapping: MappingResult, design: InstrumentedDesign | None = None
+) -> PhysicalNetlist:
+    """Lower a mapping result to physical atoms and tunable groups.
+
+    ``design`` supplies the parameter space for TCON conditions; mappings
+    without TCONs (the conventional flow) may omit it.
+    """
+    net = mapping.network
+    params = set(mapping.params)
+
+    param_index_of: dict[int, int] = {}
+    if design is not None:
+        param_index_of = {
+            nid: design.param_space.index_of(name)
+            for name, nid in design.param_nodes.items()
+        }
+    elif mapping.tcons:
+        raise PackingError("mapping has TCONs but no parameter space given")
+
+    atoms: list[Atom] = []
+    producer: dict[int, Atom] = {}
+
+    for root, lut in sorted(mapping.luts.items()):
+        a = Atom(
+            kind="lut",
+            output=root,
+            inputs=lut.physical_inputs,
+            func=lut.func,
+        )
+        atoms.append(a)
+        producer[root] = a
+
+    for latch in net.latches:
+        if latch.driver < 0:
+            raise PackingError(
+                f"latch {net.node_name(latch.q)!r} undriven at packing"
+            )
+        a = Atom(
+            kind="ff",
+            output=latch.q,
+            inputs=(latch.driver,),
+            ff_init=1 if latch.init == 1 else 0,
+        )
+        atoms.append(a)
+        producer[latch.q] = a
+
+    memo: dict[int, list[tuple[int, BoolExpr]]] = {}
+    groups: dict[int, TunableGroup] = {}
+    for root in mapping.tcons:
+        options = _expand_tcon(mapping, param_index_of, root, memo)
+        groups[root] = TunableGroup(root=root, options=options)
+
+    pi_signals = [
+        pi for pi in net.pis if pi not in params
+    ]
+    po_signals = [net.require(n) for n in net.po_names]
+
+    return PhysicalNetlist(
+        mapping=mapping,
+        atoms=atoms,
+        pi_signals=pi_signals,
+        po_signals=po_signals,
+        tunable_groups=groups,
+        producer=producer,
+    )

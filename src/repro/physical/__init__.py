@@ -1,0 +1,119 @@
+"""Physical design orchestration: TPaR + bitstream generation.
+
+:func:`build_physical_stage` takes an offline-stage artifact (or any
+mapping result) through packing, placement, routing and configuration-bit
+generation, returning a :class:`PhysicalStage` with every intermediate
+plus phase timings — the data behind the compile-time experiment
+(§V-C.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.arch.config_cells import ConfigLayout, build_config_layout
+from repro.arch.device import DeviceGrid
+from repro.arch.routing_graph import RRGraph, build_rr_graph
+from repro.arch.spec import ArchSpec
+from repro.arch.virtex5 import VIRTEX5_LIKE
+from repro.bitgen.genbit import GeneratedBitstream, generate_bitstream
+from repro.core.muxnet import InstrumentedDesign
+from repro.mapping.result import MappingResult
+from repro.pack.cluster import build_atoms
+from repro.pack.tpack import PackedDesign, pack_design
+from repro.place.tplace import Placement, place_design
+from repro.route.troute import RoutingResult, route_design
+from repro.util.timing import PhaseTimer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.flow import OfflineStage
+
+__all__ = ["PhysicalStage", "build_physical_stage", "physical_from_mapping"]
+
+
+@dataclass
+class PhysicalStage:
+    """All physical-design artifacts of one flow run."""
+
+    arch: ArchSpec
+    packed: PackedDesign
+    grid: DeviceGrid
+    placement: Placement
+    rr: RRGraph
+    routing: RoutingResult
+    layout: ConfigLayout
+    bitstream: GeneratedBitstream
+    timers: PhaseTimer = field(default_factory=PhaseTimer)
+
+    @property
+    def n_clbs_used(self) -> int:
+        return self.packed.n_clusters
+
+    @property
+    def wires_used(self) -> int:
+        return self.routing.total_wires_used()
+
+    def summary(self) -> dict[str, float]:
+        s = self.routing.summary()
+        s.update(
+            {
+                "clbs": float(self.n_clbs_used),
+                "bles": float(self.packed.n_bles),
+                "placement_hpwl": self.placement.cost,
+                "config_bits": float(self.layout.n_bits),
+                "tunable_bits": float(self.bitstream.pconf.n_tunable),
+                "pnr_runtime_s": self.timers.total(),
+            }
+        )
+        return s
+
+
+def physical_from_mapping(
+    mapping: MappingResult,
+    design: InstrumentedDesign | None = None,
+    *,
+    arch: ArchSpec | None = None,
+    grid: DeviceGrid | None = None,
+    seed: int = 2016,
+    effort: float = 4.0,
+    max_route_iterations: int = 40,
+) -> PhysicalStage:
+    """Pack, place, route and generate bits for any mapping result."""
+    arch = arch or VIRTEX5_LIKE
+    timers = PhaseTimer()
+
+    with timers.phase("pack"):
+        physical = build_atoms(mapping, design)
+        packed = pack_design(physical, arch)
+    with timers.phase("place"):
+        placement = place_design(packed, grid, seed=seed, effort=effort)
+    with timers.phase("rr-graph"):
+        rr = build_rr_graph(placement.grid)
+    with timers.phase("route"):
+        routing = route_design(
+            placement, rr, max_iterations=max_route_iterations
+        )
+    with timers.phase("bitgen"):
+        layout = build_config_layout(rr)
+        bitstream = generate_bitstream(
+            packed, placement, routing, layout, design
+        )
+    return PhysicalStage(
+        arch=arch,
+        packed=packed,
+        grid=placement.grid,
+        placement=placement,
+        rr=rr,
+        routing=routing,
+        layout=layout,
+        bitstream=bitstream,
+        timers=timers,
+    )
+
+
+def build_physical_stage(offline: "OfflineStage", arch: ArchSpec | None = None) -> PhysicalStage:
+    """Physical back-end for an offline-stage artifact (the proposed flow)."""
+    return physical_from_mapping(
+        offline.mapping, offline.instrumented, arch=arch
+    )

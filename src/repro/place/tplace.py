@@ -1,0 +1,283 @@
+"""Simulated-annealing placement (the TPlace step of TPaR).
+
+Classic VPR-style annealing: blocks are CLB clusters and I/O pads, the
+cost is the half-perimeter wirelength (HPWL) summed over nets, moves swap
+two blocks (or move one to a free site) of the same type, and the schedule
+starts hot enough to accept most moves, cooling geometrically until
+improvements dry up.
+
+Tunable (TCON) trees contribute placement nets spanning their leaf drivers
+and root readers, pulling the shared routing region together — placement's
+view of the paper's resource sharing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arch.device import DeviceGrid, TileType
+from repro.errors import PlacementError
+from repro.pack.tpack import PackedDesign
+from repro.util.rng import RngHub
+
+__all__ = ["Placement", "place_design"]
+
+
+@dataclass
+class _Block:
+    index: int
+    kind: str       # "clb" | "ipad" | "opad"
+    payload: int    # cluster index or signal id
+
+
+@dataclass
+class Placement:
+    """Result: block locations plus net bookkeeping."""
+
+    packed: PackedDesign
+    grid: DeviceGrid
+    blocks: list[_Block] = field(default_factory=list)
+    loc_of: dict[int, tuple[int, int, int]] = field(default_factory=dict)
+    """block index -> (x, y, subtile)."""
+    nets: list[list[int]] = field(default_factory=list)
+    """per net: [driver block, reader blocks...] (for cost)."""
+    net_signal: list[int] = field(default_factory=list)
+    cost: float = 0.0
+    moves_tried: int = 0
+    moves_accepted: int = 0
+
+    def cluster_site(self, cluster_index: int) -> tuple[int, int]:
+        for b in self.blocks:
+            if b.kind == "clb" and b.payload == cluster_index:
+                x, y, _ = self.loc_of[b.index]
+                return (x, y)
+        raise PlacementError(f"cluster {cluster_index} not placed")
+
+    def pad_site(self, signal: int, kind: str) -> tuple[int, int, int]:
+        for b in self.blocks:
+            if b.kind == kind and b.payload == signal:
+                return self.loc_of[b.index]
+        raise PlacementError(f"{kind} for signal {signal} not placed")
+
+    def hpwl(self) -> float:
+        return self.cost
+
+
+def _build_nets(packed: PackedDesign, blocks: list[_Block]) -> tuple[list[list[int]], list[int]]:
+    """Placement nets: driver block followed by reader blocks, per signal."""
+    physical = packed.physical
+    block_of_cluster = {
+        b.payload: b.index for b in blocks if b.kind == "clb"
+    }
+    block_of_ipad = {b.payload: b.index for b in blocks if b.kind == "ipad"}
+    block_of_opad = {b.payload: b.index for b in blocks if b.kind == "opad"}
+
+    def producer_block(sig: int) -> int | None:
+        c = packed.cluster_of_signal.get(sig)
+        if c is not None:
+            return block_of_cluster[c]
+        return block_of_ipad.get(sig)
+
+    readers: dict[int, set[int]] = {}
+    for c in packed.clusters:
+        blk = block_of_cluster[c.index]
+        for s in c.external_inputs():
+            readers.setdefault(s, set()).add(blk)
+    for s, blk in block_of_opad.items():
+        readers.setdefault(s, set()).add(blk)
+
+    nets: list[list[int]] = []
+    net_signal: list[int] = []
+    groups = physical.tunable_groups
+    for sig in sorted(readers):
+        if sig in groups:
+            # tunable tree: net spans every leaf producer and all readers
+            members: set[int] = set(readers[sig])
+            for leaf, _cond in groups[sig].options:
+                p = producer_block(leaf)
+                if p is None and leaf in groups:
+                    continue  # nested tree contributes through its own net
+                if p is None:
+                    raise PlacementError(
+                        f"tunable leaf {physical.signal_name(leaf)!r} has no producer"
+                    )
+                members.add(p)
+            nets.append(sorted(members))
+            net_signal.append(sig)
+            continue
+        p = producer_block(sig)
+        if p is None:
+            raise PlacementError(
+                f"signal {physical.signal_name(sig)!r} has no producer"
+            )
+        members = set(readers[sig]) | {p}
+        if len(members) > 1:
+            nets.append(sorted(members))
+            net_signal.append(sig)
+    return nets, net_signal
+
+
+def _net_hpwl(net: list[int], loc_of: dict[int, tuple[int, int, int]]) -> float:
+    xs = [loc_of[b][0] for b in net]
+    ys = [loc_of[b][1] for b in net]
+    return float(max(xs) - min(xs) + max(ys) - min(ys))
+
+
+def place_design(
+    packed: PackedDesign,
+    grid: DeviceGrid | None = None,
+    *,
+    seed: int = 2016,
+    effort: float = 4.0,
+    utilization: float = 0.7,
+) -> Placement:
+    """Anneal a placement for ``packed``; returns the final placement."""
+    physical = packed.physical
+
+    blocks: list[_Block] = []
+    for c in packed.clusters:
+        blocks.append(_Block(index=len(blocks), kind="clb", payload=c.index))
+    for s in physical.pi_signals:
+        blocks.append(_Block(index=len(blocks), kind="ipad", payload=s))
+    for s in physical.po_signals:
+        blocks.append(_Block(index=len(blocks), kind="opad", payload=s))
+
+    n_pads = sum(1 for b in blocks if b.kind != "clb")
+    if grid is None:
+        grid = DeviceGrid.for_design(
+            packed.arch,
+            n_clbs=max(1, packed.n_clusters),
+            n_pads=n_pads,
+            utilization=utilization,
+        )
+    if grid.n_clbs < packed.n_clusters or grid.n_pads < n_pads:
+        raise PlacementError(
+            f"device {grid!r} too small: need {packed.n_clusters} CLBs, "
+            f"{n_pads} pads"
+        )
+
+    rng = RngHub(seed).stream(f"place/{physical.network.name}")
+
+    clb_sites = [(x, y, 0) for (x, y) in grid.clb_positions()]
+    io_sites = [
+        (x, y, k)
+        for (x, y) in grid.io_positions()
+        for k in range(grid.spec.io_capacity)
+    ]
+
+    placement = Placement(packed=packed, grid=grid, blocks=blocks)
+    site_block: dict[tuple[int, int, int], int] = {}
+
+    clb_blocks = [b for b in blocks if b.kind == "clb"]
+    pad_blocks = [b for b in blocks if b.kind != "clb"]
+    for b, site in zip(clb_blocks, rng.permutation(len(clb_sites))[: len(clb_blocks)]):
+        placement.loc_of[b.index] = clb_sites[int(site)]
+        site_block[clb_sites[int(site)]] = b.index
+    for b, site in zip(pad_blocks, rng.permutation(len(io_sites))[: len(pad_blocks)]):
+        placement.loc_of[b.index] = io_sites[int(site)]
+        site_block[io_sites[int(site)]] = b.index
+
+    nets, net_signal = _build_nets(packed, blocks)
+    placement.nets = nets
+    placement.net_signal = net_signal
+
+    nets_of_block: dict[int, list[int]] = {}
+    for ni, net in enumerate(nets):
+        for b in net:
+            nets_of_block.setdefault(b, []).append(ni)
+
+    net_cost = np.array(
+        [_net_hpwl(net, placement.loc_of) for net in nets], dtype=np.float64
+    )
+    total = float(net_cost.sum())
+
+    def delta_for_move(moved: list[int]) -> tuple[float, dict[int, float]]:
+        affected: set[int] = set()
+        for b in moved:
+            affected.update(nets_of_block.get(b, ()))
+        updates: dict[int, float] = {}
+        d = 0.0
+        for ni in affected:
+            new = _net_hpwl(nets[ni], placement.loc_of)
+            d += new - net_cost[ni]
+            updates[ni] = new
+        return d, updates
+
+    sites_by_kind = {"clb": clb_sites, "io": io_sites}
+    movable = [b for b in blocks if nets_of_block.get(b.index)]
+    if not movable:
+        placement.cost = total
+        return placement
+
+    n_moves = max(64, int(effort * len(blocks) ** (4.0 / 3.0)))
+
+    # initial temperature: std of random move deltas
+    deltas = []
+    for _ in range(min(100, 10 * len(movable))):
+        b = movable[int(rng.integers(0, len(movable)))]
+        pool = sites_by_kind["clb" if b.kind == "clb" else "io"]
+        target = pool[int(rng.integers(0, len(pool)))]
+        old = placement.loc_of[b.index]
+        if target == old:
+            continue
+        other = site_block.get(target)
+        placement.loc_of[b.index] = target
+        if other is not None:
+            placement.loc_of[other] = old
+        d, _ = delta_for_move([b.index] + ([other] if other is not None else []))
+        placement.loc_of[b.index] = old
+        if other is not None:
+            placement.loc_of[other] = target
+        deltas.append(d)
+    temp = 20.0 * (float(np.std(deltas)) if deltas else 1.0) or 1.0
+
+    min_temp = 0.005 * max(1.0, total) / max(1, len(nets))
+    while temp > min_temp:
+        accepted = 0
+        for _ in range(n_moves):
+            b = movable[int(rng.integers(0, len(movable)))]
+            pool = sites_by_kind["clb" if b.kind == "clb" else "io"]
+            target = pool[int(rng.integers(0, len(pool)))]
+            old = placement.loc_of[b.index]
+            if target == old:
+                continue
+            other = site_block.get(target)
+            if other == b.index:
+                continue
+            # tentatively apply
+            placement.loc_of[b.index] = target
+            if other is not None:
+                placement.loc_of[other] = old
+            moved = [b.index] + ([other] if other is not None else [])
+            d, updates = delta_for_move(moved)
+            placement.moves_tried += 1
+            if d <= 0 or rng.random() < np.exp(-d / temp):
+                site_block[target] = b.index
+                if other is not None:
+                    site_block[old] = other
+                else:
+                    site_block.pop(old, None)
+                for ni, v in updates.items():
+                    net_cost[ni] = v
+                total += d
+                accepted += 1
+                placement.moves_accepted += 1
+            else:
+                placement.loc_of[b.index] = old
+                if other is not None:
+                    placement.loc_of[other] = target
+        rate = accepted / max(1, n_moves)
+        # VPR-style adaptive cooling: cool slowly in the productive window
+        if rate > 0.96:
+            temp *= 0.5
+        elif rate > 0.8:
+            temp *= 0.9
+        elif rate > 0.15:
+            temp *= 0.95
+        else:
+            temp *= 0.8
+
+    placement.cost = float(net_cost.sum())
+    return placement

@@ -1,0 +1,6 @@
+"""TRoute: PathFinder negotiated-congestion routing with tunable-net sharing."""
+
+from repro.route.pathfinder import PathFinder, ConnectionRequest
+from repro.route.troute import RoutingResult, route_design
+
+__all__ = ["PathFinder", "ConnectionRequest", "RoutingResult", "route_design"]

@@ -1,0 +1,70 @@
+"""Disjoint-set (union-find) over dense integer ids.
+
+Used by netlist transforms (net merging after constant propagation) and by
+the packer when coalescing connected logic into clusters.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DisjointSet"]
+
+
+class DisjointSet:
+    """Union-find with path halving and union by size.
+
+    >>> d = DisjointSet(5)
+    >>> d.union(0, 1); d.union(3, 4)
+    >>> d.find(1) == d.find(0)
+    True
+    >>> d.find(2) in (2,)
+    True
+    >>> d.n_sets
+    3
+    """
+
+    __slots__ = ("_parent", "_size", "n_sets")
+
+    def __init__(self, n: int) -> None:
+        self._parent = list(range(n))
+        self._size = [1] * n
+        self.n_sets = n
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def add(self) -> int:
+        """Add a new singleton element, returning its id."""
+        idx = len(self._parent)
+        self._parent.append(idx)
+        self._size.append(1)
+        self.n_sets += 1
+        return idx
+
+    def find(self, x: int) -> int:
+        parent = self._parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]  # path halving
+            x = parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> int:
+        """Merge the sets of ``a`` and ``b``; return the surviving root."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        self.n_sets -= 1
+        return ra
+
+    def same(self, a: int, b: int) -> bool:
+        return self.find(a) == self.find(b)
+
+    def groups(self) -> dict[int, list[int]]:
+        """Map each root to the sorted list of its members."""
+        out: dict[int, list[int]] = {}
+        for x in range(len(self._parent)):
+            out.setdefault(self.find(x), []).append(x)
+        return out

@@ -1,0 +1,89 @@
+"""ASCII table rendering used by the experiment reports.
+
+The benchmark harness regenerates the paper's tables as plain text; this
+module provides a minimal, dependency-free table formatter with alignment
+control and optional CSV export.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, Sequence
+
+__all__ = ["TextTable"]
+
+
+class TextTable:
+    """A simple column-aligned text table.
+
+    >>> t = TextTable(["name", "luts"], aligns="lr")
+    >>> t.add_row(["stereov.", 190])
+    >>> t.add_row(["clma", 7707])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    name     | luts
+    ---------+-----
+    stereov. |  190
+    clma     | 7707
+    """
+
+    def __init__(self, headers: Sequence[str], aligns: str | None = None) -> None:
+        self.headers = [str(h) for h in headers]
+        if aligns is None:
+            aligns = "l" * len(self.headers)
+        if len(aligns) != len(self.headers):
+            raise ValueError("aligns must have one character per column")
+        if any(a not in "lrc" for a in aligns):
+            raise ValueError("aligns characters must be one of 'l', 'r', 'c'")
+        self.aligns = aligns
+        self.rows: list[list[str]] = []
+
+    def add_row(self, row: Iterable[object]) -> None:
+        cells = [self._fmt(c) for c in row]
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(cells)
+
+    @staticmethod
+    def _fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3f}" if abs(cell) < 1000 else f"{cell:.1f}"
+        return str(cell)
+
+    def _widths(self) -> list[int]:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        return widths
+
+    @staticmethod
+    def _pad(text: str, width: int, align: str) -> str:
+        if align == "l":
+            return text.ljust(width)
+        if align == "r":
+            return text.rjust(width)
+        return text.center(width)
+
+    def render(self) -> str:
+        """Render the table with a header separator line."""
+        widths = self._widths()
+        out = io.StringIO()
+        header = " | ".join(
+            self._pad(h, w, "l") for h, w in zip(self.headers, widths)
+        )
+        out.write(header.rstrip() + "\n")
+        out.write("-+-".join("-" * w for w in widths) + "\n")
+        for row in self.rows:
+            line = " | ".join(
+                self._pad(c, w, a) for c, w, a in zip(row, widths, self.aligns)
+            )
+            out.write(line.rstrip() + "\n")
+        return out.getvalue().rstrip("\n")
+
+    def render_csv(self) -> str:
+        """Render as comma-separated values (no quoting — cells are simple)."""
+        lines = [",".join(self.headers)]
+        lines.extend(",".join(row) for row in self.rows)
+        return "\n".join(lines)

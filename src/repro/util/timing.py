@@ -1,0 +1,95 @@
+"""Wall-clock instrumentation for flow phases.
+
+The compile-time experiment (§V-C.1 of the paper) compares place-and-route
+runtimes between the conventional and parameterized flows, so the flow
+orchestrators time every phase with :class:`PhaseTimer` and report a
+breakdown.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["Stopwatch", "PhaseTimer"]
+
+
+class Stopwatch:
+    """A resettable wall-clock stopwatch based on ``perf_counter``.
+
+    >>> sw = Stopwatch()
+    >>> sw.start()
+    >>> _ = sum(range(1000))
+    >>> sw.stop() >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._t0: float | None = None
+        self.elapsed: float = 0.0
+
+    def start(self) -> "Stopwatch":
+        self._t0 = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop and return the elapsed seconds since :meth:`start`."""
+        if self._t0 is None:
+            raise RuntimeError("Stopwatch.stop() called before start()")
+        self.elapsed = time.perf_counter() - self._t0
+        self._t0 = None
+        return self.elapsed
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+
+@dataclass
+class PhaseTimer:
+    """Accumulates wall-clock time per named phase.
+
+    >>> pt = PhaseTimer()
+    >>> with pt.phase("map"):
+    ...     _ = sum(range(100))
+    >>> with pt.phase("route"):
+    ...     _ = sum(range(100))
+    >>> set(pt.totals) == {"map", "route"}
+    True
+    """
+
+    totals: dict[str, float] = field(default_factory=dict)
+    counts: dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            dt = time.perf_counter() - t0
+            self.totals[name] = self.totals.get(name, 0.0) + dt
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def total(self) -> float:
+        """Sum of all phase times in seconds."""
+        return sum(self.totals.values())
+
+    def merge(self, other: "PhaseTimer") -> None:
+        """Fold another timer's accumulators into this one."""
+        for k, v in other.totals.items():
+            self.totals[k] = self.totals.get(k, 0.0) + v
+        for k, c in other.counts.items():
+            self.counts[k] = self.counts.get(k, 0) + c
+
+    def report(self) -> str:
+        """Human-readable multi-line breakdown, longest phase first."""
+        lines = []
+        for name, secs in sorted(self.totals.items(), key=lambda kv: -kv[1]):
+            lines.append(f"{name:<24s} {secs:10.4f} s  (x{self.counts[name]})")
+        lines.append(f"{'TOTAL':<24s} {self.total():10.4f} s")
+        return "\n".join(lines)

@@ -1,0 +1,27 @@
+"""Benchmark workloads.
+
+The paper evaluates on ISCAS89 and VTR benchmark netlists, which are not
+redistributable here.  This package generates *synthetic stand-ins* with the
+same published structural statistics (gate count, logic depth, latch count,
+I/O width) per benchmark, deterministically from a seed — see DESIGN.md §2
+for why this substitution preserves the experiments' behaviour.
+"""
+
+from repro.workloads.suites import (
+    BenchmarkSpec,
+    PAPER_SUITE,
+    paper_suite,
+    get_spec,
+)
+from repro.workloads.generator import generate_circuit
+from repro.workloads.perturb import inject_bug, InjectedBug
+
+__all__ = [
+    "BenchmarkSpec",
+    "PAPER_SUITE",
+    "paper_suite",
+    "get_spec",
+    "generate_circuit",
+    "inject_bug",
+    "InjectedBug",
+]

@@ -1,0 +1,111 @@
+"""Functional bug injection.
+
+The debug-loop examples and fault-injection tests need circuits with a known
+RTL-style bug: a gate whose function differs subtly from the golden design.
+:func:`inject_bug` mutates one gate and records enough information to check
+later whether a debug session actually localized it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.netlist.network import LogicNetwork, NodeKind
+from repro.netlist.truthtable import TruthTable
+
+__all__ = ["InjectedBug", "inject_bug", "BUG_KINDS"]
+
+BUG_KINDS = ("flip_entry", "swap_fanins", "wrong_polarity", "stuck_at")
+
+
+@dataclass(frozen=True)
+class InjectedBug:
+    """Record of a mutation applied to a network."""
+
+    node: int
+    node_name: str
+    kind: str
+    description: str
+    original_func: TruthTable
+
+
+def inject_bug(
+    net: LogicNetwork,
+    rng: np.random.Generator,
+    *,
+    kind: str | None = None,
+    node: int | None = None,
+) -> InjectedBug:
+    """Mutate one gate of ``net`` in place and return the bug record.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`BUG_KINDS`; random if omitted.
+    node:
+        Specific gate to corrupt; a random multi-input gate if omitted.
+
+    The mutation is guaranteed to change the gate's local function (callers
+    that need an *observable* failure should verify against a testbench —
+    not every local change propagates to an output on every stimulus, which
+    is exactly why debugging needs internal observability).
+    """
+    gates = [
+        g
+        for g in net.gates()
+        if len(net.fanins(g)) >= 1 and not (net.func(g) or TruthTable.const(0)).is_const()
+    ]
+    if not gates:
+        raise WorkloadError("network has no mutable gates")
+    if node is None:
+        node = gates[int(rng.integers(0, len(gates)))]
+    elif net.kind(node) != NodeKind.GATE:
+        raise WorkloadError(f"node {node} is not a gate")
+    if kind is None:
+        kind = BUG_KINDS[int(rng.integers(0, len(BUG_KINDS)))]
+
+    func = net.func(node)
+    assert func is not None
+    fanins = net.fanins(node)
+    name = net.node_name(node)
+
+    if kind == "flip_entry":
+        pos = int(rng.integers(0, 1 << func.n_vars))
+        new = TruthTable(func.n_vars, func.bits ^ (1 << pos))
+        desc = f"flipped truth-table entry {pos} of {name}"
+    elif kind == "swap_fanins" and len(fanins) >= 2:
+        i, j = 0, 1 + int(rng.integers(0, len(fanins) - 1))
+        mapping = list(range(func.n_vars))
+        mapping[i], mapping[j] = mapping[j], mapping[i]
+        new = func.permute(mapping)
+        if new == func:  # symmetric function — fall back to an entry flip
+            return inject_bug(net, rng, kind="flip_entry", node=node)
+        desc = f"swapped fan-ins {i} and {j} of {name}"
+    elif kind == "wrong_polarity":
+        var = int(rng.integers(0, func.n_vars))
+        # complement one input: f'(.., x, ..) = f(.., ~x, ..)
+        c0 = func.cofactor(var, 0)
+        c1 = func.cofactor(var, 1)
+        v = TruthTable.var(var, func.n_vars)
+        new = (v & c0) | (~v & c1)
+        if new == func:
+            return inject_bug(net, rng, kind="flip_entry", node=node)
+        desc = f"inverted polarity of fan-in {var} of {name}"
+    elif kind == "stuck_at":
+        value = int(rng.integers(0, 2))
+        new = TruthTable.const(value, func.n_vars)
+        desc = f"{name} stuck at {value}"
+    else:
+        return inject_bug(net, rng, kind="flip_entry", node=node)
+
+    net.rewire(node, fanins, new)
+    return InjectedBug(
+        node=node,
+        node_name=name,
+        kind=kind,
+        description=desc,
+        original_func=func,
+    )

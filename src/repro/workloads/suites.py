@@ -1,0 +1,124 @@
+"""The paper's benchmark suite, as structural specifications.
+
+Table I of the paper lists gate counts (#Gate) and Table II the mapped logic
+depth ("Golden") for eight circuits drawn from the ISCAS89 and VTR suites.
+The specs below pin those published values; latch and I/O counts come from
+the public descriptions of the original benchmarks (VTR 7.0 and ISCAS89
+documentation) and only influence results through second-order structure.
+
+``gate_depth_target`` is the *gate-level* depth the generator aims for; it
+was calibrated so that mapping the generated circuit with the ABC-style
+K=6 mapper lands close to the paper's Golden depth (see
+``tests/test_workloads.py::test_golden_depth_shape``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BenchmarkSpec", "PAPER_SUITE", "paper_suite", "get_spec"]
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Structural recipe for one synthetic benchmark circuit."""
+
+    name: str
+    n_gates: int
+    """Published #Gate count (Table I, column 2)."""
+    golden_depth: int
+    """Published mapped depth (Table II, column 'Golden')."""
+    paper_initial_luts: int
+    """Published 'Initial' LUT count (Table I) — reporting reference only."""
+    paper_sm_luts: int
+    paper_abc_luts: int
+    paper_proposed_luts: int
+    paper_tluts: int
+    paper_tcons: int
+    n_latches: int
+    n_pis: int
+    n_pos: int
+    gate_depth_target: int
+    """Gate-level depth the generator builds (calibrated per benchmark so
+    the ABC-mapped depth reproduces ``golden_depth``)."""
+    seed_salt: str = ""
+
+    @property
+    def is_sequential(self) -> bool:
+        return self.n_latches > 0
+
+
+def _spec(
+    name: str,
+    n_gates: int,
+    golden: int,
+    initial: int,
+    sm: int,
+    abc: int,
+    proposed: int,
+    tluts: int,
+    tcons: int,
+    latches: int,
+    pis: int,
+    pos: int,
+    gate_depth: int,
+) -> BenchmarkSpec:
+    return BenchmarkSpec(
+        name=name,
+        n_gates=n_gates,
+        golden_depth=golden,
+        paper_initial_luts=initial,
+        paper_sm_luts=sm,
+        paper_abc_luts=abc,
+        paper_proposed_luts=proposed,
+        paper_tluts=tluts,
+        paper_tcons=tcons,
+        n_latches=latches,
+        n_pis=pis,
+        n_pos=pos,
+        gate_depth_target=gate_depth,
+        seed_salt=name,
+    )
+
+
+#: The eight benchmarks of Tables I/II with their published numbers.
+#: ``gate_depth`` (last column) was calibrated by binary search so that the
+#: ABC-style K=6 mapping of the generated circuit reproduces the paper's
+#: Golden depth (Table II) exactly — see tools/calibrate_depth.py.
+PAPER_SUITE: dict[str, BenchmarkSpec] = {
+    s.name: s
+    for s in [
+        # name        #Gate golden Init   SM     ABC    Prop  TLUT  TCON  FF    PI   PO  gateD
+        _spec("stereov.", 215, 4, 208, 553, 590, 190, 8, 332, 0, 58, 32, 8),
+        _spec("diffeq2", 419, 14, 422, 1719, 1819, 325, 2, 712, 65, 32, 32, 37),
+        _spec("diffeq1", 582, 15, 575, 2556, 2659, 491, 4, 1065, 97, 64, 64, 41),
+        _spec("clma", 8381, 11, 4461, 23694, 23219, 7707, 1252, 7935, 33, 382, 82, 21),
+        _spec("or1200", 3136, 27, 3084, 9769, 10958, 3004, 9, 2986, 691, 385, 394, 73),
+        _spec("frisc", 6002, 14, 2747, 11517, 11412, 5881, 2333, 4910, 886, 20, 116, 29),
+        _spec("s38417", 6096, 7, 3462, 20695, 21040, 6204, 1495, 5597, 1636, 28, 106, 13),
+        _spec("s38584", 6281, 7, 2906, 20687, 21032, 6204, 1495, 5597, 1426, 38, 304, 13),
+    ]
+}
+
+
+def paper_suite(small_only: bool = False) -> list[BenchmarkSpec]:
+    """The suite in Table I/II order; ``small_only`` keeps circuits <1000 gates.
+
+    The compile-time experiment (§V-C.1) is run on "small designs" in the
+    paper; ``small_only=True`` selects the same subset (stereov., diffeq2,
+    diffeq1).
+    """
+    specs = list(PAPER_SUITE.values())
+    if small_only:
+        specs = [s for s in specs if s.n_gates < 1000]
+    return specs
+
+
+def get_spec(name: str) -> BenchmarkSpec:
+    """Look up a benchmark spec by its Table I name."""
+    try:
+        return PAPER_SUITE[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; known: {sorted(PAPER_SUITE)}"
+        ) from None

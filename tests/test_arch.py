@@ -1,0 +1,171 @@
+"""Architecture model: spec, grid, routing graph, config layout."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch import (
+    ArchSpec,
+    DeviceGrid,
+    RRNodeType,
+    TileType,
+    build_config_layout,
+    build_rr_graph,
+)
+from repro.errors import ArchitectureError
+
+
+SMALL = ArchSpec(k=4, n_ble=2, n_cluster_inputs=6, channel_width=8, io_capacity=2)
+
+
+class TestSpec:
+    def test_defaults_valid(self):
+        ArchSpec()
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"k": 1},
+            {"n_ble": 0},
+            {"n_cluster_inputs": 2},
+            {"channel_width": 1},
+            {"fc_in": 0.0},
+            {"fc_out": 1.5},
+            {"io_capacity": 0},
+            {"switch_fanout": 0},
+        ],
+    )
+    def test_invalid(self, kw):
+        with pytest.raises(ArchitectureError):
+            ArchSpec(**kw)
+
+    def test_lut_bits(self):
+        assert ArchSpec(k=6).lut_bits == 64
+
+    def test_select_width_covers_codes(self):
+        s = ArchSpec()
+        assert (s.n_cluster_inputs + s.n_ble + 1) < (1 << s.ble_select_bits)
+
+    def test_clb_config_bits_positive(self):
+        assert ArchSpec().clb_config_bits() > 0
+
+
+class TestGrid:
+    def test_tile_types(self):
+        g = DeviceGrid(SMALL, 2)
+        assert g.tile_type(0, 0) == TileType.EMPTY
+        assert g.tile_type(1, 0) == TileType.IO
+        assert g.tile_type(1, 1) == TileType.CLB
+
+    def test_out_of_range(self):
+        g = DeviceGrid(SMALL, 2)
+        with pytest.raises(ArchitectureError):
+            g.tile_type(99, 0)
+
+    def test_counts(self):
+        g = DeviceGrid(SMALL, 3)
+        assert g.n_clbs == 9
+        assert g.n_io_tiles == 12
+        assert len(g.clb_positions()) == 9
+        assert len(g.io_positions()) == 12
+
+    def test_for_design_fits(self):
+        g = DeviceGrid.for_design(SMALL, n_clbs=5, n_pads=10)
+        assert g.n_clbs * 0.7 >= 5 or g.n_clbs >= 5
+        assert g.n_pads >= 10
+
+    def test_for_design_io_limited(self):
+        g = DeviceGrid.for_design(SMALL, n_clbs=1, n_pads=40)
+        assert g.n_pads >= 40
+
+
+class TestRRGraph:
+    @pytest.fixture(scope="class")
+    def rr(self):
+        return build_rr_graph(DeviceGrid(SMALL, 2))
+
+    def test_node_counts(self, rr):
+        assert rr.n_nodes > 0 and rr.n_edges > 0
+        # every CLB has its pins
+        for (x, y) in rr.grid.clb_positions():
+            assert (x, y) in rr.sink_of
+            assert len(rr.ipins_of[(x, y)]) == SMALL.n_cluster_inputs
+
+    def test_edges_within_range(self, rr):
+        assert int(rr.edge_dst.max()) < rr.n_nodes
+        assert rr.edge_offsets[-1] == rr.n_edges
+
+    def test_opins_drive_wires_only(self, rr):
+        for (x, y) in rr.grid.clb_positions():
+            for b in range(SMALL.n_ble):
+                _eidx, dsts = rr.out_edges(rr.opin_of[(x, y, b)])
+                for d in dsts:
+                    assert rr.is_wire(int(d))
+
+    def test_ipins_feed_their_sink(self, rr):
+        for (x, y) in rr.grid.clb_positions():
+            sink = rr.sink_of[(x, y)]
+            for ip in rr.ipins_of[(x, y)]:
+                _e, dsts = rr.out_edges(ip)
+                assert sink in dsts.tolist()
+
+    def test_programmable_flags(self, rr):
+        # SOURCE->OPIN edges are hardwired
+        src = rr.source_of[(1, 1, 0)]
+        eidx, dsts = rr.out_edges(src)
+        assert not rr.edge_programmable[eidx].any()
+
+    def test_wires_have_switch_edges(self, rr):
+        some_wire = next(iter(rr.chanx_id.values()))
+        eidx, dsts = rr.out_edges(some_wire)
+        assert len(dsts) > 0
+
+    def test_source_capacity_high(self, rr):
+        src = rr.source_of[(1, 1, 0)]
+        assert rr.capacity[src] > 1
+
+    def test_edge_src_array_consistent(self, rr):
+        src = rr.edge_src_array()
+        for node in (rr.sink_of[(1, 1)], rr.opin_of[(1, 1, 0)]):
+            eidx, _ = rr.out_edges(node)
+            for e in eidx:
+                assert src[e] == node
+
+
+class TestConfigLayout:
+    @pytest.fixture(scope="class")
+    def layout(self):
+        rr = build_rr_graph(DeviceGrid(SMALL, 2))
+        return build_config_layout(rr, frame_bits=128)
+
+    def test_every_ble_has_cells(self, layout):
+        for (x, y) in layout.grid.clb_positions():
+            for b in range(SMALL.n_ble):
+                assert (x, y, b) in layout.lut_base
+                assert (x, y, b) in layout.ble_ctrl
+
+    def test_addresses_unique(self, layout):
+        seen = set()
+        for base in layout.lut_base.values():
+            for i in range(SMALL.lut_bits):
+                assert base + i not in seen
+                seen.add(base + i)
+        for bit in layout.switch_bit.values():
+            assert bit not in seen
+            seen.add(bit)
+
+    def test_frames_cover_bits(self, layout):
+        assert layout.n_frames * layout.frame_bits >= layout.n_bits
+
+    def test_column_frames_disjoint(self, layout):
+        claimed: set[int] = set()
+        for x in range(layout.grid.width):
+            frames = set(layout.frames_of_column(x))
+            assert not (frames & claimed)
+            claimed |= frames
+
+    def test_frame_of_bit(self, layout):
+        assert layout.frame_of_bit(0) == 0
+        with pytest.raises(Exception):
+            layout.frame_of_bit(layout.n_bits + 1)

@@ -1,0 +1,166 @@
+"""Boolean functions of parameters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.boolfunc import (
+    BoolExpr,
+    bf_and,
+    bf_conj,
+    bf_const,
+    bf_mux,
+    bf_not,
+    bf_or,
+    bf_var,
+    bf_xor,
+    mutually_exclusive,
+)
+
+
+def exprs(depth: int = 3, n_vars: int = 6):
+    base = st.one_of(
+        st.integers(0, n_vars - 1).map(bf_var),
+        st.sampled_from([bf_const(0), bf_const(1)]),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(children, children).map(lambda ab: bf_and(*ab)),
+            st.tuples(children, children).map(lambda ab: bf_or(*ab)),
+            st.tuples(children, children).map(lambda ab: bf_xor(*ab)),
+            children.map(bf_not),
+        )
+
+    return st.recursive(base, extend, max_leaves=8)
+
+
+def brute_equal(a: BoolExpr, b: BoolExpr, n_vars: int = 6) -> bool:
+    vec = np.zeros(n_vars, dtype=np.uint8)
+    for point in range(1 << n_vars):
+        for i in range(n_vars):
+            vec[i] = (point >> i) & 1
+        if a.evaluate(vec) != b.evaluate(vec):
+            return False
+    return True
+
+
+class TestConstructors:
+    def test_const_folding(self):
+        assert (bf_var(0) & bf_const(0)).is_const()
+        assert (bf_var(0) | bf_const(1)).is_const()
+        assert bf_not(bf_const(1)).value == 0
+
+    def test_double_negation(self):
+        assert bf_not(bf_not(bf_var(2))) is bf_var(2)
+
+    def test_interning(self):
+        assert bf_var(3) is bf_var(3)
+        assert bf_and(bf_var(0), bf_var(1)) is bf_and(bf_var(0), bf_var(1))
+
+    def test_contradiction_collapses(self):
+        assert bf_and(bf_var(0), bf_not(bf_var(0))).value == 0
+        assert bf_or(bf_var(0), bf_not(bf_var(0))).value == 1
+
+    def test_xor_cancellation(self):
+        assert bf_xor(bf_var(1), bf_var(1)).is_const()
+        e = bf_xor(bf_var(1), bf_const(1))
+        assert e.op == "not"
+
+    def test_negative_var_rejected(self):
+        with pytest.raises(Exception):
+            bf_var(-1)
+
+    def test_conj(self):
+        e = bf_conj([(0, 1), (2, 0)])
+        assert e.evaluate({0: 1, 2: 0}) == 1
+        assert e.evaluate({0: 1, 2: 1}) == 0
+        assert bf_conj([]).value == 1
+
+
+class TestEvaluation:
+    @given(exprs(), st.integers(0, 63))
+    def test_eval_matches_semantics(self, e, point):
+        vec = np.array([(point >> i) & 1 for i in range(6)], dtype=np.uint8)
+
+        def semantics(x: BoolExpr) -> int:
+            if x.op == "const":
+                return x.value
+            if x.op == "var":
+                return int(vec[x.var])
+            if x.op == "not":
+                return 1 - semantics(x.args[0])
+            vals = [semantics(a) for a in x.args]
+            if x.op == "and":
+                return int(all(vals))
+            if x.op == "or":
+                return int(any(vals))
+            acc = 0
+            for v in vals:
+                acc ^= v
+            return acc
+
+        assert e.evaluate(vec) == semantics(e)
+
+    @given(exprs())
+    def test_support_sound(self, e):
+        # flipping a variable outside the support never changes the result
+        vec = np.zeros(6, dtype=np.uint8)
+        base = e.evaluate(vec)
+        for i in range(6):
+            if i in e.support():
+                continue
+            vec2 = vec.copy()
+            vec2[i] = 1
+            assert e.evaluate(vec2) == base
+
+    def test_n_nodes_counts_shared_once(self):
+        # and-flattening inlines `shared` into two flat 3-ary ANDs:
+        # or + and(p0,p1,p2) + and(p0,p1,p3) + 4 shared var nodes = 7
+        shared = bf_and(bf_var(0), bf_var(1))
+        e = bf_or(bf_and(shared, bf_var(2)), bf_and(shared, bf_var(3)))
+        assert e.n_nodes() == 7
+
+    def test_mux(self):
+        m = bf_mux(bf_var(2), bf_var(0), bf_var(1))
+        assert m.evaluate({0: 1, 1: 0, 2: 0}) == 1
+        assert m.evaluate({0: 1, 1: 0, 2: 1}) == 0
+
+
+class TestMutualExclusivity:
+    def test_conflicting_conjunctions(self):
+        a = bf_conj([(0, 1), (1, 0)])
+        b = bf_conj([(0, 0)])
+        assert mutually_exclusive(a, b)
+
+    def test_compatible_conjunctions(self):
+        a = bf_conj([(0, 1)])
+        b = bf_conj([(1, 1)])
+        assert not mutually_exclusive(a, b)
+
+    def test_const_false_excludes_everything(self):
+        assert mutually_exclusive(bf_const(0), bf_var(3))
+
+    def test_general_expressions(self):
+        a = bf_xor(bf_var(0), bf_var(1))      # true iff v0 != v1
+        b = bf_and(bf_var(0), bf_var(1))      # true iff both
+        assert mutually_exclusive(a, b)
+
+    def test_overlapping_general(self):
+        a = bf_or(bf_var(0), bf_var(1))
+        b = bf_var(0)
+        assert not mutually_exclusive(a, b)
+
+    @given(exprs(), exprs())
+    def test_exclusivity_matches_brute_force(self, a, b):
+        expected = True
+        vec = np.zeros(6, dtype=np.uint8)
+        for point in range(64):
+            for i in range(6):
+                vec[i] = (point >> i) & 1
+            if a.evaluate(vec) and b.evaluate(vec):
+                expected = False
+                break
+        assert mutually_exclusive(a, b) == expected

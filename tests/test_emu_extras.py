@@ -1,0 +1,101 @@
+"""Fault injection and VCD export."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.emu.fault import FaultInjector
+from repro.emu.vcd import VcdWriter, write_vcd
+from repro.errors import DebugFlowError, SimulationError
+
+ONES = np.array([np.uint64(0xFFFFFFFFFFFFFFFF)], dtype=np.uint64)
+ZERO = np.array([np.uint64(0)], dtype=np.uint64)
+
+
+class TestFaultInjector:
+    def test_stuck_at_changes_output(self, tiny_comb):
+        net = tiny_comb
+        clean = FaultInjector(net)
+        faulty = FaultInjector(net)
+        faulty.stuck_at("w", 0)
+        stim = {
+            net.require("x"): ONES,
+            net.require("y"): ZERO,
+            net.require("z"): ONES,
+        }
+        v_clean = clean.step(stim)
+        v_faulty = faulty.step(stim)
+        assert v_clean[net.require("out1")][0] != v_faulty[net.require("out1")][0]
+
+    def test_fault_window(self, tiny_comb):
+        net = tiny_comb
+        fi = FaultInjector(net)
+        fi.stuck_at("w", 0, first_cycle=1, last_cycle=1)
+        stim = {
+            net.require("x"): ONES,
+            net.require("y"): ZERO,
+            net.require("z"): ONES,
+        }
+        first = fi.step(stim)[net.require("out1")][0]
+        second = fi.step(stim)[net.require("out1")][0]
+        third = fi.step(stim)[net.require("out1")][0]
+        assert first == third and second != first
+
+    def test_clear(self, tiny_comb):
+        fi = FaultInjector(tiny_comb)
+        fi.stuck_at("w", 1)
+        fi.clear()
+        assert fi._faults == []
+
+    def test_unknown_signal(self, tiny_comb):
+        with pytest.raises(SimulationError):
+            FaultInjector(tiny_comb).stuck_at("ghost", 0)
+
+    def test_bad_value(self, tiny_comb):
+        with pytest.raises(SimulationError):
+            FaultInjector(tiny_comb).stuck_at("w", 2)
+
+
+class TestVcd:
+    def test_header_and_changes(self):
+        w = VcdWriter(["sig_a", "sig_b"])
+        w.sample({"sig_a": 0, "sig_b": 1})
+        w.sample({"sig_a": 1, "sig_b": 1})
+        text = w.render()
+        assert "$timescale 1 ns $end" in text
+        assert "$var wire 1" in text
+        assert "#1" in text
+
+    def test_no_signals_rejected(self):
+        with pytest.raises(DebugFlowError):
+            VcdWriter([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(DebugFlowError):
+            VcdWriter(["a", "a"])
+
+    def test_write_vcd_file(self, tmp_path):
+        path = str(tmp_path / "x.vcd")
+        write_vcd(
+            {"a": np.array([0, 1, 1]), "b": np.array([1, 1, 0])}, path
+        )
+        with open(path) as fh:
+            content = fh.read()
+        assert "$enddefinitions" in content
+
+    def test_write_vcd_length_mismatch(self, tmp_path):
+        with pytest.raises(DebugFlowError):
+            write_vcd(
+                {"a": np.array([0]), "b": np.array([0, 1])},
+                str(tmp_path / "y.vcd"),
+            )
+
+    def test_write_vcd_empty(self, tmp_path):
+        with pytest.raises(DebugFlowError):
+            write_vcd({}, str(tmp_path / "z.vcd"))
+
+    def test_identifiers_unique_for_many_signals(self):
+        names = [f"s{i}" for i in range(200)]
+        w = VcdWriter(names)
+        assert len(set(w._ids.values())) == 200

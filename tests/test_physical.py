@@ -1,0 +1,165 @@
+"""Pack, place, route on real designs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import ArchSpec
+from repro.core.muxnet import build_trace_network
+from repro.errors import PackingError
+from repro.mapping import AbcMap, TconMap
+from repro.pack import build_atoms, pack_design
+from repro.place import place_design
+from repro.route import route_design
+from repro.route.pathfinder import ConnectionRequest, PathFinder
+
+
+ARCH = ArchSpec(k=6, n_ble=4, n_cluster_inputs=14, channel_width=24, io_capacity=4)
+
+
+@pytest.fixture(scope="module")
+def flow(request):
+    """mapping + instrumentation + packing + placement + routing for tiny."""
+    from repro.netlist import parse_blif
+    from tests.conftest import TINY_SEQ_BLIF
+
+    net = parse_blif(TINY_SEQ_BLIF)
+    instr = build_trace_network(net, n_buffer_inputs=2)
+    mapping = TconMap(params=instr.param_ids, taps=set(instr.taps)).map(
+        instr.network
+    )
+    physical = build_atoms(mapping, instr)
+    packed = pack_design(physical, ARCH)
+    placement = place_design(packed, seed=1)
+    routing = route_design(placement)
+    return instr, mapping, physical, packed, placement, routing
+
+
+class TestAtoms:
+    def test_luts_and_ffs_lowered(self, flow):
+        instr, mapping, physical, *_ = flow
+        lut_atoms = [a for a in physical.atoms if a.kind == "lut"]
+        ff_atoms = [a for a in physical.atoms if a.kind == "ff"]
+        assert len(lut_atoms) == mapping.n_luts
+        assert len(ff_atoms) == instr.network.n_latches
+
+    def test_params_not_signals(self, flow):
+        instr, _m, physical, *_ = flow
+        for p in instr.param_ids:
+            assert p not in physical.pi_signals
+
+    def test_tunable_groups_exclusive(self, flow):
+        from repro.core.boolfunc import mutually_exclusive
+
+        _i, _m, physical, *_ = flow
+        for group in physical.tunable_groups.values():
+            opts = group.options
+            for i in range(len(opts)):
+                for j in range(i + 1, len(opts)):
+                    assert mutually_exclusive(opts[i][1], opts[j][1])
+
+    def test_tcons_without_space_rejected(self, flow):
+        _i, mapping, *_ = flow
+        if mapping.tcons:
+            with pytest.raises(PackingError):
+                build_atoms(mapping, None)
+
+
+class TestPacking:
+    def test_cluster_limits(self, flow):
+        packed = flow[3]
+        for c in packed.clusters:
+            assert len(c.bles) <= ARCH.n_ble
+            assert len(c.external_inputs()) <= ARCH.n_cluster_inputs
+
+    def test_all_atoms_packed(self, flow):
+        physical, packed = flow[2], flow[3]
+        packed_outputs = set()
+        for c in packed.clusters:
+            for b in c.bles:
+                packed_outputs |= b.internal_signals
+        for a in physical.atoms:
+            assert a.output in packed_outputs
+
+    def test_signal_produced_once(self, flow):
+        packed = flow[3]
+        assert len(packed.cluster_of_signal) >= packed.n_bles
+
+    def test_stats(self, flow):
+        packed = flow[3]
+        st = packed.stats()
+        assert 0 < st["avg_fill"] <= 1.0
+
+
+class TestPlacement:
+    def test_all_blocks_placed_on_valid_sites(self, flow):
+        placement = flow[4]
+        grid = placement.grid
+        seen = set()
+        for b in placement.blocks:
+            loc = placement.loc_of[b.index]
+            assert loc not in seen
+            seen.add(loc)
+            x, y, _sub = loc
+            tt = grid.tile_type(x, y)
+            assert tt.name == ("CLB" if b.kind == "clb" else "IO")
+
+    def test_deterministic(self, flow):
+        packed = flow[3]
+        p1 = place_design(packed, seed=3)
+        p2 = place_design(packed, seed=3)
+        assert p1.loc_of == p2.loc_of
+
+    def test_seed_matters(self, flow):
+        packed = flow[3]
+        p1 = place_design(packed, seed=3)
+        p2 = place_design(packed, seed=4)
+        assert p1.loc_of != p2.loc_of
+
+    def test_cost_positive(self, flow):
+        assert flow[4].cost >= 0.0
+
+
+class TestRouting:
+    def test_no_overuse(self, flow):
+        routing = flow[5]
+        rr = routing.rr
+        from collections import defaultdict
+
+        users = defaultdict(set)
+        for c in routing.connections:
+            for n in c.tree.nodes:
+                users[n].add(c.request.key)
+        for n, keys in users.items():
+            assert len(keys) <= int(rr.capacity[n]), rr.node_str(n)
+
+    def test_trees_reach_their_sinks(self, flow):
+        routing = flow[5]
+        for c in routing.connections:
+            assert set(c.request.sinks) == set(c.tree.sink_paths)
+            for sink, path in c.tree.sink_paths.items():
+                assert path[-1] == sink
+
+    def test_sharing_saves_wires(self, flow):
+        routing = flow[5]
+        assert routing.total_wires_used() <= routing.total_wire_visits()
+
+    def test_switch_conditions(self, flow):
+        routing = flow[5]
+        switches = routing.used_switch_edges()
+        assert len(switches) > 0
+        for e in switches:
+            assert routing.rr.edge_programmable[e]
+
+    def test_unroutable_raises(self, flow):
+        routing = flow[5]
+        rr = routing.rr
+        pf = PathFinder(rr, max_iterations=1)
+        # two different keys forced through a single-capacity sink
+        some_clb = next(iter(rr.sink_of.values()))
+        src1 = next(iter(rr.pad_source.values()))
+        reqs = [
+            ConnectionRequest(0, 1, src1, (some_clb,)),
+        ]
+        trees = pf.route(reqs)  # one net is fine
+        assert 0 in trees

@@ -1,0 +1,133 @@
+"""Bit-parallel simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.netlist import (
+    SequentialSimulator,
+    check_equivalent,
+    parse_blif,
+    random_stimulus,
+    simulate_combinational,
+)
+from repro.netlist.transforms import cleanup
+
+ONES = np.array([np.uint64(0xFFFFFFFFFFFFFFFF)], dtype=np.uint64)
+ZERO = np.array([np.uint64(0)], dtype=np.uint64)
+
+
+class TestCombinational:
+    def test_known_vectors(self, tiny_comb):
+        net = tiny_comb
+        stim = {
+            net.require("x"): ONES,
+            net.require("y"): ZERO,
+            net.require("z"): ONES,
+        }
+        vals = simulate_combinational(net, stim)
+        assert vals[net.require("out1")][0] == ONES[0]  # (x^y)&z
+        assert vals[net.require("out2")][0] == ZERO[0]  # ~x&~z
+
+    def test_missing_source(self, tiny_comb):
+        with pytest.raises(SimulationError):
+            simulate_combinational(tiny_comb, {})
+
+    def test_length_mismatch(self, tiny_comb):
+        net = tiny_comb
+        stim = {
+            net.require("x"): ONES,
+            net.require("y"): np.zeros(2, dtype=np.uint64),
+            net.require("z"): ONES,
+        }
+        with pytest.raises(SimulationError):
+            simulate_combinational(net, stim)
+
+    def test_override_forces_value(self, tiny_comb):
+        net = tiny_comb
+        stim = {
+            net.require("x"): ONES,
+            net.require("y"): ZERO,
+            net.require("z"): ONES,
+        }
+        w = net.require("w")
+        vals = simulate_combinational(net, stim, overrides={w: ZERO})
+        assert vals[w][0] == ZERO[0]
+        assert vals[net.require("out1")][0] == ZERO[0]
+
+    def test_random_stimulus_shape(self, tiny_comb, rng):
+        stim = random_stimulus(tiny_comb, 200, rng)
+        assert set(stim) == {"x", "y", "z"}
+        assert all(v.shape == (4,) for v in stim.values())
+
+
+class TestSequential:
+    def test_counter_bit_toggles(self):
+        net = parse_blif(
+            ".model c\n.inputs en\n.outputs q\n.latch d q 0\n"
+            ".names en q d\n01 1\n10 1\n.end\n"
+        )
+        sim = SequentialSimulator(net, n_words=1)
+        seen = []
+        for _ in range(4):
+            vals = sim.step({net.pis[0]: ONES})
+            seen.append(int(vals[net.require("q")][0] & np.uint64(1)))
+        assert seen == [0, 1, 0, 1]
+
+    def test_init_one(self):
+        net = parse_blif(
+            ".model c\n.inputs a\n.outputs q\n.latch a q 1\n.end\n"
+        )
+        sim = SequentialSimulator(net)
+        vals = sim.step({net.pis[0]: ZERO})
+        assert vals[net.require("q")][0] == ONES[0]
+
+    def test_reset_restores_state(self):
+        net = parse_blif(
+            ".model c\n.inputs a\n.outputs q\n.latch a q 0\n.end\n"
+        )
+        sim = SequentialSimulator(net)
+        sim.step({net.pis[0]: ONES})
+        sim.step({net.pis[0]: ONES})
+        sim.reset()
+        assert sim.cycle == 0
+        vals = sim.step({net.pis[0]: ZERO})
+        assert vals[net.require("q")][0] == ZERO[0]
+
+    def test_missing_pi(self, tiny_seq):
+        sim = SequentialSimulator(tiny_seq)
+        with pytest.raises(SimulationError):
+            sim.step({})
+
+
+class TestEquivalence:
+    def test_self_equivalent(self, tiny_seq):
+        assert check_equivalent(tiny_seq, tiny_seq.copy())
+
+    def test_cleanup_preserves_function(self, tiny_seq):
+        cleaned = cleanup(tiny_seq.copy())
+        assert check_equivalent(tiny_seq, cleaned)
+
+    def test_detects_difference(self, tiny_comb):
+        other = tiny_comb.copy()
+        from repro.netlist.truthtable import TruthTable
+
+        f = other.require("out1")
+        other.rewire(f, other.fanins(f), ~other.func(f))
+        assert not check_equivalent(tiny_comb, other, n_vectors=128)
+
+    def test_pi_mismatch_raises(self, tiny_comb, tiny_seq):
+        with pytest.raises(SimulationError):
+            check_equivalent(tiny_comb, tiny_seq)
+
+    def test_sequential_divergence_found(self):
+        a = parse_blif(
+            ".model a\n.inputs x\n.outputs q\n.latch x q 0\n.end\n"
+        )
+        b = parse_blif(
+            ".model b\n.inputs x\n.outputs q\n.latch d q 0\n"
+            ".names x d\n0 1\n.end\n"
+        )
+        assert not check_equivalent(a, b, n_vectors=64, n_cycles=4)

@@ -1,0 +1,91 @@
+"""SOP covers and the ISOP algorithm."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netlist.sop import (
+    Cover,
+    Cube,
+    cover_to_truthtable,
+    truthtable_to_cover,
+)
+from repro.netlist.truthtable import TruthTable
+
+
+class TestCube:
+    def test_parse_render_roundtrip(self):
+        for text in ("1-0", "---", "111", "0"):
+            assert Cube.from_blif(text).to_blif(len(text)) == text
+
+    def test_bad_char(self):
+        with pytest.raises(ValueError):
+            Cube.from_blif("1x0")
+
+    def test_polarity_outside_mask(self):
+        with pytest.raises(ValueError):
+            Cube(mask=0b01, polarity=0b10)
+
+    def test_contains_point(self):
+        c = Cube.from_blif("1-0")
+        assert c.contains_point(0b001)
+        assert c.contains_point(0b011)
+        assert not c.contains_point(0b101)
+
+    def test_n_literals(self):
+        assert Cube.from_blif("1-0").n_literals() == 2
+
+    def test_truthtable_expansion(self):
+        c = Cube.from_blif("11")
+        assert c.truthtable(2) == (TruthTable.var(0, 2) & TruthTable.var(1, 2))
+
+
+class TestCover:
+    def test_offset_cover(self):
+        # cubes describe where output is 0
+        cov = Cover(1, (Cube.from_blif("1"),), output_value=0)
+        assert cover_to_truthtable(cov) == ~TruthTable.var(0, 1)
+
+    def test_bad_output_value(self):
+        with pytest.raises(ValueError):
+            Cover(1, (), output_value=2)
+
+    def test_blif_lines(self):
+        cov = Cover(2, (Cube.from_blif("1-"), Cube.from_blif("-0")))
+        assert cov.to_blif_lines() == ["1- 1", "-0 1"]
+
+
+class TestIsop:
+    @given(st.integers(1, 4).flatmap(
+        lambda n: st.tuples(st.just(n), st.integers(0, (1 << (1 << n)) - 1))
+    ))
+    def test_isop_exact(self, nv):
+        n, bits = nv
+        tt = TruthTable(n, bits)
+        cov = truthtable_to_cover(tt)
+        assert cover_to_truthtable(cov) == tt
+
+    def test_isop_constants(self):
+        assert truthtable_to_cover(TruthTable.const(0, 3)).cubes == ()
+        c1 = truthtable_to_cover(TruthTable.const(1, 3))
+        assert cover_to_truthtable(c1) == TruthTable.const(1, 3)
+
+    def test_isop_compact_for_xor(self):
+        tt = TruthTable.var(0, 2) ^ TruthTable.var(1, 2)
+        assert len(truthtable_to_cover(tt).cubes) == 2
+
+    def test_isop_single_cube_for_and(self):
+        tt = TruthTable.var(0, 3) & TruthTable.var(1, 3) & TruthTable.var(2, 3)
+        assert len(truthtable_to_cover(tt).cubes) == 1
+
+    @given(st.integers(1, 3).flatmap(
+        lambda n: st.tuples(st.just(n), st.integers(0, (1 << (1 << n)) - 1))
+    ))
+    def test_isop_cubes_within_onset(self, nv):
+        n, bits = nv
+        tt = TruthTable(n, bits)
+        for cube in truthtable_to_cover(tt).cubes:
+            cube_tt = cube.truthtable(n)
+            # every cube lies entirely inside the on-set
+            assert (cube_tt.bits & ~tt.bits) == 0

@@ -1,0 +1,110 @@
+"""Network statistics, the .par format, and example-script smoke tests."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import os
+
+import pytest
+
+from repro.core.annotate import ParAnnotation, parse_par, write_par
+from repro.errors import ParameterError
+from repro.netlist import network_stats, logic_depth
+from repro.netlist.stats import node_levels
+
+
+class TestStats:
+    def test_levels_monotone(self, tiny_seq):
+        levels = node_levels(tiny_seq)
+        for nid in tiny_seq.gates():
+            for f in tiny_seq.fanins(nid):
+                assert levels[f] < levels[nid]
+
+    def test_depth_counts_latch_drivers(self, tiny_seq):
+        assert logic_depth(tiny_seq) >= 1
+
+    def test_stats_fields(self, tiny_seq):
+        st = network_stats(tiny_seq)
+        assert st.n_pis == 3
+        assert st.n_latches == 1
+        assert st.n_gates == 4
+        assert st.max_fanin <= 2
+        assert len(st.row()) == 9
+
+    def test_consts_counted_separately(self):
+        from repro.netlist import LogicNetwork
+
+        net = LogicNetwork()
+        net.add_pi("a")
+        net.add_const("one", 1)
+        net.add_po("one")
+        st = network_stats(net)
+        assert st.n_consts == 1 and st.n_gates == 0
+
+
+class TestParFormat:
+    def test_roundtrip(self):
+        ann = ParAnnotation(
+            param_names=["p0", "p1"], tap_names=["n1"], buffer_names=["tb_0"]
+        )
+        again = parse_par(write_par(ann))
+        assert again == ann
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ParameterError):
+            write_par(ParAnnotation(param_names=["p", "p"]))
+
+    def test_param_tap_overlap_rejected(self):
+        with pytest.raises(ParameterError):
+            write_par(
+                ParAnnotation(param_names=["x"], tap_names=["x"])
+            )
+
+    def test_whitespace_name_rejected(self):
+        with pytest.raises(ParameterError):
+            write_par(ParAnnotation(param_names=["a b"]))
+
+    def test_parse_bad_line(self):
+        with pytest.raises(ParameterError):
+            parse_par(".param\n")
+        with pytest.raises(ParameterError):
+            parse_par(".weird x\n")
+
+    def test_parse_ignores_comments(self):
+        ann = parse_par("# header\n.param p  # inline\n")
+        assert ann.param_names == ["p"]
+
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+@pytest.mark.slow
+class TestExamples:
+    @pytest.mark.parametrize(
+        "script", ["quickstart.py", "bug_hunt.py", "waveform_capture.py"]
+    )
+    def test_example_runs(self, script, tmp_path):
+        args = [sys.executable, os.path.join(EXAMPLES, script)]
+        if script == "waveform_capture.py":
+            args.append(str(tmp_path / "out.vcd"))
+        proc = subprocess.run(
+            args, capture_output=True, text=True, timeout=600,
+            cwd=str(tmp_path),
+        )
+        assert proc.returncode == 0, proc.stderr[-2000:]
+
+    def test_area_exploration_single(self, tmp_path):
+        proc = subprocess.run(
+            [
+                sys.executable,
+                os.path.join(EXAMPLES, "area_exploration.py"),
+                "stereov.",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=600,
+            cwd=str(tmp_path),
+        )
+        assert proc.returncode == 0, proc.stderr[-2000:]
+        assert "TABLE I" in proc.stdout

@@ -1,0 +1,188 @@
+"""Unit + property tests for truth tables."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netlist.truthtable import TruthTable, MAX_VARS
+
+
+def tt_strategy(max_vars: int = 4):
+    return st.integers(1, max_vars).flatmap(
+        lambda n: st.builds(
+            TruthTable, st.just(n), st.integers(0, (1 << (1 << n)) - 1)
+        )
+    )
+
+
+class TestConstruction:
+    def test_const(self):
+        assert TruthTable.const(0, 2).bits == 0
+        assert TruthTable.const(1, 2).bits == 0b1111
+
+    def test_var(self):
+        assert TruthTable.var(0, 2).bits == 0b1010
+        assert TruthTable.var(1, 2).bits == 0b1100
+
+    def test_var_out_of_range(self):
+        with pytest.raises(ValueError):
+            TruthTable.var(2, 2)
+
+    def test_from_outputs(self):
+        t = TruthTable.from_outputs([0, 1, 1, 0])
+        assert t == (TruthTable.var(0, 2) ^ TruthTable.var(1, 2))
+
+    def test_from_outputs_bad_length(self):
+        with pytest.raises(ValueError):
+            TruthTable.from_outputs([0, 1, 1])
+
+    def test_max_vars_guard(self):
+        with pytest.raises(ValueError):
+            TruthTable(MAX_VARS + 1, 0)
+
+    def test_bits_masked_to_width(self):
+        t = TruthTable(1, 0b111)  # only 2 bits are meaningful
+        assert t.bits == 0b11
+
+
+class TestAlgebra:
+    @given(tt_strategy(), st.data())
+    def test_de_morgan(self, a, data):
+        b = data.draw(tt_strategy(a.n_vars).filter(lambda t: t.n_vars == a.n_vars))
+        assert ~(a & b) == (~a | ~b)
+
+    @given(tt_strategy())
+    def test_double_negation(self, a):
+        assert ~~a == a
+
+    @given(tt_strategy())
+    def test_xor_self_is_zero(self, a):
+        assert (a ^ a).const_value() == 0
+
+    def test_incompatible_vars(self):
+        with pytest.raises(ValueError):
+            TruthTable.var(0, 2) & TruthTable.var(0, 3)
+
+    def test_mux_identity(self):
+        s = TruthTable.var(2, 3)
+        a = TruthTable.var(0, 3)
+        b = TruthTable.var(1, 3)
+        m = TruthTable.mux(s, a, b)
+        assert m.cofactor(2, 0) == a.cofactor(2, 0)
+        assert m.cofactor(2, 1) == b.cofactor(2, 1)
+
+
+class TestEval:
+    def test_eval_point(self):
+        t = TruthTable.var(0, 2) & TruthTable.var(1, 2)
+        assert t.eval_point([1, 1]) == 1
+        assert t.eval_point([1, 0]) == 0
+
+    def test_eval_point_wrong_arity(self):
+        with pytest.raises(ValueError):
+            TruthTable.var(0, 2).eval_point([1])
+
+    @given(tt_strategy())
+    def test_eval_index_matches_outputs(self, t):
+        outs = t.outputs()
+        for i, o in enumerate(outs):
+            assert t.eval_index(i) == o
+
+
+class TestCofactorSupport:
+    @given(tt_strategy(), st.data())
+    def test_shannon_expansion(self, t, data):
+        var = data.draw(st.integers(0, t.n_vars - 1))
+        v = TruthTable.var(var, t.n_vars)
+        rebuilt = (~v & t.cofactor(var, 0)) | (v & t.cofactor(var, 1))
+        assert rebuilt == t
+
+    @given(tt_strategy())
+    def test_cofactor_removes_dependence(self, t):
+        for var in range(t.n_vars):
+            assert not t.cofactor(var, 0).depends_on(var)
+
+    @given(tt_strategy())
+    def test_support_subset(self, t):
+        sup = t.support()
+        assert all(0 <= v < t.n_vars for v in sup)
+        for v in range(t.n_vars):
+            assert (v in sup) == t.depends_on(v)
+
+    @given(tt_strategy())
+    def test_shrink_preserves_function(self, t):
+        small, kept = t.shrink_to_support()
+        assert small.n_vars == len(kept)
+        # evaluate both on every original input assignment
+        for idx in range(1 << t.n_vars):
+            small_idx = 0
+            for j, orig in enumerate(kept):
+                if (idx >> orig) & 1:
+                    small_idx |= 1 << j
+            assert t.eval_index(idx) == small.eval_index(small_idx)
+
+    @given(tt_strategy(3))
+    def test_extend_keeps_function(self, t):
+        big = t.extend(t.n_vars + 2)
+        for idx in range(1 << t.n_vars):
+            assert big.eval_index(idx) == t.eval_index(idx)
+        assert set(big.support()) == set(t.support())
+
+
+class TestPermuteCompose:
+    def test_permute_swap(self):
+        t = TruthTable.var(0, 2) & ~TruthTable.var(1, 2)
+        swapped = t.permute([1, 0])
+        assert swapped == (TruthTable.var(1, 2) & ~TruthTable.var(0, 2))
+
+    def test_permute_injective_required(self):
+        with pytest.raises(ValueError):
+            TruthTable.var(0, 2).permute([0, 0])
+
+    @given(tt_strategy(3))
+    def test_permute_identity(self, t):
+        assert t.permute(list(range(t.n_vars))) == t
+
+    def test_compose_basic(self):
+        f = TruthTable.var(0, 2) | TruthTable.var(1, 2)
+        x = TruthTable.var(1, 3) & TruthTable.var(2, 3)
+        y = TruthTable.var(0, 3)
+        assert f.compose([x, y]) == (x | y)
+
+    def test_compose_const_needs_arity(self):
+        c = TruthTable.const(1, 0)
+        with pytest.raises(ValueError):
+            c.compose([])
+        assert c.compose([], n_vars=3) == TruthTable.const(1, 3)
+
+    def test_compose_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            TruthTable.var(0, 2).compose([TruthTable.var(0, 1)])
+
+
+class TestRecognizers:
+    def test_as_mux_positive(self):
+        m = TruthTable.mux(
+            TruthTable.var(2, 3), TruthTable.var(0, 3), TruthTable.var(1, 3)
+        )
+        assert m.as_mux() == (2, 0, 1)
+
+    def test_as_mux_negative(self):
+        maj = (
+            (TruthTable.var(0, 3) & TruthTable.var(1, 3))
+            | (TruthTable.var(1, 3) & TruthTable.var(2, 3))
+            | (TruthTable.var(0, 3) & TruthTable.var(2, 3))
+        )
+        assert maj.as_mux() is None
+
+    def test_buffer_inverter(self):
+        buf = TruthTable.var(1, 3)
+        assert buf.is_buffer_of() == 1
+        assert buf.is_inverter_of() is None
+        inv = ~TruthTable.var(0, 2)
+        assert inv.is_inverter_of() == 0
+        assert inv.is_buffer_of() is None
+
+    def test_const_not_buffer(self):
+        assert TruthTable.const(1, 2).is_buffer_of() is None

@@ -1,0 +1,201 @@
+"""Unit tests for the utility layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util import (
+    DisjointSet,
+    IndexedMinHeap,
+    RngHub,
+    Stopwatch,
+    PhaseTimer,
+    TextTable,
+    derive_seed,
+    pack_bits,
+    popcount64,
+    unpack_bits,
+    words_for_bits,
+)
+from repro.util.bitops import xor_popcount
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        a = RngHub(7).stream("x").random(5)
+        b = RngHub(7).stream("x").random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_names_independent(self):
+        hub = RngHub(7)
+        assert hub.stream("a").random() != hub.stream("b").random()
+
+    def test_stream_is_stateful_fresh_is_not(self):
+        hub = RngHub(1)
+        s = hub.stream("s")
+        first = s.random()
+        assert hub.stream("s").random() != first  # same (advanced) object
+        assert hub.fresh("s").random() == pytest.approx(first)
+
+    def test_derive_seed_stable(self):
+        assert derive_seed(42, "abc") == derive_seed(42, "abc")
+        assert derive_seed(42, "abc") != derive_seed(43, "abc")
+        assert derive_seed(42, "abc") != derive_seed(42, "abd")
+
+    def test_child_hub_independent(self):
+        hub = RngHub(3)
+        assert hub.child("a").seed != hub.child("b").seed
+
+
+class TestTiming:
+    def test_stopwatch(self):
+        sw = Stopwatch()
+        with sw:
+            pass
+        assert sw.elapsed >= 0.0
+
+    def test_stopwatch_stop_before_start(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_phase_timer_accumulates(self):
+        pt = PhaseTimer()
+        for _ in range(3):
+            with pt.phase("a"):
+                pass
+        assert pt.counts["a"] == 3
+        assert pt.total() == pytest.approx(pt.totals["a"])
+
+    def test_phase_timer_merge(self):
+        a, b = PhaseTimer(), PhaseTimer()
+        with a.phase("x"):
+            pass
+        with b.phase("x"):
+            pass
+        a.merge(b)
+        assert a.counts["x"] == 2
+
+    def test_report_contains_phases(self):
+        pt = PhaseTimer()
+        with pt.phase("route"):
+            pass
+        assert "route" in pt.report() and "TOTAL" in pt.report()
+
+
+class TestTextTable:
+    def test_render_alignment(self):
+        t = TextTable(["n", "v"], aligns="lr")
+        t.add_row(["a", 10])
+        t.add_row(["bb", 5])
+        out = t.render()
+        assert "a " in out and " 5" in out
+
+    def test_row_width_mismatch(self):
+        t = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_bad_aligns(self):
+        with pytest.raises(ValueError):
+            TextTable(["a"], aligns="x")
+        with pytest.raises(ValueError):
+            TextTable(["a", "b"], aligns="l")
+
+    def test_csv(self):
+        t = TextTable(["a", "b"])
+        t.add_row([1, 2])
+        assert t.render_csv() == "a,b\n1,2"
+
+
+class TestHeap:
+    def test_order(self):
+        h = IndexedMinHeap()
+        for k, p in [(1, 5.0), (2, 1.0), (3, 3.0)]:
+            h.push(k, p)
+        assert [h.pop()[0] for _ in range(3)] == [2, 3, 1]
+
+    def test_decrease_key(self):
+        h = IndexedMinHeap()
+        h.push(1, 10.0)
+        h.push(2, 5.0)
+        h.push(1, 1.0)
+        assert h.pop() == (1, 1.0)
+
+    def test_increase_key(self):
+        h = IndexedMinHeap()
+        h.push(1, 1.0)
+        h.push(2, 5.0)
+        h.push(1, 10.0)
+        assert h.pop() == (2, 5.0)
+
+    def test_pop_empty(self):
+        with pytest.raises(IndexError):
+            IndexedMinHeap().pop()
+
+    def test_contains_priority(self):
+        h = IndexedMinHeap()
+        h.push(9, 2.5)
+        assert h.contains(9) and h.priority(9) == 2.5
+        assert not h.contains(1)
+
+    @given(st.lists(st.tuples(st.integers(0, 50), st.floats(0, 100)), max_size=60))
+    def test_heap_property(self, items):
+        h = IndexedMinHeap()
+        latest: dict[int, float] = {}
+        for k, p in items:
+            h.push(k, p)
+            latest[k] = p
+        out = []
+        while h:
+            out.append(h.pop())
+        assert sorted(k for k, _ in out) == sorted(latest)
+        prios = [p for _, p in out]
+        assert prios == sorted(prios)
+        for k, p in out:
+            assert latest[k] == p
+
+
+class TestDisjointSet:
+    def test_union_find(self):
+        d = DisjointSet(4)
+        d.union(0, 1)
+        d.union(2, 3)
+        assert d.same(0, 1) and d.same(2, 3) and not d.same(1, 2)
+        assert d.n_sets == 2
+
+    def test_add(self):
+        d = DisjointSet(1)
+        new = d.add()
+        assert new == 1 and d.n_sets == 2
+
+    def test_groups(self):
+        d = DisjointSet(3)
+        d.union(0, 2)
+        groups = d.groups()
+        assert sorted(map(sorted, groups.values())) == [[0, 2], [1]]
+
+
+class TestBitops:
+    def test_words_for_bits(self):
+        assert [words_for_bits(n) for n in (0, 1, 64, 65, 128)] == [0, 1, 1, 2, 2]
+
+    @given(st.lists(st.integers(0, 1), min_size=0, max_size=300))
+    def test_pack_unpack_roundtrip(self, bits):
+        arr = np.array(bits, dtype=np.uint8)
+        assert unpack_bits(pack_bits(arr), len(bits)).tolist() == bits
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=300))
+    def test_popcount_matches_sum(self, bits):
+        arr = np.array(bits, dtype=np.uint8)
+        assert popcount64(pack_bits(arr)) == sum(bits)
+
+    def test_xor_popcount(self):
+        a = pack_bits(np.array([1, 0, 1, 1], dtype=np.uint8))
+        b = pack_bits(np.array([1, 1, 0, 1], dtype=np.uint8))
+        assert xor_popcount(a, b) == 2
+
+    def test_xor_popcount_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            xor_popcount(np.zeros(1, np.uint64), np.zeros(2, np.uint64))

@@ -1,0 +1,129 @@
+"""Workload generation and bug injection."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.netlist import (
+    check_equivalent,
+    logic_depth,
+    network_stats,
+    validate_network,
+    write_blif,
+)
+from repro.workloads import generate_circuit, get_spec, inject_bug, paper_suite
+from repro.workloads.perturb import BUG_KINDS
+from repro.workloads.suites import PAPER_SUITE
+
+
+SMALL = [s for s in paper_suite() if s.n_gates < 1000]
+
+
+class TestSuite:
+    def test_suite_has_eight_benchmarks(self):
+        assert len(PAPER_SUITE) == 8
+
+    def test_small_subset(self):
+        names = [s.name for s in paper_suite(small_only=True)]
+        assert names == ["stereov.", "diffeq2", "diffeq1"]
+
+    def test_get_spec_unknown(self):
+        with pytest.raises(KeyError):
+            get_spec("nope")
+
+    def test_paper_numbers_present(self):
+        s = get_spec("clma")
+        assert s.n_gates == 8381 and s.paper_sm_luts == 23694
+
+
+class TestGenerator:
+    @pytest.mark.parametrize("spec", SMALL, ids=lambda s: s.name)
+    def test_exact_gate_count(self, spec):
+        net = generate_circuit(spec)
+        assert net.n_gates == spec.n_gates
+
+    @pytest.mark.parametrize("spec", SMALL, ids=lambda s: s.name)
+    def test_exact_gate_depth(self, spec):
+        net = generate_circuit(spec)
+        assert logic_depth(net) == spec.gate_depth_target
+
+    @pytest.mark.parametrize("spec", SMALL, ids=lambda s: s.name)
+    def test_structurally_valid(self, spec):
+        validate_network(generate_circuit(spec))
+
+    @pytest.mark.parametrize("spec", SMALL, ids=lambda s: s.name)
+    def test_no_dead_logic(self, spec):
+        net = generate_circuit(spec)
+        counts = net.fanout_counts()
+        dead = [g for g in net.gates() if counts[g] == 0]
+        assert dead == []
+
+    def test_deterministic(self):
+        spec = get_spec("stereov.")
+        assert write_blif(generate_circuit(spec, 1)) == write_blif(
+            generate_circuit(spec, 1)
+        )
+
+    def test_seed_changes_circuit(self):
+        spec = get_spec("stereov.")
+        assert write_blif(generate_circuit(spec, 1)) != write_blif(
+            generate_circuit(spec, 2)
+        )
+
+    def test_latch_count(self):
+        spec = get_spec("diffeq2")
+        assert generate_circuit(spec).n_latches == spec.n_latches
+
+    def test_impossible_depth_raises(self):
+        spec = dataclasses.replace(
+            get_spec("stereov."), n_gates=3, gate_depth_target=10
+        )
+        with pytest.raises(WorkloadError):
+            generate_circuit(spec)
+
+    def test_golden_depth_calibration(self, stereov_offline):
+        # the generator + ABC mapping reproduce the paper's Golden depth
+        spec = get_spec("stereov.")
+        from repro.baselines.conventional import user_sink_names
+
+        sinks = user_sink_names(stereov_offline.source)
+        assert stereov_offline.initial.depth_to(sinks) == spec.golden_depth
+
+
+class TestBugInjection:
+    def test_changes_local_function(self, tiny_seq, rng):
+        net = tiny_seq.copy()
+        bug = inject_bug(net, rng)
+        assert net.func(bug.node) != bug.original_func
+
+    @pytest.mark.parametrize("kind", BUG_KINDS)
+    def test_each_kind(self, tiny_seq, rng, kind):
+        net = tiny_seq.copy()
+        bug = inject_bug(net, rng, kind=kind)
+        assert bug.kind in BUG_KINDS
+        assert net.func(bug.node) != bug.original_func
+
+    def test_target_node(self, tiny_seq, rng):
+        net = tiny_seq.copy()
+        target = net.require("t1")
+        bug = inject_bug(net, rng, node=target, kind="stuck_at")
+        assert bug.node == target
+
+    def test_non_gate_target_rejected(self, tiny_seq, rng):
+        with pytest.raises(WorkloadError):
+            inject_bug(tiny_seq.copy(), rng, node=tiny_seq.pis[0])
+
+    def test_some_bug_is_observable(self, rng):
+        golden = generate_circuit(get_spec("stereov."))
+        found = False
+        for _ in range(20):
+            trial = golden.copy()
+            inject_bug(trial, rng)
+            if not check_equivalent(golden, trial, n_vectors=256, n_cycles=4):
+                found = True
+                break
+        assert found, "20 random bugs all invisible — suspicious"

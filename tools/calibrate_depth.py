@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Re-derive the per-benchmark ``gate_depth_target`` calibration.
+
+For each benchmark of the paper suite, binary-search the gate-level depth
+of the synthetic generator until the ABC-style K=6 mapping of the generated
+circuit matches the paper's Golden depth (Table II).  The resulting values
+are hard-coded in :mod:`repro.workloads.suites`; run this script after any
+change to the generator or the mapper to refresh them.
+
+Usage::
+
+    python tools/calibrate_depth.py
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.mapping import AbcMap
+from repro.workloads import paper_suite
+from repro.workloads.generator import generate_circuit
+
+
+def mapped_depth(spec, gate_depth: int) -> int:
+    s = dataclasses.replace(spec, gate_depth_target=gate_depth)
+    return AbcMap().map(generate_circuit(s)).depth()
+
+
+def calibrate(spec) -> tuple[int, int]:
+    golden = spec.golden_depth
+    lo, hi = max(3, int(golden * 1.1)), int(golden * 2.8) + 2
+    best, best_d = lo, None
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        d = mapped_depth(spec, mid)
+        if best_d is None or abs(d - golden) < abs(best_d - golden):
+            best, best_d = mid, d
+        if d < golden:
+            lo = mid + 1
+        elif d > golden:
+            hi = mid - 1
+        else:
+            break
+    assert best_d is not None
+    return best, best_d
+
+
+def main() -> None:
+    print(f"{'benchmark':12s} {'golden':>6s} {'gate_depth':>10s} {'mapped':>6s}")
+    for spec in paper_suite():
+        gate_depth, mapped = calibrate(spec)
+        flag = "" if mapped == spec.golden_depth else "  (off by {})".format(
+            mapped - spec.golden_depth
+        )
+        print(
+            f"{spec.name:12s} {spec.golden_depth:6d} {gate_depth:10d} "
+            f"{mapped:6d}{flag}"
+        )
+
+
+if __name__ == "__main__":
+    main()

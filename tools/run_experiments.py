@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Regenerate every paper artifact without pytest.
+
+Runs the five experiment drivers (Tables I/II, Fig. 7, §V-C.1, §V-C.2)
+and writes the results under ``results/``.  With MPI available, pass
+``--parallel`` to distribute the per-benchmark runs with mpi4py's
+``MPIPoolExecutor`` (the drivers are embarrassingly parallel over
+benchmarks; see DESIGN.md §7).
+
+Usage::
+
+    python tools/run_experiments.py            # full suite (several minutes)
+    python tools/run_experiments.py --small    # small benchmarks only
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.analysis import (
+    run_compile_time,
+    run_fig7,
+    run_runtime_overhead,
+    run_table1,
+    run_table2,
+    save_result,
+)
+from repro.workloads import paper_suite
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--small", action="store_true", help="small benchmarks only")
+    ap.add_argument(
+        "--parallel",
+        action="store_true",
+        help="distribute benchmarks with mpi4py.futures (if installed)",
+    )
+    args = ap.parse_args(argv)
+
+    map_fn = map
+    if args.parallel:
+        try:
+            from mpi4py.futures import MPIPoolExecutor  # type: ignore
+
+            pool = MPIPoolExecutor()
+            map_fn = pool.map
+        except ImportError:
+            print("mpi4py not available; running serially", file=sys.stderr)
+
+    specs = paper_suite(small_only=args.small)
+    jobs = [
+        ("table1_area", lambda: run_table1(specs, map_fn=map_fn)),
+        ("table2_depth", lambda: run_table2(specs, map_fn=map_fn)),
+        ("fig7_area_chart", lambda: run_fig7(specs, map_fn=map_fn)),
+        ("compile_time", lambda: run_compile_time(
+            [s for s in specs if s.n_gates < 300] or specs[:1]
+        )),
+        ("runtime_overhead", lambda: run_runtime_overhead(
+            specs[3] if len(specs) > 3 else specs[-1]
+        )),
+    ]
+    for name, job in jobs:
+        t0 = time.perf_counter()
+        text = job()
+        path = save_result(name, text)
+        print(f"[{time.perf_counter() - t0:7.1f}s] {path}")
+        print(text)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
