@@ -1,0 +1,101 @@
+"""Experiment B1 — campaign-level amortization of the offline stage.
+
+The paper's economics, measured at batch scale: a debug campaign of many
+bug scenarios on one design pays the offline stage (generic + physical
+back-end, §IV-A) once when artifacts are cached by content, versus once
+*per scenario* cold.  The headline assertion is the acceptance criterion
+of the campaign layer: ≥2× wall-clock speedup on a ≥8-scenario campaign
+from offline-stage caching alone.
+
+Also reports online-phase parallel scaling (worker pool vs serial) for
+reference — on single-core CI runners the pool can't win, so no shape is
+asserted there.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.campaign import CampaignConfig, OfflineCache, run_campaign
+from repro.workloads import campaign_spec, stuck_at_scenarios
+
+#: Combinational design (the physical back-end does not route latches yet)
+#: sized so one full offline stage costs seconds while each online debug
+#: loop costs a fraction of that — the regime the paper targets.
+SPEC = campaign_spec("campaign-bench", n_gates=120, depth=8, n_pis=20, n_pos=10)
+N_SCENARIOS = 8
+HORIZON = 48
+
+
+@pytest.fixture(scope="module")
+def scenarios():
+    return stuck_at_scenarios(SPEC, N_SCENARIOS, horizon=HORIZON)
+
+
+@pytest.mark.slow
+def test_campaign_cache_speedup(scenarios, results_dir):
+    config = CampaignConfig(workers=1, with_physical=True)
+
+    # cold: every scenario pays its own full offline stage
+    cold = run_campaign(scenarios, config=config, cache=None)
+    # cached: the first scenario builds, the other seven hit
+    cache = OfflineCache()
+    warm = run_campaign(scenarios, config=config, cache=cache)
+
+    assert warm.outcomes() == cold.outcomes(), "caching changed results"
+    assert cache.stats.misses == 1
+    assert cache.stats.hits == N_SCENARIOS - 1
+    statuses = {r.status for r in warm.results}
+    assert "error" not in statuses and "undetected" not in statuses
+
+    speedup = cold.wall_s / warm.wall_s
+    text = (
+        "CAMPAIGN OFFLINE-STAGE AMORTIZATION (measured)\n"
+        f"{N_SCENARIOS}-scenario stuck-at campaign on "
+        f"{SPEC.name} ({SPEC.n_gates} gates), full offline stage "
+        "(generic + pack/place/route + bitstream)\n\n"
+        f"cold (no cache):   {cold.wall_s:8.2f} s  "
+        f"({cold.offline_total_s:.2f} s offline, "
+        f"{cold.online_total_s:.2f} s online)\n"
+        f"content-keyed cache: {warm.wall_s:6.2f} s  "
+        f"({warm.offline_total_s:.2f} s offline, "
+        f"{warm.online_total_s:.2f} s online)\n\n"
+        f"cache-hit speedup: {speedup:.2f}x "
+        f"({cache.stats.misses} build + {cache.stats.hits} hits)\n\n"
+        "warm-campaign report:\n" + warm.render()
+    )
+    emit(results_dir, "campaign_cache_speedup", text)
+
+    assert speedup >= 2.0, (
+        f"offline-stage caching gained only {speedup:.2f}x on a "
+        f"{N_SCENARIOS}-scenario campaign"
+    )
+
+
+@pytest.mark.slow
+def test_campaign_parallel_scaling(scenarios, results_dir):
+    cache = OfflineCache()
+    # pre-warm so both runs measure the online phase only
+    run_campaign(scenarios[:1], config=CampaignConfig(workers=1), cache=cache)
+
+    serial = run_campaign(
+        scenarios, config=CampaignConfig(workers=1), cache=cache
+    )
+    pooled = run_campaign(
+        scenarios, config=CampaignConfig(workers=4), cache=cache
+    )
+    assert serial.outcomes() == pooled.outcomes(), "worker pool changed results"
+
+    ratio = serial.wall_s / pooled.wall_s if pooled.wall_s else 0.0
+    text = (
+        "CAMPAIGN ONLINE-PHASE PARALLEL SCALING (measured)\n"
+        f"{N_SCENARIOS} online debug loops, offline artifact cached\n\n"
+        f"serial:           {serial.wall_s:8.2f} s\n"
+        f"4-worker pool:    {pooled.wall_s:8.2f} s\n"
+        f"speedup:          {ratio:8.2f}x  "
+        "(bounded by available cores; reference only)\n"
+    )
+    for note in pooled.notes:
+        text += f"note: {note}\n"
+    emit(results_dir, "campaign_parallel_scaling", text)

@@ -11,7 +11,13 @@ names to restrict the set (the full suite takes a few minutes):
 
 from __future__ import annotations
 
+import os
 import sys
+
+# allow running straight from a source checkout, from any working directory
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
 
 from repro.analysis import run_table1, run_table2
 from repro.workloads import get_spec, paper_suite

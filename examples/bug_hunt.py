@@ -17,10 +17,25 @@ The script:
    cone-of-influence strategy until the culprit signal is found;
 4. reports the bug site and what the hunt would have cost conventionally.
 
+This script walks ONE bug interactively.  For batch runs over many
+(design, bug) pairs — with the offline stage cached per design and the
+online sessions fanned out over worker processes — use the campaign API
+(:mod:`repro.campaign`, ``python -m repro.campaign``, and
+``examples/campaign_demo.py``), which drives this same localization loop
+via :func:`repro.campaign.localize_divergence`.
+
 Run:  python examples/bug_hunt.py
 """
 
 from __future__ import annotations
+
+import os
+import sys
+
+# allow running straight from a source checkout, from any working directory
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
 
 import numpy as np
 
@@ -32,7 +47,10 @@ from repro import (
     inject_bug,
     run_generic_stage,
 )
-from repro.netlist.simulate import SequentialSimulator
+from repro.campaign import GoldenOracle
+from repro.campaign.localize import observable_frontier, untapped_region
+from repro.workloads import stimulus_script as _campaign_stimulus
+from repro.workloads.scenarios import po_trace
 
 
 def main() -> None:
@@ -60,7 +78,7 @@ def main() -> None:
     offline = run_generic_stage(buggy)
     session = DebugSession(offline)
     design = offline.instrumented
-    golden_sim = _GoldenOracle(golden)
+    golden_sim = GoldenOracle(golden)
     stim = _stimulus_script(golden, fail_cycle + 1, seed=7)
 
     def diverges(signals: list[str]) -> dict[str, bool]:
@@ -102,29 +120,9 @@ def main() -> None:
     # walk the divergence backward: a signal whose *observable* fan-in
     # frontier (the nearest tapped signals, crossing gates the mapper
     # absorbed) fully matches the golden model is the bug region's root
+    # (the same walk repro.campaign.localize_divergence automates)
     net_b = design.network
     tapped = set(design.taps)
-    latch_by_q = {l.q: l for l in net_b.latches}
-
-    def observable_frontier(nid: int) -> list[str]:
-        """Nearest tapped signals feeding ``nid`` (crossing untapped ones)."""
-        out: list[str] = []
-        seen: set[int] = set()
-        stack = list(net_b.fanins(nid))
-        if nid in latch_by_q:
-            stack.append(latch_by_q[nid].driver)
-        while stack:
-            p = stack.pop()
-            if p in seen:
-                continue
-            seen.add(p)
-            if p in tapped:
-                out.append(net_b.node_name(p))
-            else:
-                stack.extend(net_b.fanins(p))
-                if p in latch_by_q:
-                    stack.append(latch_by_q[p].driver)
-        return out
 
     suspect = failing_po
     turns_before = len(session.turns)
@@ -132,7 +130,8 @@ def main() -> None:
     while True:
         visited.add(suspect)
         frontier = [
-            s for s in observable_frontier(net_b.require(suspect))
+            s
+            for s in observable_frontier(net_b, tapped, net_b.require(suspect))
             if s not in visited
         ]
         verdicts = diverges(frontier)
@@ -145,18 +144,7 @@ def main() -> None:
     # Observability granularity is the mapped netlist: gates absorbed into
     # the suspect's LUT cone are not individually visible, so the hunt
     # localizes to the suspect plus its un-tapped fan-in region.
-    tapped = set(design.taps)
-    region: set[str] = set()
-    stack = [net_b.require(suspect)]
-    while stack:
-        nid = stack.pop()
-        name = net_b.node_name(nid)
-        if name in region:
-            continue
-        region.add(name)
-        for p in net_b.fanins(nid):
-            if p not in tapped:
-                stack.append(p)
+    region = untapped_region(net_b, tapped, suspect)
 
     print(
         f"\nlocalized after {turns} debugging turns: signal {suspect!r} "
@@ -178,33 +166,11 @@ def main() -> None:
 
 
 def _stimulus_script(net, n_cycles: int, seed: int) -> list[dict[str, int]]:
-    rng = np.random.default_rng(seed)
-    names = [net.node_name(p) for p in net.pis]
-    return [
-        {n: int(rng.integers(0, 2)) for n in names} for _ in range(n_cycles)
-    ]
+    return _campaign_stimulus(net, n_cycles, seed)
 
 
 def _run_pos(net, stim) -> list[dict[str, int]]:
-    sim = SequentialSimulator(net, n_words=1)
-    out = []
-    for cyc_stim in stim:
-        vals = sim.step(
-            {
-                p: np.array(
-                    [0xFFFFFFFFFFFFFFFF if cyc_stim[net.node_name(p)] else 0],
-                    dtype=np.uint64,
-                )
-                for p in net.pis
-            }
-        )
-        out.append(
-            {
-                po: int(vals[net.require(po)][0] & np.uint64(1))
-                for po in net.po_names
-            }
-        )
-    return out
+    return po_trace(net, stim)
 
 
 def _mismatch_cycle(golden, buggy, horizon: int) -> int | None:
@@ -225,38 +191,6 @@ def _failing_po(golden, buggy, cycle: int) -> str:
         if a[po] != b[po]:
             return po
     raise RuntimeError("no failing PO at the mismatch cycle")
-
-
-class _GoldenOracle:
-    """Replays stimulus on the golden design, reading any internal signal."""
-
-    def __init__(self, net):
-        self.net = net
-
-    def signals(self, stim, names: list[str]) -> dict[str, np.ndarray]:
-        sim = SequentialSimulator(self.net, n_words=1)
-        traces: dict[str, list[int]] = {
-            n: [] for n in names if self.net.find(n) is not None
-        }
-        for cyc_stim in stim:
-            vals = sim.step(
-                {
-                    p: np.array(
-                        [
-                            0xFFFFFFFFFFFFFFFF
-                            if cyc_stim[self.net.node_name(p)]
-                            else 0
-                        ],
-                        dtype=np.uint64,
-                    )
-                    for p in self.net.pis
-                }
-            )
-            for n in traces:
-                traces[n].append(
-                    int(vals[self.net.require(n)][0] & np.uint64(1))
-                )
-        return {n: np.array(v, dtype=np.uint8) for n, v in traces.items()}
 
 
 if __name__ == "__main__":

@@ -8,6 +8,14 @@ read waveforms.  No recompilation anywhere.
 Run:  python examples/quickstart.py
 """
 
+import os
+import sys
+
+# allow running straight from a source checkout, from any working directory
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
 from repro import DebugSession, generate_circuit, get_spec, run_generic_stage
 
 def main() -> None:

@@ -10,7 +10,13 @@ Run:  python examples/waveform_capture.py [out.vcd]
 
 from __future__ import annotations
 
+import os
 import sys
+
+# allow running straight from a source checkout, from any working directory
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
 
 import numpy as np
 

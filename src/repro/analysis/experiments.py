@@ -77,16 +77,32 @@ class BenchColumns:
         ]
 
 
-def run_benchmark_columns(spec: BenchmarkSpec, seed: int = 2016) -> BenchColumns:
-    """Run Initial / SimpleMap / ABC / Proposed for one benchmark (cached)."""
+def run_benchmark_columns(
+    spec: BenchmarkSpec,
+    seed: int = 2016,
+    *,
+    offline_fn: Callable[..., OfflineStage] | None = None,
+) -> BenchColumns:
+    """Run Initial / SimpleMap / ABC / Proposed for one benchmark (cached).
+
+    ``offline_fn(net, config) -> OfflineStage`` overrides how the offline
+    artifact is produced; pass
+    :meth:`repro.campaign.OfflineCache.as_offline_fn` to share artifacts
+    with a debug campaign instead of re-running the generic stage here.
+    """
     key = (spec.name, seed)
     got = _CACHE.get(key)
     if got is not None:
+        if offline_fn is not None:
+            # honor an explicit offline_fn even on a warm hit (the caller
+            # wants its own cache populated) without re-running the
+            # already-cached conventional flows
+            offline_fn(generate_circuit(spec, seed), DebugFlowConfig())
         return got
     t0 = time.perf_counter()
     net = generate_circuit(spec, seed)
     sinks = user_sink_names(net)
-    offline = run_generic_stage(net, DebugFlowConfig())
+    offline = (offline_fn or run_generic_stage)(net, DebugFlowConfig())
     sm = run_conventional_flow(net, "simplemap")
     abc = run_conventional_flow(net, "abc")
     cols = BenchColumns(

@@ -10,7 +10,13 @@ from __future__ import annotations
 import os
 from typing import Mapping, Sequence
 
-__all__ = ["ascii_bar_chart", "save_result", "results_dir"]
+__all__ = [
+    "ascii_bar_chart",
+    "save_result",
+    "results_dir",
+    "aggregate_campaign",
+    "render_campaign_report",
+]
 
 
 def results_dir(base: str | None = None) -> str:
@@ -59,4 +65,119 @@ def ascii_bar_chart(
                 f"  {key.ljust(label_w)}  {bar.ljust(width)}  "
                 f"{value:.0f} {unit}"
             )
+    return "\n".join(lines)
+
+
+def aggregate_campaign(records: Sequence[Mapping]) -> dict:
+    """Campaign-level aggregates over per-scenario result records.
+
+    ``records`` are plain dicts as produced by
+    :meth:`repro.campaign.results.ScenarioResult.as_record` — this module
+    stays independent of the campaign types so either layer can evolve.
+    """
+    counts: dict[str, int] = {}
+    for r in records:
+        counts[r["status"]] = counts.get(r["status"], 0) + 1
+    done = [r for r in records if r["status"] != "error"]
+    localized = [r for r in done if r["status"] == "localized"]
+    return {
+        "n_scenarios": len(records),
+        "counts": counts,
+        "localization_rate": len(localized) / len(done) if done else 0.0,
+        "offline_s": sum(r.get("offline_s", 0.0) for r in records),
+        "online_s": sum(r.get("online_s", 0.0) for r in records),
+        "cache_hits": sum(bool(r.get("offline_cache_hit")) for r in records),
+        "offline_builds": sum(
+            not r.get("offline_cache_hit") and r.get("offline_ok", True)
+            for r in records
+        ),
+        "turns": sum(r.get("turns", 0) for r in records),
+        "modeled_overhead_s": sum(
+            r.get("modeled_overhead_s", 0.0) for r in records
+        ),
+    }
+
+
+def render_campaign_report(
+    records: Sequence[Mapping],
+    *,
+    wall_s: float | None = None,
+    workers: int | None = None,
+    cache: Mapping | None = None,
+    notes: Sequence[str] = (),
+    title: str = "DEBUG-CAMPAIGN REPORT",
+) -> str:
+    """Render per-scenario records plus campaign aggregates as plain text.
+
+    The same conventions as the Table I/II drivers: a ``TextTable`` block,
+    aggregate lines below, persistable via :func:`save_result`.
+    """
+    from repro.util.tables import TextTable
+
+    t = TextTable(
+        [
+            "Scenario",
+            "Kind",
+            "Status",
+            "Fail@",
+            "Suspect",
+            "Region",
+            "Turns",
+            "Frames",
+            "Spec (us)",
+            "Online (s)",
+            "Offline (s)",
+            "Hit",
+        ],
+        aligns="llllrrrrrrrl",
+    )
+    for r in records:
+        fail = (
+            f"{r.get('failing_po', '')}:{r['fail_cycle']}"
+            if r.get("fail_cycle", -1) >= 0
+            else "-"
+        )
+        t.add_row(
+            [
+                r["scenario"],
+                r["kind"],
+                r["status"],
+                fail,
+                r.get("suspect") or "-",
+                r.get("region_size", 0),
+                r.get("turns", 0),
+                r.get("frames_touched", 0),
+                f"{1e6 * r.get('modeled_overhead_s', 0.0):.1f}",
+                f"{r.get('online_s', 0.0):.2f}",
+                f"{r.get('offline_s', 0.0):.2f}",
+                "y" if r.get("offline_cache_hit") else "n",
+            ]
+        )
+    agg = aggregate_campaign(records)
+    lines = [title, t.render(), ""]
+    counts = ", ".join(
+        f"{k}={v}" for k, v in sorted(agg["counts"].items())
+    )
+    lines.append(
+        f"scenarios: {agg['n_scenarios']} ({counts}); "
+        f"localization rate {100 * agg['localization_rate']:.0f}%"
+    )
+    builds = agg["offline_builds"]
+    lines.append(
+        f"offline stage: {builds} build(s) + {agg['cache_hits']} cache "
+        f"hit(s), {agg['offline_s']:.2f} s total; "
+        f"online: {agg['online_s']:.2f} s over {agg['turns']} debugging "
+        f"turn(s), {1e6 * agg['modeled_overhead_s']:.1f} us modeled "
+        "specialization"
+    )
+    if wall_s is not None:
+        par = f", {workers} worker(s)" if workers else ""
+        lines.append(f"wall clock: {wall_s:.2f} s{par}")
+    if cache:
+        lines.append(
+            "cache: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(cache.items()))
+        )
+    for note in notes:
+        lines.append(f"note: {note}")
     return "\n".join(lines)

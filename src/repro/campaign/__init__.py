@@ -1,0 +1,68 @@
+"""Batch debug-campaign orchestration (the scaling layer over §IV).
+
+The paper's economics are asymmetric: the *offline* generic stage
+(synthesis, signal parameterization, TCON mapping and — physically —
+pack/place/route) is expensive and runs once per design, while each
+*online* debugging turn costs a microsecond-scale respecialization.  This
+package exploits that asymmetry at batch scale:
+
+* :class:`OfflineCache` — content-keyed (design ⊕ flow config) cache of
+  :class:`~repro.core.flow.OfflineStage` artifacts, in memory and
+  optionally on disk, so each distinct design pays the generic stage
+  exactly once per campaign *and* across campaigns;
+* :mod:`~repro.workloads.scenarios` — deterministic (design, bug) scenario
+  generators: emulation-level stuck-at faults (shared offline artifact)
+  and netlist mutations (per-revision artifacts);
+* :func:`run_scenario` / :func:`localize_divergence` — the automated
+  online loop: detect the failure at the primary outputs, then walk the
+  divergence back through observable-frontier batches to the bug region;
+* :func:`run_campaign` — the orchestrator: serial offline resolution
+  through the cache, then a process-pool (or serial-fallback) online
+  fan-out, aggregated into a :class:`CampaignReport`;
+* ``python -m repro.campaign`` — the CLI front-end.
+
+Quick start::
+
+    from repro.campaign import OfflineCache, run_campaign
+    from repro.workloads import stuck_at_scenarios
+
+    scenarios = stuck_at_scenarios("stereov.", 4)
+    report = run_campaign(scenarios, cache=OfflineCache())
+    print(report.render())
+"""
+
+from repro.campaign.cache import CacheStats, OfflineCache
+from repro.campaign.localize import (
+    GoldenOracle,
+    Localization,
+    golden_signal_traces,
+    localize_divergence,
+)
+from repro.campaign.orchestrator import CampaignConfig, run_campaign
+from repro.campaign.results import STATUSES, CampaignReport, ScenarioResult
+from repro.campaign.runner import run_scenario
+from repro.workloads.scenarios import (
+    DebugScenario,
+    campaign_spec,
+    mutation_scenarios,
+    stuck_at_scenarios,
+)
+
+__all__ = [
+    "CacheStats",
+    "OfflineCache",
+    "GoldenOracle",
+    "Localization",
+    "golden_signal_traces",
+    "localize_divergence",
+    "CampaignConfig",
+    "run_campaign",
+    "STATUSES",
+    "CampaignReport",
+    "ScenarioResult",
+    "run_scenario",
+    "DebugScenario",
+    "campaign_spec",
+    "mutation_scenarios",
+    "stuck_at_scenarios",
+]

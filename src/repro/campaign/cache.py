@@ -1,0 +1,205 @@
+"""Content-keyed caching of offline-stage artifacts.
+
+The paper's amortization argument (§IV-A) is that the expensive generic
+stage runs *once per design* while every debugging turn pays only the
+microsecond-scale online specialization.  :class:`OfflineCache` lifts that
+from "once per process" to "once per design content": artifacts are keyed
+by :func:`repro.core.flow.offline_cache_key` (a SHA-256 over the canonical
+BLIF, the flow configuration and the flow version), held in memory and
+optionally persisted to a directory, so repeated campaigns — or several
+scenarios targeting the same design inside one campaign — never re-run
+synthesis, mapping or place-and-route.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+from repro.core.flow import (
+    DebugFlowConfig,
+    OfflineStage,
+    offline_cache_key,
+    run_generic_stage,
+)
+from repro.netlist.network import LogicNetwork
+
+__all__ = ["CacheStats", "OfflineCache"]
+
+Builder = Callable[[LogicNetwork, DebugFlowConfig], OfflineStage]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one :class:`OfflineCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    disk_hits: int = 0
+    """Subset of ``hits`` served by unpickling a persisted artifact."""
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+            "stores": self.stores,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+@dataclass
+class OfflineCache:
+    """Two-level (memory, disk) cache of :class:`OfflineStage` artifacts.
+
+    Parameters
+    ----------
+    cache_dir:
+        Optional directory for persistence across processes and campaign
+        invocations; created on demand.  ``None`` keeps the cache purely
+        in-memory.
+    keep_in_memory:
+        Whether disk-loaded and freshly built artifacts are retained in the
+        in-process map (the default; disable to bound memory on very large
+        campaigns while still deduplicating via disk).
+
+    Entries never expire: a key embeds the full design content, the flow
+    configuration and :data:`~repro.core.flow.FLOW_CACHE_VERSION`, so a
+    stale entry is unreachable rather than wrong.
+    """
+
+    cache_dir: str | None = None
+    keep_in_memory: bool = True
+    stats: CacheStats = field(default_factory=CacheStats)
+    _memory: dict[str, OfflineStage] = field(default_factory=dict)
+
+    def key(
+        self,
+        net: LogicNetwork,
+        config: DebugFlowConfig | None = None,
+        *,
+        extra: tuple = (),
+    ) -> str:
+        """The content key for ``(net, config, extra)``."""
+        return offline_cache_key(net, config, extra=extra)
+
+    def get(self, key: str) -> OfflineStage | None:
+        """Look up an artifact by key; ``None`` on miss (stats updated)."""
+        stage = self._memory.get(key)
+        if stage is not None:
+            self.stats.hits += 1
+            return stage
+        stage = self._load_from_disk(key)
+        if stage is not None:
+            self.stats.hits += 1
+            self.stats.disk_hits += 1
+            if self.keep_in_memory:
+                self._memory[key] = stage
+            return stage
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, stage: OfflineStage) -> OfflineStage:
+        """Store ``stage`` under ``key`` (memory and, if configured, disk)."""
+        stage = replace(stage, cache_key=key)
+        if self.keep_in_memory:
+            self._memory[key] = stage
+        if self.cache_dir is not None:
+            self._store_to_disk(key, stage)
+        self.stats.stores += 1
+        return stage
+
+    def get_or_run(
+        self,
+        net: LogicNetwork,
+        config: DebugFlowConfig | None = None,
+        *,
+        extra: tuple = (),
+        builder: Builder | None = None,
+    ) -> tuple[OfflineStage, bool]:
+        """Return the cached artifact for ``net``, building it on a miss.
+
+        ``builder`` defaults to :func:`~repro.core.flow.run_generic_stage`;
+        the campaign orchestrator passes a builder that additionally runs
+        the physical back-end (with a matching ``extra`` discriminator).
+        Returns ``(artifact, was_hit)``.
+        """
+        config = config or DebugFlowConfig()
+        key = self.key(net, config, extra=extra)
+        stage = self.get(key)
+        if stage is not None:
+            return stage, True
+        stage = (builder or run_generic_stage)(net, config)
+        return self.put(key, stage), False
+
+    def as_offline_fn(self) -> Builder:
+        """Adapter for :func:`repro.analysis.experiments.run_benchmark_columns`.
+
+        Lets the experiment drivers share this cache's artifacts instead of
+        re-running the generic stage per process.
+        """
+
+        def fn(net: LogicNetwork, config: DebugFlowConfig) -> OfflineStage:
+            return self.get_or_run(net, config)[0]
+
+        return fn
+
+    def clear(self) -> None:
+        """Drop in-memory entries (persisted files are left untouched)."""
+        self._memory.clear()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    # -- disk layer ------------------------------------------------------------
+
+    def _path(self, key: str) -> str:
+        assert self.cache_dir is not None
+        return os.path.join(self.cache_dir, f"{key}.pkl")
+
+    def _load_from_disk(self, key: str) -> OfflineStage | None:
+        if self.cache_dir is None:
+            return None
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                stage = pickle.load(fh)
+        except Exception:
+            # best-effort load: a corrupt, truncated or stale pickle (e.g.
+            # referencing a renamed module) degrades to a miss and rebuild
+            return None
+        return stage if isinstance(stage, OfflineStage) else None
+
+    def _store_to_disk(self, key: str, stage: OfflineStage) -> None:
+        assert self.cache_dir is not None
+        # best-effort: persistence is an optimization, so any failure
+        # (disk full, unpicklable member, ...) degrades to memory-only
+        try:
+            os.makedirs(self.cache_dir, exist_ok=True)
+            # atomic publish: concurrent campaigns over one directory see
+            # either nothing (and rebuild) or a complete artifact, never a
+            # torn file
+            fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+        except OSError:
+            return
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(stage, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, self._path(key))
+        except Exception:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass

@@ -1,0 +1,181 @@
+"""Command-line entry point: ``python -m repro.campaign``.
+
+Builds a scenario batch for the requested designs, runs the campaign and
+prints (optionally persists) the aggregated report.  Examples::
+
+    # 3 stuck-at scenarios on each of two designs, shared offline cache
+    python -m repro.campaign --designs stereov. diffeq2 --per-design 3
+
+    # mixed fault kinds, 4 online workers, artifacts persisted on disk
+    python -m repro.campaign --kind mixed --workers 4 --cache-dir .repro-cache
+
+    # cold baseline (no offline amortization), report saved to results/
+    python -m repro.campaign --no-cache --save campaign_cold
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.campaign.cache import OfflineCache
+from repro.campaign.orchestrator import CampaignConfig, run_campaign
+from repro.errors import WorkloadError
+from repro.workloads.scenarios import (
+    DebugScenario,
+    mutation_scenarios,
+    stuck_at_scenarios,
+)
+from repro.workloads.suites import PAPER_SUITE
+
+__all__ = ["main"]
+
+
+def _parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.campaign",
+        description="Batch debug campaign over many (design, bug) scenarios.",
+    )
+    p.add_argument(
+        "--designs",
+        nargs="+",
+        default=["stereov."],
+        metavar="NAME",
+        help=f"benchmark designs (known: {', '.join(sorted(PAPER_SUITE))})",
+    )
+    p.add_argument(
+        "--per-design",
+        type=int,
+        default=3,
+        help="bug scenarios generated per design (default 3)",
+    )
+    p.add_argument(
+        "--kind",
+        choices=["stuck-at", "mutation", "mixed"],
+        default="stuck-at",
+        help="emulation-level faults (amortized offline stage), netlist "
+        "mutations (one offline run each), or half/half",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="online-phase worker processes (default 1 = serial)",
+    )
+    p.add_argument("--seed", type=int, default=2016)
+    p.add_argument(
+        "--horizon",
+        type=int,
+        default=64,
+        help="stimulus cycles within which failures must appear (default 64)",
+    )
+    p.add_argument(
+        "--max-turns",
+        type=int,
+        default=48,
+        help="debugging-turn budget per localization (default 48)",
+    )
+    p.add_argument(
+        "--physical",
+        action="store_true",
+        help="include pack/place/route + bitstream in the offline artifact "
+        "(combinational designs only)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persist offline artifacts under DIR (reused across runs)",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="run cold: every scenario pays its own offline stage",
+    )
+    p.add_argument(
+        "--save",
+        default=None,
+        metavar="NAME",
+        help="also write the report to results/NAME.txt",
+    )
+    return p
+
+
+def _build_scenarios(
+    args: argparse.Namespace, cache: OfflineCache | None
+) -> list[DebugScenario]:
+    from repro.workloads import generate_circuit, get_spec
+
+    scenarios: list[DebugScenario] = []
+    for design in args.designs:
+        n = args.per_design
+        kw = dict(seed=args.seed, horizon=args.horizon)
+
+        def screening_offline():
+            # route the stuck-at screening pass through the campaign cache
+            # — under the same key the campaign will look up — so
+            # generation and the campaign share one offline build
+            # (mutation-only runs never need it: each mutation is its own
+            # design content)
+            if cache is None:
+                return None
+            from repro.campaign.orchestrator import _build_offline
+
+            net = generate_circuit(get_spec(design))
+            try:
+                return cache.get_or_run(
+                    net,
+                    extra=("physical",) if args.physical else (),
+                    builder=lambda n, c: _build_offline(n, c, args.physical),
+                )[0]
+            except Exception:
+                # screening only needs the generic artifact; let the
+                # campaign's offline phase surface the physical-stage
+                # failure as a per-scenario error result
+                return cache.get_or_run(net)[0]
+
+        if args.kind == "stuck-at":
+            scenarios += stuck_at_scenarios(
+                design, n, offline=screening_offline(), **kw
+            )
+        elif args.kind == "mutation":
+            scenarios += mutation_scenarios(design, n, **kw)
+        else:
+            n_mut = n // 2
+            scenarios += stuck_at_scenarios(
+                design, n - n_mut, offline=screening_offline(), **kw
+            )
+            if n_mut:
+                scenarios += mutation_scenarios(design, n_mut, **kw)
+    return scenarios
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parser().parse_args(argv)
+    print(
+        f"generating {args.per_design} {args.kind} scenario(s) per design "
+        f"for: {', '.join(args.designs)}"
+    )
+    cache = None if args.no_cache else OfflineCache(cache_dir=args.cache_dir)
+    try:
+        scenarios = _build_scenarios(args, cache)
+    except (KeyError, WorkloadError) as exc:
+        print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
+        return 2
+
+    config = CampaignConfig(
+        workers=args.workers,
+        with_physical=args.physical,
+        max_turns=args.max_turns,
+    )
+    report = run_campaign(scenarios, config=config, cache=cache)
+    print()
+    print(report.render())
+    if args.save:
+        path = report.save(args.save)
+        print(f"\n[saved to {path}]")
+    return 1 if any(r.status == "error" for r in report.results) else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

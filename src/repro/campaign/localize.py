@@ -1,0 +1,287 @@
+"""Automatic bug localization over a debug session.
+
+This is the campaign-grade version of the hunt ``examples/bug_hunt.py``
+narrates: starting from a failing primary output, repeatedly observe the
+suspect's *observable fan-in frontier* (the nearest tapped signals, crossing
+gates the mapper absorbed into LUT cones), compare the captured waveforms
+against a golden reference simulation, and walk to the first diverging
+frontier signal until the divergence has no diverging inputs — that signal
+roots the bug region.  Every frontier batch costs one debugging turn
+(an online respecialization), never a recompilation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.debug import DebugSession
+from repro.netlist.network import LogicNetwork
+
+__all__ = [
+    "GoldenOracle",
+    "Localization",
+    "golden_signal_traces",
+    "localize_divergence",
+    "mapped_frontier_fn",
+    "observable_frontier",
+    "untapped_region",
+]
+
+
+@dataclass(frozen=True)
+class Localization:
+    """Outcome of one localization walk."""
+
+    suspect: str
+    """The tapped signal rooting the divergence."""
+    region: frozenset[str]
+    """The suspect plus its un-tapped fan-in cone — the mapped netlist's
+    observability granularity: gates absorbed into the suspect's LUT cone
+    are not individually visible, so the hunt cannot narrow further."""
+    turns: int
+    """Debugging turns (online respecializations) the walk spent."""
+    signals_checked: int
+    """Frontier signals whose waveforms were compared against golden."""
+    exhausted: bool = False
+    """True when the walk stopped on its turn budget, not on convergence."""
+
+
+class GoldenOracle:
+    """Replays stimulus on the golden design, reading any internal signal.
+
+    The golden design is the *specification*: a plain simulation with full
+    visibility, standing in for the reference model an engineer diffs
+    waveforms against.
+    """
+
+    def __init__(self, net: LogicNetwork) -> None:
+        self.net = net
+
+    def signals(
+        self, stim: list[dict[str, int]], names: list[str]
+    ) -> dict[str, np.ndarray]:
+        """Golden traces (one uint8 array per signal) for ``names``."""
+        return golden_signal_traces(self.net, stim, names)
+
+
+def golden_signal_traces(
+    net: LogicNetwork, stim: list[dict[str, int]], names: list[str]
+) -> dict[str, np.ndarray]:
+    """Simulate ``net`` under ``stim`` recording the named signals.
+
+    One simulation pass serves any number of signals, so campaign runners
+    precompute the golden traces of *every* observable tap once per
+    scenario instead of re-simulating per frontier batch.  Delegates to
+    :func:`repro.workloads.scenarios.signal_traces` — the same loop PO
+    traces use, so golden and observed packing can never diverge.
+    """
+    from repro.workloads.scenarios import signal_traces
+
+    return signal_traces(net, stim, names)
+
+
+def _frontier_walk(net: LogicNetwork, is_tap, nid: int) -> list[str]:
+    """Backward DFS from ``nid`` to the nearest nodes where ``is_tap``
+    holds, crossing everything in between (latch boundaries are crossed
+    through the latch's D input, so the walk follows divergence backward
+    through sequential logic as well)."""
+    latch_by_q = {latch.q: latch for latch in net.latches}
+    out: list[str] = []
+    seen: set[int] = set()
+    stack = list(net.fanins(nid))
+    if nid in latch_by_q:
+        stack.append(latch_by_q[nid].driver)
+    while stack:
+        p = stack.pop()
+        if p in seen:
+            continue
+        seen.add(p)
+        if is_tap(p):
+            out.append(net.node_name(p))
+        else:
+            stack.extend(net.fanins(p))
+            if p in latch_by_q:
+                stack.append(latch_by_q[p].driver)
+    return out
+
+
+def observable_frontier(
+    net: LogicNetwork, tapped: set[int], nid: int
+) -> list[str]:
+    """Nearest tapped signals feeding ``nid``, crossing untapped ones."""
+    return _frontier_walk(net, tapped.__contains__, nid)
+
+
+def mapped_frontier_fn(session: DebugSession):
+    """Observable fan-in frontier over the *mapped* LUT network.
+
+    Netlist-level bugs propagate along source connectivity, but an
+    emulation-level forced fault lives on a mapped root: LUT cones that
+    absorbed copies of the faulted signal's logic never see the override,
+    so the divergence flows strictly along mapped LUT fan-ins.  Walking
+    the source graph can then stall one hop short (a source-frontier tap
+    whose LUT swallowed the fault site reads clean).  Use this frontier
+    for ``stuck_at`` scenarios; the source-level
+    :func:`observable_frontier` remains right for mutations.
+    """
+    mapped = session.mapped_net
+    design = session.design
+    tap_names = {
+        design.network.node_name(t) for t in design.taps
+    }
+
+    def frontier(name: str) -> list[str]:
+        nid = mapped.find(name)
+        if nid is None:
+            return []
+        return _frontier_walk(
+            mapped,
+            lambda p: mapped.node_name(p) in tap_names
+            and mapped.node_name(p) != name,
+            nid,
+        )
+
+    return frontier
+
+
+def untapped_region(
+    net: LogicNetwork, tapped: set[int], suspect: str
+) -> frozenset[str]:
+    """The suspect plus its un-tapped fan-in cone (the bug region)."""
+    region: set[str] = set()
+    stack = [net.require(suspect)]
+    while stack:
+        nid = stack.pop()
+        name = net.node_name(nid)
+        if name in region:
+            continue
+        region.add(name)
+        for p in net.fanins(nid):
+            if p not in tapped:
+                stack.append(p)
+    return frozenset(region)
+
+
+def localize_divergence(
+    session: DebugSession,
+    golden_traces: dict[str, np.ndarray],
+    failing_po: str,
+    stim: list[dict[str, int]],
+    *,
+    max_turns: int = 48,
+    frontier_fn=None,
+) -> Localization:
+    """Walk the divergence from ``failing_po`` back to its root cause.
+
+    Parameters
+    ----------
+    session:
+        An online debug session on the design under test; any active
+        :meth:`~repro.core.debug.DebugSession.force` faults stay in effect,
+        so emulation-level bug scenarios localize with the same machinery
+        as netlist-level ones.
+    golden_traces:
+        Reference waveforms for (at least) every tapped signal the walk may
+        touch — see :func:`golden_signal_traces`.
+    failing_po:
+        Name of the primary output where the failure was first seen.
+    stim:
+        Per-cycle stimulus up to and including the failure cycle.
+    max_turns:
+        Budget of debugging turns; the walk reports ``exhausted=True``
+        instead of looping when a pathological design exceeds it.
+    frontier_fn:
+        ``name -> [frontier signal names]`` override; defaults to the
+        source-level :func:`observable_frontier`.  Pass
+        :func:`mapped_frontier_fn` for emulation-level faults.
+    """
+    design = session.design
+    net = design.network
+    tapped = set(design.taps)
+    n_cycles = len(stim)
+    turns_before = len(session.turns)
+    checked = 0
+    if frontier_fn is None:
+        frontier_fn = lambda name: observable_frontier(  # noqa: E731
+            net, tapped, net.require(name)
+        )
+
+    scored: dict[str, bool] = {}
+    """Walk-level verdict memo: frontiers of successive suspects overlap
+    through shared fan-in, and re-observing an already-judged signal would
+    burn debugging turns from the budget for no information."""
+    budget_hit = False
+
+    def diverges(signals: list[str]) -> dict[str, bool]:
+        """Observe signals (in collision-free batches) vs the golden model."""
+        nonlocal checked, budget_hit
+        out: dict[str, bool] = {s: scored[s] for s in signals if s in scored}
+        remaining = [
+            s
+            for s in signals
+            if s not in scored
+            and net.find(s) is not None
+            and net.find(s) in tapped
+        ]
+        while remaining:
+            if len(session.turns) - turns_before >= max_turns:
+                # unscored signals stay unscored — flag it so the walk
+                # reports exhaustion instead of a false convergence
+                budget_hit = True
+                break
+            batch: list[str] = []
+            used: set[int] = set()
+            rest: list[str] = []
+            for s in remaining:
+                g = design.group_of(design.network.require(s))
+                if g.index in used:
+                    rest.append(s)
+                else:
+                    used.add(g.index)
+                    batch.append(s)
+            session.observe(batch)
+            session.reset()
+            session.run(n_cycles, stimulus=lambda c: stim[c])
+            waves = session.waveforms()
+            for s in batch:
+                checked += 1
+                exp = golden_traces.get(s)
+                got = waves.get(s)
+                if exp is None or got is None:
+                    verdict = False
+                else:
+                    # the trace buffer keeps the LAST `depth` of the
+                    # n_cycles run — align the golden slice to that window
+                    ref = exp[:n_cycles]
+                    ref = ref[max(0, len(ref) - len(got)) :]
+                    verdict = not np.array_equal(got[: len(ref)], ref)
+                out[s] = scored[s] = verdict
+            remaining = rest
+        return out
+
+    suspect = failing_po
+    visited: set[str] = set()
+    exhausted = False
+    while True:
+        if len(session.turns) - turns_before >= max_turns:
+            exhausted = True
+            break
+        visited.add(suspect)
+        frontier = [s for s in frontier_fn(suspect) if s not in visited]
+        verdicts = diverges(frontier)
+        bad = [s for s in frontier if verdicts.get(s)]
+        if not bad:
+            if budget_hit:
+                exhausted = True
+            break
+        suspect = bad[0]
+
+    return Localization(
+        suspect=suspect,
+        region=untapped_region(net, tapped, suspect),
+        turns=len(session.turns) - turns_before,
+        signals_checked=checked,
+        exhausted=exhausted,
+    )

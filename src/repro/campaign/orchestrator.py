@@ -1,0 +1,179 @@
+"""Batch campaign orchestration: offline amortization + online fan-out.
+
+:func:`run_campaign` drives a whole batch of (design, bug-scenario) pairs
+through the two-stage debug flow:
+
+* **Offline phase** (parent process, serial): every scenario's
+  design-under-debug is materialized and resolved through the
+  :class:`~repro.campaign.cache.OfflineCache` — structurally identical
+  designs share one artifact, so a campaign of N stuck-at scenarios on one
+  design pays the generic stage (and, with ``with_physical``, the full
+  pack/place/route back-end) exactly once.
+* **Online phase**: each scenario's debug loop
+  (:func:`~repro.campaign.runner.run_scenario`) runs independently — in a
+  :class:`~concurrent.futures.ProcessPoolExecutor` when ``workers > 1``,
+  with an automatic serial fallback when process pools are unavailable
+  (sandboxes, restricted containers).  Physical-stage payloads are
+  stripped before dispatch: the online loop only needs the virtual PConf.
+
+Results aggregate into a :class:`~repro.campaign.results.CampaignReport`.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+from repro.campaign.cache import OfflineCache
+from repro.campaign.results import CampaignReport, ScenarioResult
+from repro.campaign.runner import run_scenario
+from repro.core.flow import (
+    DebugFlowConfig,
+    OfflineStage,
+    run_generic_stage,
+    run_physical_stage,
+)
+from repro.netlist.network import LogicNetwork
+from repro.workloads.scenarios import DebugScenario
+
+__all__ = ["CampaignConfig", "run_campaign"]
+
+
+@dataclass
+class CampaignConfig:
+    """Knobs of a campaign run."""
+
+    flow: DebugFlowConfig = field(default_factory=DebugFlowConfig)
+    workers: int = 1
+    """Online-phase parallelism; ``<= 1`` runs scenarios serially."""
+    with_physical: bool = False
+    """Include the physical back-end (pack/place/route, bitstream) in the
+    offline artifact — the paper's full §IV-A stage.  Currently limited to
+    combinational designs (the TPaR back-end does not yet route latches)."""
+    max_turns: int = 48
+    """Per-scenario budget of debugging turns for the localization walk."""
+
+
+def _build_offline(
+    net: LogicNetwork, config: DebugFlowConfig, with_physical: bool
+) -> OfflineStage:
+    stage = run_generic_stage(net, config)
+    if with_physical:
+        run_physical_stage(stage)
+    return stage
+
+
+def _online_worker(
+    payload: tuple[DebugScenario, OfflineStage, int],
+) -> ScenarioResult:
+    scenario, offline, max_turns = payload
+    return run_scenario(scenario, offline, max_turns=max_turns)
+
+
+def run_campaign(
+    scenarios: Sequence[DebugScenario],
+    *,
+    config: CampaignConfig | None = None,
+    cache: OfflineCache | None = None,
+) -> CampaignReport:
+    """Run a debug campaign over ``scenarios``.
+
+    Parameters
+    ----------
+    scenarios:
+        The (design, bug) pairs to localize — see
+        :mod:`repro.workloads.scenarios` for generators.
+    config:
+        Orchestration knobs; defaults to serial execution, generic-only
+        offline artifacts and a 48-turn localization budget.
+    cache:
+        Offline-artifact cache.  ``None`` runs *cold*: every scenario pays
+        its own offline stage, the baseline the cache's amortization is
+        measured against (``benchmarks/bench_campaign.py``).
+
+    Scenario outcomes are deterministic — the same scenarios and flow
+    config produce the same statuses, suspects and turn counts whether the
+    online phase runs serially or across a worker pool.
+    """
+    config = config or CampaignConfig()
+    notes: list[str] = []
+    t_wall = time.perf_counter()
+
+    # -- offline phase: one artifact per distinct design content ---------------
+    extra = ("physical",) if config.with_physical else ()
+    payloads: list[tuple[DebugScenario, OfflineStage, int]] = []
+    offline_s: list[float] = []
+    hits: list[bool] = []
+    failed: dict[int, ScenarioResult] = {}
+    for idx, sc in enumerate(scenarios):
+        t0 = time.perf_counter()
+        try:
+            net = sc.debug_network()
+            if cache is not None:
+                stage, hit = cache.get_or_run(
+                    net,
+                    config.flow,
+                    extra=extra,
+                    builder=lambda n, c: _build_offline(
+                        n, c, config.with_physical
+                    ),
+                )
+            else:
+                stage = _build_offline(net, config.flow, config.with_physical)
+                hit = False
+        except Exception as exc:  # noqa: BLE001 — one bad design ≠ dead campaign
+            failed[idx] = ScenarioResult(
+                scenario=sc.name,
+                design=sc.spec.name,
+                kind=sc.kind,
+                status="error",
+                offline_ok=False,
+                error=f"offline stage failed: {type(exc).__name__}: {exc}",
+            )
+            offline_s.append(time.perf_counter() - t0)
+            hits.append(False)
+            continue
+        offline_s.append(time.perf_counter() - t0)
+        hits.append(hit)
+        # the online loop runs against the virtual PConf; don't ship the
+        # physical stage (MBs of placement/routing state) to workers
+        payloads.append(
+            (sc, replace(stage, physical=None), config.max_turns)
+        )
+
+    # -- online phase: independent debug loops ---------------------------------
+    online: list[ScenarioResult]
+    if config.workers > 1 and payloads:
+        try:
+            with ProcessPoolExecutor(max_workers=config.workers) as pool:
+                online = list(pool.map(_online_worker, payloads))
+        except (OSError, PermissionError, BrokenExecutor) as exc:
+            notes.append(
+                f"worker pool unavailable ({type(exc).__name__}); "
+                "fell back to serial execution"
+            )
+            online = [_online_worker(p) for p in payloads]
+    else:
+        online = [_online_worker(p) for p in payloads]
+
+    # re-interleave offline-failure placeholders at their scenario positions
+    results: list[ScenarioResult] = []
+    it = iter(online)
+    for idx in range(len(scenarios)):
+        results.append(failed[idx] if idx in failed else next(it))
+
+    for r, secs, hit in zip(results, offline_s, hits):
+        r.offline_s = secs
+        r.offline_cache_hit = hit
+
+    return CampaignReport(
+        results=results,
+        wall_s=time.perf_counter() - t_wall,
+        workers=max(1, config.workers),
+        offline_total_s=sum(offline_s),
+        online_total_s=sum(r.online_s for r in results),
+        cache_stats=cache.stats.as_dict() if cache is not None else None,
+        notes=notes,
+    )

@@ -1,0 +1,134 @@
+"""Structured results of campaign runs.
+
+Every scenario produces one :class:`ScenarioResult` — a flat, picklable
+record of what happened (status, localization outcome, per-phase timings
+via :class:`~repro.util.timing.PhaseTimer`, modeled online overhead) that
+travels back from worker processes.  :class:`CampaignReport` aggregates
+them and renders through :func:`repro.analysis.reporting.
+render_campaign_report`, keeping one reporting surface for experiments and
+campaigns alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+from repro.analysis.reporting import render_campaign_report, save_result
+
+__all__ = ["STATUSES", "ScenarioResult", "CampaignReport"]
+
+#: Possible scenario outcomes:
+#:
+#: ``localized``   the walk's bug region contains the ground-truth site;
+#: ``missed``      the walk converged elsewhere (or ran out of turns);
+#: ``undetected``  the bug never diverged at a primary output within the
+#:                 horizon on the *emulated* design — the paper's motivating
+#:                 observability problem;
+#: ``error``       the scenario raised; see ``error``.
+STATUSES = ("localized", "missed", "undetected", "error")
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome and accounting for one campaign scenario."""
+
+    scenario: str
+    design: str
+    kind: str
+    status: str
+    truth: str = ""
+    """Ground-truth bug site (fault signal or mutated gate)."""
+    suspect: str = ""
+    region_size: int = 0
+    failing_po: str = ""
+    fail_cycle: int = -1
+    turns: int = 0
+    signals_checked: int = 0
+    offline_cache_hit: bool = False
+    offline_ok: bool = True
+    """False when the offline stage itself failed (no artifact was built)."""
+    offline_s: float = 0.0
+    """Wall-clock the orchestrator spent obtaining this scenario's offline
+    artifact (≈0 on a cache hit)."""
+    setup_s: float = 0.0
+    golden_s: float = 0.0
+    detect_s: float = 0.0
+    localize_s: float = 0.0
+    online_s: float = 0.0
+    modeled_overhead_s: float = 0.0
+    """Modeled device-side specialization time summed over all turns."""
+    frames_touched: int = 0
+    error: str = ""
+
+    def as_record(self) -> dict:
+        """Plain-dict view (what the reporting layer consumes)."""
+        return asdict(self)
+
+    def outcome(self) -> tuple:
+        """The deterministic fields — identical across serial/parallel runs
+        and across repeated campaigns (timings excluded)."""
+        return (
+            self.scenario,
+            self.design,
+            self.kind,
+            self.status,
+            self.truth,
+            self.suspect,
+            self.region_size,
+            self.failing_po,
+            self.fail_cycle,
+            self.turns,
+            self.signals_checked,
+            self.frames_touched,
+        )
+
+
+@dataclass
+class CampaignReport:
+    """Aggregated outcome of one campaign run."""
+
+    results: list[ScenarioResult]
+    wall_s: float = 0.0
+    workers: int = 1
+    offline_total_s: float = 0.0
+    online_total_s: float = 0.0
+    cache_stats: dict | None = None
+    """Snapshot of :class:`~repro.campaign.cache.CacheStats` (``None`` when
+    the campaign ran cold, without a cache)."""
+    notes: list[str] = field(default_factory=list)
+
+    def aggregate(self) -> dict:
+        """Campaign aggregates — single source of truth is
+        :func:`repro.analysis.reporting.aggregate_campaign`."""
+        from repro.analysis.reporting import aggregate_campaign
+
+        return aggregate_campaign([r.as_record() for r in self.results])
+
+    def counts(self) -> dict[str, int]:
+        return self.aggregate()["counts"]
+
+    @property
+    def n_scenarios(self) -> int:
+        return len(self.results)
+
+    @property
+    def localization_rate(self) -> float:
+        return self.aggregate()["localization_rate"]
+
+    def outcomes(self) -> list[tuple]:
+        """Deterministic per-scenario outcomes, in scenario order."""
+        return [r.outcome() for r in self.results]
+
+    def render(self) -> str:
+        """Human-readable campaign report (tables + aggregate lines)."""
+        return render_campaign_report(
+            [r.as_record() for r in self.results],
+            wall_s=self.wall_s,
+            workers=self.workers,
+            cache=self.cache_stats,
+            notes=self.notes,
+        )
+
+    def save(self, name: str = "campaign", base: str | None = None) -> str:
+        """Persist the rendered report to ``results/<name>.txt``."""
+        return save_result(name, self.render(), base)

@@ -1,0 +1,151 @@
+"""Per-scenario execution: one debug session, detection, localization.
+
+:func:`run_scenario` is the unit of work the campaign orchestrator
+dispatches (serially or to a worker pool).  It is a pure function of
+``(scenario, offline artifact)`` — stimulus, golden model and bug
+reproduction all derive deterministically from the scenario — which is
+what guarantees byte-identical outcomes between serial and parallel
+campaigns.
+"""
+
+from __future__ import annotations
+
+from repro.campaign.localize import (
+    golden_signal_traces,
+    localize_divergence,
+    mapped_frontier_fn,
+)
+from repro.campaign.results import ScenarioResult
+from repro.core.debug import DebugSession
+from repro.core.flow import OfflineStage
+from repro.util.timing import PhaseTimer
+from repro.workloads.scenarios import DebugScenario, stimulus_script
+
+__all__ = ["run_scenario"]
+
+
+def run_scenario(
+    scenario: DebugScenario,
+    offline: OfflineStage,
+    *,
+    max_turns: int = 48,
+) -> ScenarioResult:
+    """Run one scenario's online debug loop against its offline artifact.
+
+    Phases (timed individually through :class:`PhaseTimer`):
+
+    1. *setup* — build the :class:`DebugSession`; for ``stuck_at``
+       scenarios, arm the emulation-level fault;
+    2. *golden* — one reference simulation pass recording every observable
+       tap and every primary output;
+    3. *detect* — emulate the (faulty) mapped design watching its primary
+       outputs until the first cycle diverging from golden; no divergence
+       within the horizon ⇒ ``undetected``;
+    4. *localize* — the frontier walk of
+       :func:`~repro.campaign.localize.localize_divergence`.
+
+    Never raises: failures are captured as ``status="error"`` results so a
+    single bad scenario cannot take down a campaign.
+    """
+    timers = PhaseTimer()
+    result = ScenarioResult(
+        scenario=scenario.name,
+        design=scenario.spec.name,
+        kind=scenario.kind,
+        status="error",
+        truth=scenario.fault_signal or "",
+    )
+    try:
+        golden = scenario.golden_network()
+        if scenario.kind == "mutation":
+            # reproduce the recorded bug (on a scratch copy) for its
+            # ground-truth site
+            bug = scenario.reproduce_bug(golden.copy())
+            result.truth = bug.node_name
+
+        with timers.phase("setup"):
+            # trace depth must cover the horizon, or the ring buffer wraps
+            # and waveform comparisons would misalign against golden
+            session = DebugSession(
+                offline,
+                trace_depth=max(
+                    scenario.horizon, offline.config.trace_depth
+                ),
+            )
+            if scenario.kind == "stuck_at":
+                assert scenario.fault_signal is not None
+                session.force(
+                    scenario.fault_signal,
+                    scenario.fault_value,
+                    first_cycle=scenario.fault_from_cycle,
+                )
+
+        stim = stimulus_script(golden, scenario.horizon, scenario.stimulus_seed)
+        design = session.design
+        tap_names = [design.network.node_name(t) for t in design.taps]
+
+        with timers.phase("golden"):
+            golden_traces = golden_signal_traces(
+                golden, stim, tap_names + session.user_po_names
+            )
+
+        with timers.phase("detect"):
+            observed = session.output_trace(
+                scenario.horizon, stimulus=lambda c: stim[c]
+            )
+            failure = _first_divergence(observed, golden_traces)
+
+        if failure is None:
+            result.status = "undetected"
+        else:
+            fail_cycle, failing_po = failure
+            result.fail_cycle = fail_cycle
+            result.failing_po = failing_po
+            with timers.phase("localize"):
+                session.reset()
+                # walk over the full horizon, not just up to the failure:
+                # a short pre-failure window can hide slow-diverging
+                # signals and stall the walk one hop short of the bug
+                loc = localize_divergence(
+                    session,
+                    golden_traces,
+                    failing_po,
+                    stim,
+                    max_turns=max_turns,
+                    # forced faults propagate along mapped LUT connectivity
+                    frontier_fn=mapped_frontier_fn(session)
+                    if scenario.kind == "stuck_at"
+                    else None,
+                )
+            result.suspect = loc.suspect
+            result.region_size = len(loc.region)
+            result.turns = loc.turns
+            result.signals_checked = loc.signals_checked
+            hit = result.truth == loc.suspect or result.truth in loc.region
+            result.status = "localized" if hit else "missed"
+
+        result.modeled_overhead_s = session.total_modeled_overhead_s()
+        result.frames_touched = sum(t.frames_touched for t in session.turns)
+    except Exception as exc:  # noqa: BLE001 — campaign must survive any scenario
+        result.status = "error"
+        result.error = f"{type(exc).__name__}: {exc}"
+
+    result.setup_s = timers.totals.get("setup", 0.0)
+    result.golden_s = timers.totals.get("golden", 0.0)
+    result.detect_s = timers.totals.get("detect", 0.0)
+    result.localize_s = timers.totals.get("localize", 0.0)
+    result.online_s = timers.total()
+    return result
+
+
+def _first_divergence(
+    observed: list[dict[str, int]],
+    golden_traces: dict[str, "object"],
+) -> tuple[int, str] | None:
+    """First (cycle, po) where the emulated outputs leave the golden trace."""
+    for cyc, row in enumerate(observed):
+        for po, bit in row.items():
+            exp = golden_traces.get(po)
+            if exp is not None and cyc < len(exp) and int(exp[cyc]) != bit:
+                return cyc, po
+    return None

@@ -33,7 +33,7 @@ from repro.core.virtual import build_virtual_pconf
 from repro.errors import DebugFlowError
 from repro.netlist.simulate import SequentialSimulator
 
-__all__ = ["DebugSession", "DebugTurnLog"]
+__all__ = ["DebugSession", "DebugTurnLog", "ForcedFault"]
 
 Stimulus = Callable[[int], Mapping[str, int]]
 """Per-cycle primary-input values: cycle → {pi name: 0/1}."""
@@ -48,6 +48,29 @@ class DebugTurnLog:
     modeled_overhead_s: float
     frames_touched: int
     software_s: float
+
+
+@dataclass(frozen=True)
+class ForcedFault:
+    """An emulation-level stuck-at override on a mapped-network signal.
+
+    Models the campaign workload of :mod:`repro.emu.fault` inside a debug
+    session: the emulated (mapped) design misbehaves, but the *bitstream*
+    is the clean one, so every scenario targeting the same design shares
+    one offline-stage artifact.  Note that forcing a value on a mapped
+    node is not always equivalent to forcing it in the source netlist —
+    technology mapping duplicates logic into LUT cones, so paths that
+    absorbed the signal's logic do not see the override.  Failure
+    detection must therefore happen at the mapped level
+    (:meth:`DebugSession.output_trace`), which is also what a real bench
+    observes.
+    """
+
+    node: int
+    signal: str
+    value: int
+    first_cycle: int
+    last_cycle: int
 
 
 class DebugSession:
@@ -91,6 +114,21 @@ class DebugSession:
         self._tb_nodes = [
             self.mapped_net.require(g.po_name) for g in self.design.groups
         ]
+        self._forces: list[ForcedFault] = []
+        # design nodes a fault may be forced on: taps, latches and user PIs
+        # (param PIs excluded — forcing a select corrupts observation)
+        net_i = self.design.network
+        self._forceable_nodes = (
+            set(self.design.taps)
+            | {latch.q for latch in net_i.latches}
+            | set(net_i.pis)
+        ) - set(self.design.param_nodes.values())
+        tb_pos = {g.po_name for g in self.design.groups}
+        self._user_po_names = [
+            po
+            for po in offline.source.po_names
+            if po not in tb_pos and self.mapped_net.find(po) is not None
+        ]
 
     # -- observation ------------------------------------------------------------
 
@@ -129,12 +167,90 @@ class DebugSession:
         """Current buffer input → observed signal name."""
         return dict(self._observed)
 
+    # -- fault forcing ------------------------------------------------------------
+
+    def force(
+        self,
+        signal: str,
+        value: int,
+        *,
+        first_cycle: int = 0,
+        last_cycle: int | None = None,
+    ) -> ForcedFault:
+        """Force ``signal`` to ``value`` during ``[first_cycle, last_cycle]``.
+
+        The override is applied inside the mapped-network emulation on every
+        :meth:`run` / :meth:`output_trace` cycle in range, modeling a bug
+        manifesting in the emulated design while the configuration itself
+        stays clean.  Only *design* signals that physically exist in the
+        mapped network — the observable taps (LUT roots), latches and user
+        PIs — can be forced; debug-infrastructure nodes (select parameters,
+        mux tree, trace-buffer outputs) are rejected, since forcing those
+        would corrupt observation itself.  Forces survive :meth:`reset`;
+        use :meth:`clear_forces` to remove them.
+        """
+        nid = self.mapped_net.find(signal)
+        design_node = self.design.network.find(signal)
+        if (
+            nid is None
+            or design_node is None
+            or design_node not in self._forceable_nodes
+        ):
+            raise DebugFlowError(
+                f"signal {signal!r} is not a forceable design signal; only "
+                "observable taps, latches and user PIs exist in the mapped "
+                "network as design nodes (debug-network nodes cannot be "
+                "forced without corrupting observation)"
+            )
+        if value not in (0, 1):
+            raise DebugFlowError("forced value must be 0 or 1")
+        fault = ForcedFault(
+            node=nid,
+            signal=signal,
+            value=value,
+            first_cycle=first_cycle,
+            last_cycle=last_cycle if last_cycle is not None else 2**62,
+        )
+        self._forces.append(fault)
+        return fault
+
+    def clear_forces(self) -> None:
+        """Remove every active forced fault."""
+        self._forces.clear()
+
+    @property
+    def forces(self) -> list[ForcedFault]:
+        """The currently active forced faults."""
+        return list(self._forces)
+
+    def _cycle_overrides(self) -> dict[int, np.ndarray] | None:
+        """Override arrays for faults active on the upcoming cycle."""
+        if not self._forces:
+            return None
+        cyc = self.sim.cycle
+        overrides: dict[int, np.ndarray] = {}
+        for f in self._forces:
+            if f.first_cycle <= cyc <= f.last_cycle:
+                fill = np.uint64(0xFFFFFFFFFFFFFFFF) if f.value else np.uint64(0)
+                overrides[f.node] = np.full(1, fill, dtype=np.uint64)
+        return overrides or None
+
     # -- execution ----------------------------------------------------------------
 
     def reset(self) -> None:
         """Reset emulated latches and the trace memory (not the turn log)."""
         self.sim.reset()
         self.trace.reset()
+
+    def _step_with_stimulus(self, stimulus: Stimulus) -> dict[int, np.ndarray]:
+        """Advance one cycle: user stimulus + parameter PIs + active forces."""
+        pi_vals: dict[int, np.ndarray] = dict(self._param_pi_values)
+        stim = stimulus(self.sim.cycle)
+        for pi in self._user_pis:
+            name = self.mapped_net.node_name(pi)
+            bit = int(stim.get(name, 0)) & 1
+            pi_vals[pi] = np.array([bit], dtype=np.uint64)
+        return self.sim.step(pi_vals, overrides=self._cycle_overrides())
 
     def run(
         self,
@@ -152,13 +268,7 @@ class DebugSession:
         if n_cycles < 0:
             raise DebugFlowError("n_cycles must be non-negative")
         for c in range(n_cycles):
-            pi_vals: dict[int, np.ndarray] = dict(self._param_pi_values)
-            stim = stimulus(self.sim.cycle)
-            for pi in self._user_pis:
-                name = self.mapped_net.node_name(pi)
-                bit = int(stim.get(name, 0)) & 1
-                pi_vals[pi] = np.array([bit], dtype=np.uint64)
-            values = self.sim.step(pi_vals)
+            values = self._step_with_stimulus(stimulus)
             sample = [int(values[n][0] & np.uint64(1)) for n in self._tb_nodes]
             named = {
                 g.po_name: sample[i]
@@ -169,6 +279,40 @@ class DebugSession:
         if self.turns:
             self.turns[-1].cycles_run += n_cycles
         return self.trace.window()
+
+    @property
+    def user_po_names(self) -> list[str]:
+        """The design's own primary outputs (excluding trace-buffer POs)."""
+        return list(self._user_po_names)
+
+    def output_trace(
+        self, n_cycles: int, stimulus: Stimulus
+    ) -> list[dict[str, int]]:
+        """Emulate ``n_cycles`` recording the design's primary outputs.
+
+        Primary outputs are board pins — visible without any
+        instrumentation — so this models the engineer watching the failing
+        outputs before deciding which internal signals to observe.  It
+        advances the same emulation state as :meth:`run` (active forces
+        apply, cycles count toward the current debug turn) but does not
+        capture into the trace buffer.  Returns one ``{po name: 0/1}`` dict
+        per cycle.
+        """
+        if n_cycles < 0:
+            raise DebugFlowError("n_cycles must be non-negative")
+        po_ids = [self.mapped_net.require(po) for po in self._user_po_names]
+        out: list[dict[str, int]] = []
+        for _ in range(n_cycles):
+            values = self._step_with_stimulus(stimulus)
+            out.append(
+                {
+                    po: int(values[nid][0] & np.uint64(1))
+                    for po, nid in zip(self._user_po_names, po_ids)
+                }
+            )
+        if self.turns:
+            self.turns[-1].cycles_run += n_cycles
+        return out
 
     # -- results --------------------------------------------------------------------
 

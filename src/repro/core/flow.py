@@ -22,19 +22,35 @@ design subpackages lazily so mapping-level users don't pay for them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+from dataclasses import asdict, dataclass, field
 from typing import TYPE_CHECKING, Any
 
 from repro.core.annotate import ParAnnotation
 from repro.core.muxnet import InstrumentedDesign, build_trace_network
 from repro.errors import DebugFlowError
 from repro.mapping import AbcMap, MappingResult, TconMap
+from repro.netlist.blif import write_blif
 from repro.netlist.network import LogicNetwork
 from repro.netlist.transforms import cleanup
 from repro.netlist.validate import validate_network
 from repro.util.timing import PhaseTimer
 
-__all__ = ["DebugFlowConfig", "OfflineStage", "run_generic_stage", "run_physical_stage"]
+__all__ = [
+    "DebugFlowConfig",
+    "OfflineStage",
+    "FLOW_CACHE_VERSION",
+    "offline_cache_key",
+    "run_generic_stage",
+    "run_physical_stage",
+]
+
+#: Bump whenever the offline flow's semantics change in a way that makes
+#: previously cached :class:`OfflineStage` artifacts stale (mapper changes,
+#: new instrumentation, different tap selection...).  The version is folded
+#: into :func:`offline_cache_key`, so stale disk caches miss instead of
+#: returning artifacts from an older flow.
+FLOW_CACHE_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -65,6 +81,15 @@ class OfflineStage:
     timers: PhaseTimer = field(default_factory=PhaseTimer)
     physical: Any | None = None
     """Filled by :func:`run_physical_stage` (a PhysicalStage)."""
+    cache_key: str | None = None
+    """Content key under which this artifact was cached, if any.
+
+    Set by :class:`repro.campaign.OfflineCache`; ``None`` for artifacts
+    produced directly by :func:`run_generic_stage`.  The whole dataclass is
+    picklable (networks, mappings and timers are plain containers), which is
+    what lets campaign workers receive the artifact and what the disk cache
+    serializes.
+    """
 
     @property
     def taps(self) -> list[int]:
@@ -79,6 +104,37 @@ class OfflineStage:
             f"{len(self.taps)} observable signals on "
             f"{self.instrumented.n_buffer_inputs} buffer inputs"
         )
+
+
+def offline_cache_key(
+    net: LogicNetwork,
+    config: DebugFlowConfig | None = None,
+    *,
+    extra: tuple = (),
+) -> str:
+    """Content key identifying the offline artifact for ``(net, config)``.
+
+    The key is a SHA-256 over the BLIF serialization of the network, every
+    :class:`DebugFlowConfig` field, the flow version
+    (:data:`FLOW_CACHE_VERSION`) and any ``extra`` discriminators (the
+    campaign layer adds ``"physical"`` when the cached artifact includes the
+    physical back-end).  Designs that serialize identically — e.g. every
+    regeneration of a workload from the same ``(spec, seed)``, or repeated
+    bug scenarios on one design — share one key, which is what lets a debug
+    campaign pay the generic stage once per design.  The serialization
+    includes model and signal *names*, so a renamed-but-structurally-equal
+    design conservatively misses (and rebuilds) rather than risking a wrong
+    hit.
+    """
+    config = config or DebugFlowConfig()
+    h = hashlib.sha256()
+    h.update(f"repro-offline-v{FLOW_CACHE_VERSION}\n".encode())
+    h.update(write_blif(net).encode())
+    for key, value in sorted(asdict(config).items()):
+        h.update(f"{key}={value!r}\n".encode())
+    for item in extra:
+        h.update(f"extra={item!r}\n".encode())
+    return h.hexdigest()
 
 
 def run_generic_stage(

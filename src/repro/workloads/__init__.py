@@ -15,6 +15,13 @@ from repro.workloads.suites import (
 )
 from repro.workloads.generator import generate_circuit
 from repro.workloads.perturb import inject_bug, InjectedBug
+from repro.workloads.scenarios import (
+    DebugScenario,
+    campaign_spec,
+    mutation_scenarios,
+    stimulus_script,
+    stuck_at_scenarios,
+)
 
 __all__ = [
     "BenchmarkSpec",
@@ -24,4 +31,9 @@ __all__ = [
     "generate_circuit",
     "inject_bug",
     "InjectedBug",
+    "DebugScenario",
+    "campaign_spec",
+    "mutation_scenarios",
+    "stimulus_script",
+    "stuck_at_scenarios",
 ]

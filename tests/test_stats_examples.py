@@ -82,7 +82,13 @@ EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
 @pytest.mark.slow
 class TestExamples:
     @pytest.mark.parametrize(
-        "script", ["quickstart.py", "bug_hunt.py", "waveform_capture.py"]
+        "script",
+        [
+            "quickstart.py",
+            "bug_hunt.py",
+            "waveform_capture.py",
+            "campaign_demo.py",
+        ],
     )
     def test_example_runs(self, script, tmp_path):
         args = [sys.executable, os.path.join(EXAMPLES, script)]
