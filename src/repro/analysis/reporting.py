@@ -174,10 +174,20 @@ def render_campaign_report(
         par = f", {workers} worker(s)" if workers else ""
         lines.append(f"wall clock: {wall_s:.2f} s{par}")
     if cache:
+        cache = dict(cache)
+        per_stage = cache.pop("per_stage", None)
         lines.append(
             "cache: "
             + ", ".join(f"{k}={v}" for k, v in sorted(cache.items()))
         )
+        # stage-granular stores break the accounting down per compile
+        # stage — what "stages invalidated per instrumentation change"
+        # looks like at campaign scale
+        for stage, stats in (per_stage or {}).items():
+            lines.append(
+                f"  stage {stage}: "
+                + ", ".join(f"{k}={v}" for k, v in sorted(dict(stats).items()))
+            )
     for note in notes:
         lines.append(f"note: {note}")
     return "\n".join(lines)

@@ -10,6 +10,18 @@ from repro.baselines.conventional import (
     ConventionalResult,
     run_conventional_flow,
 )
+from repro.baselines.incremental import (
+    conventional_stages_invalidated,
+    invalidation_table,
+    stages_invalidated,
+)
 from repro.baselines.recompile_model import RecompileModel
 
-__all__ = ["ConventionalResult", "run_conventional_flow", "RecompileModel"]
+__all__ = [
+    "ConventionalResult",
+    "run_conventional_flow",
+    "RecompileModel",
+    "stages_invalidated",
+    "conventional_stages_invalidated",
+    "invalidation_table",
+]

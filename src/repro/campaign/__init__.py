@@ -6,10 +6,12 @@ pack/place/route) is expensive and runs once per design, while each
 *online* debugging turn costs a microsecond-scale respecialization.  This
 package exploits that asymmetry at batch scale:
 
-* :class:`OfflineCache` — content-keyed (design ⊕ flow config) cache of
-  :class:`~repro.core.flow.OfflineStage` artifacts, in memory and
-  optionally on disk, so each distinct design pays the generic stage
-  exactly once per campaign *and* across campaigns;
+* :func:`resolve_offline` — one entry point resolving a design's offline
+  artifact through any cache flavor: a stage-granular
+  :class:`~repro.pipeline.ArtifactStore` (each compile stage reused
+  independently under its content-addressed key — a warm config-knob
+  change rebuilds only the invalidated stages), a whole-artifact
+  :class:`OfflineCache` (design ⊕ flow config keyed), or cold;
 * :mod:`~repro.workloads.scenarios` — deterministic (design, bug) scenario
   generators: emulation-level stuck-at faults (shared offline artifact)
   and netlist mutations (per-revision artifacts);
@@ -31,7 +33,13 @@ Quick start::
     print(report.render())
 """
 
-from repro.campaign.cache import CacheStats, OfflineCache
+from repro.campaign.cache import (
+    ArtifactStore,
+    CacheStats,
+    OfflineCache,
+    StoreStats,
+    resolve_offline,
+)
 from repro.campaign.localize import (
     GoldenOracle,
     Localization,
@@ -49,8 +57,11 @@ from repro.workloads.scenarios import (
 )
 
 __all__ = [
+    "ArtifactStore",
     "CacheStats",
     "OfflineCache",
+    "StoreStats",
+    "resolve_offline",
     "GoldenOracle",
     "Localization",
     "golden_signal_traces",

@@ -1,23 +1,32 @@
-"""Content-keyed caching of offline-stage artifacts.
+"""Offline-artifact caching for campaigns: whole-artifact and stage-granular.
 
 The paper's amortization argument (§IV-A) is that the expensive generic
 stage runs *once per design* while every debugging turn pays only the
-microsecond-scale online specialization.  :class:`OfflineCache` lifts that
-from "once per process" to "once per design content": artifacts are keyed
-by :func:`repro.core.flow.offline_cache_key` (a SHA-256 over the canonical
-BLIF, the flow configuration and the flow version), held in memory and
-optionally persisted to a directory, so repeated campaigns — or several
-scenarios targeting the same design inside one campaign — never re-run
-synthesis, mapping or place-and-route.
+microsecond-scale online specialization.  Two cache granularities lift
+that from "once per process" to "once per content":
+
+* :class:`OfflineCache` — PR 1's **whole-artifact** cache: one entry per
+  ``(design BLIF, full flow config, flow version)`` key
+  (:func:`repro.core.flow.offline_cache_key`).  Any config knob change
+  misses and rebuilds everything.  Now a thin wrapper over an
+  :class:`~repro.pipeline.ArtifactStore` with the single pseudo-stage
+  ``"offline"``.
+* :class:`~repro.pipeline.ArtifactStore` — the **stage-granular** store
+  of the compile pipeline: each stage (cleanup, initial-map,
+  signal-parameterisation, tcon-map, pack, place, route, bitgen) is keyed
+  by exactly the config fields it reads plus its upstream keys, so a warm
+  single-knob change rebuilds only the invalidated suffix of the graph.
+
+:func:`resolve_offline` is the one public entry point that accepts
+either (or ``None`` for a cold build) and returns the offline artifact —
+what the orchestrator, the CLI and library users call.
 """
 
 from __future__ import annotations
 
 import os
-import pickle
-import tempfile
-from dataclasses import dataclass, field, replace
-from typing import Callable
+from dataclasses import replace
+from typing import Any, Callable, Mapping
 
 from repro.core.flow import (
     DebugFlowConfig,
@@ -26,43 +35,28 @@ from repro.core.flow import (
     run_generic_stage,
 )
 from repro.netlist.network import LogicNetwork
+from repro.pipeline import ArtifactStore, StageStats, StoreStats
 
-__all__ = ["CacheStats", "OfflineCache"]
+__all__ = [
+    "CacheStats",
+    "OfflineCache",
+    "ArtifactStore",
+    "StoreStats",
+    "resolve_offline",
+]
+
+#: Back-compat alias: whole-artifact cache stats are per-stage stats of
+#: the single pseudo-stage ``"offline"``.
+CacheStats = StageStats
+
+#: The pseudo-stage name whole-artifact entries live under.
+OFFLINE_STAGE = "offline"
 
 Builder = Callable[[LogicNetwork, DebugFlowConfig], OfflineStage]
 
 
-@dataclass
-class CacheStats:
-    """Hit/miss accounting for one :class:`OfflineCache`."""
-
-    hits: int = 0
-    misses: int = 0
-    disk_hits: int = 0
-    """Subset of ``hits`` served by unpickling a persisted artifact."""
-    stores: int = 0
-
-    @property
-    def lookups(self) -> int:
-        return self.hits + self.misses
-
-    @property
-    def hit_rate(self) -> float:
-        return self.hits / self.lookups if self.lookups else 0.0
-
-    def as_dict(self) -> dict[str, float]:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "disk_hits": self.disk_hits,
-            "stores": self.stores,
-            "hit_rate": round(self.hit_rate, 4),
-        }
-
-
-@dataclass
 class OfflineCache:
-    """Two-level (memory, disk) cache of :class:`OfflineStage` artifacts.
+    """Two-level (memory, disk) whole-artifact cache of offline stages.
 
     Parameters
     ----------
@@ -74,16 +68,42 @@ class OfflineCache:
         Whether disk-loaded and freshly built artifacts are retained in the
         in-process map (the default; disable to bound memory on very large
         campaigns while still deduplicating via disk).
+    store:
+        Optional pre-built :class:`~repro.pipeline.ArtifactStore` to share
+        storage and stats with (entries live under the ``"offline"``
+        pseudo-stage); by default one is created from ``cache_dir``.
 
     Entries never expire: a key embeds the full design content, the flow
     configuration and :data:`~repro.core.flow.FLOW_CACHE_VERSION`, so a
-    stale entry is unreachable rather than wrong.
+    stale entry is unreachable rather than wrong.  For *incremental*
+    caching — reusing unaffected stages across config changes — use an
+    :class:`~repro.pipeline.ArtifactStore` directly (see
+    :func:`resolve_offline`).
     """
 
-    cache_dir: str | None = None
-    keep_in_memory: bool = True
-    stats: CacheStats = field(default_factory=CacheStats)
-    _memory: dict[str, OfflineStage] = field(default_factory=dict)
+    def __init__(
+        self,
+        cache_dir: str | None = None,
+        keep_in_memory: bool = True,
+        store: ArtifactStore | None = None,
+    ) -> None:
+        self.store = store or ArtifactStore(
+            cache_dir=cache_dir, keep_in_memory=keep_in_memory
+        )
+        self._legacy_checked: set[str] = set()
+
+    @property
+    def cache_dir(self) -> str | None:
+        return self.store.cache_dir
+
+    @property
+    def keep_in_memory(self) -> bool:
+        return self.store.keep_in_memory
+
+    @property
+    def stats(self) -> StageStats:
+        """Hit/miss accounting (the ``"offline"`` pseudo-stage's stats)."""
+        return self.store.stats.for_stage(OFFLINE_STAGE)
 
     def key(
         self,
@@ -92,33 +112,43 @@ class OfflineCache:
         *,
         extra: tuple = (),
     ) -> str:
-        """The content key for ``(net, config, extra)``."""
+        """The whole-artifact content key for ``(net, config, extra)``."""
         return offline_cache_key(net, config, extra=extra)
 
     def get(self, key: str) -> OfflineStage | None:
         """Look up an artifact by key; ``None`` on miss (stats updated)."""
-        stage = self._memory.get(key)
-        if stage is not None:
-            self.stats.hits += 1
-            return stage
-        stage = self._load_from_disk(key)
-        if stage is not None:
-            self.stats.hits += 1
-            self.stats.disk_hits += 1
-            if self.keep_in_memory:
-                self._memory[key] = stage
-            return stage
-        self.stats.misses += 1
-        return None
+        if self.cache_dir is not None and key not in self._legacy_checked:
+            self._legacy_checked.add(key)
+            self._migrate_legacy(key)
+        found = self.store.get(OFFLINE_STAGE, key, expect=OfflineStage)
+        return found.value if found is not None else None
+
+    def _migrate_legacy(self, key: str) -> None:
+        """Move a PR 1-layout entry (``<cache_dir>/<key>.pkl``) into place.
+
+        Done once per key, *before* the counted store lookup, so a
+        migrated entry is served as an ordinary disk hit — type-checked
+        and accounted by the store itself, with no stats surgery here.
+        """
+        if self.cache_dir is None:
+            return
+        legacy = os.path.join(self.cache_dir, f"{key}.pkl")
+        if not os.path.exists(legacy):
+            return
+        new = self._path(key)
+        try:
+            os.makedirs(os.path.dirname(new), exist_ok=True)
+            if os.path.exists(new):
+                os.unlink(legacy)
+            else:
+                os.replace(legacy, new)
+        except OSError:
+            pass
 
     def put(self, key: str, stage: OfflineStage) -> OfflineStage:
         """Store ``stage`` under ``key`` (memory and, if configured, disk)."""
         stage = replace(stage, cache_key=key)
-        if self.keep_in_memory:
-            self._memory[key] = stage
-        if self.cache_dir is not None:
-            self._store_to_disk(key, stage)
-        self.stats.stores += 1
+        self.store.put(OFFLINE_STAGE, key, stage)
         return stage
 
     def get_or_run(
@@ -132,8 +162,8 @@ class OfflineCache:
         """Return the cached artifact for ``net``, building it on a miss.
 
         ``builder`` defaults to :func:`~repro.core.flow.run_generic_stage`;
-        the campaign orchestrator passes a builder that additionally runs
-        the physical back-end (with a matching ``extra`` discriminator).
+        the campaign layer passes a builder that additionally runs the
+        physical back-end (with a matching ``extra`` discriminator).
         Returns ``(artifact, was_hit)``.
         """
         config = config or DebugFlowConfig()
@@ -158,48 +188,72 @@ class OfflineCache:
 
     def clear(self) -> None:
         """Drop in-memory entries (persisted files are left untouched)."""
-        self._memory.clear()
+        self.store.clear()
 
     def __len__(self) -> int:
-        return len(self._memory)
-
-    # -- disk layer ------------------------------------------------------------
+        """In-memory whole-artifact entries (this cache's pseudo-stage
+        only — a shared store's other stages are not counted)."""
+        return self.store.count(OFFLINE_STAGE)
 
     def _path(self, key: str) -> str:
-        assert self.cache_dir is not None
-        return os.path.join(self.cache_dir, f"{key}.pkl")
+        return self.store._path(OFFLINE_STAGE, key)
 
-    def _load_from_disk(self, key: str) -> OfflineStage | None:
-        if self.cache_dir is None:
-            return None
-        path = self._path(key)
-        try:
-            with open(path, "rb") as fh:
-                stage = pickle.load(fh)
-        except Exception:
-            # best-effort load: a corrupt, truncated or stale pickle (e.g.
-            # referencing a renamed module) degrades to a miss and rebuild
-            return None
-        return stage if isinstance(stage, OfflineStage) else None
 
-    def _store_to_disk(self, key: str, stage: OfflineStage) -> None:
-        assert self.cache_dir is not None
-        # best-effort: persistence is an optimization, so any failure
-        # (disk full, unpicklable member, ...) degrades to memory-only
-        try:
-            os.makedirs(self.cache_dir, exist_ok=True)
-            # atomic publish: concurrent campaigns over one directory see
-            # either nothing (and rebuild) or a complete artifact, never a
-            # torn file
-            fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
-        except OSError:
-            return
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                pickle.dump(stage, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, self._path(key))
-        except Exception:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
+def resolve_offline(
+    net: LogicNetwork,
+    config: DebugFlowConfig | None = None,
+    *,
+    cache: "OfflineCache | ArtifactStore | None" = None,
+    with_physical: bool = False,
+    params: Mapping[str, Any] | None = None,
+) -> tuple[OfflineStage, bool]:
+    """Resolve the offline artifact for ``net`` through any cache flavor.
+
+    The one public entry point the orchestrator, the CLI and library users
+    share (replacing the private ``_build_offline`` of PR 1):
+
+    * ``cache=None`` — cold: run the generic stage (and, with
+      ``with_physical``, the physical back-end) unconditionally;
+    * ``cache=OfflineCache(...)`` — whole-artifact granularity: one
+      lookup under :func:`~repro.core.flow.offline_cache_key` (with the
+      ``"physical"`` extra discriminator when applicable);
+    * ``cache=ArtifactStore(...)`` — stage granularity: run the compile
+      stage graph against the store, reusing every stage whose
+      content-addressed key is unchanged.
+
+    ``params`` (per-stage parameters — a ``taps`` override, placement
+    ``seed``...) are honored on every path: the stage-granular store folds
+    them into the affected stage keys, the whole-artifact key carries them
+    as an ``extra`` discriminator, and cold builds pass them to the graph.
+
+    Returns ``(artifact, was_hit)``; for the stage-granular path
+    ``was_hit`` means *every* stage was served from the store (a partial
+    reuse counts as a build, with the store's per-stage stats telling the
+    detailed story).
+    """
+    from repro.pipeline import assemble_offline, compile_design
+
+    config = config or DebugFlowConfig()
+    if isinstance(cache, ArtifactStore):
+        result = compile_design(
+            net,
+            config,
+            store=cache,
+            with_physical=with_physical,
+            params=params,
+        )
+        return assemble_offline(result), result.full_hit
+
+    def build(n: LogicNetwork, c: DebugFlowConfig) -> OfflineStage:
+        return assemble_offline(
+            compile_design(n, c, with_physical=with_physical, params=params)
+        )
+
+    if cache is None:
+        return build(net, config), False
+    extra = ("physical",) if with_physical else ()
+    if params:
+        from repro.pipeline import canonical_param
+
+        extra = extra + (f"params={canonical_param(dict(params))!r}",)
+    return cache.get_or_run(net, config, extra=extra, builder=build)

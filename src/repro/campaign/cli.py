@@ -3,22 +3,32 @@
 Builds a scenario batch for the requested designs, runs the campaign and
 prints (optionally persists) the aggregated report.  Examples::
 
-    # 3 stuck-at scenarios on each of two designs, shared offline cache
+    # 3 stuck-at scenarios on each of two designs, stage-granular cache
     python -m repro.campaign --designs stereov. diffeq2 --per-design 3
 
     # mixed fault kinds, 4 online workers, artifacts persisted on disk
     python -m repro.campaign --kind mixed --workers 4 --cache-dir .repro-cache
 
+    # PR 1's whole-artifact cache granularity instead of per-stage
+    python -m repro.campaign --whole-artifact --cache-dir .repro-cache
+
     # cold baseline (no offline amortization), report saved to results/
     python -m repro.campaign --no-cache --save campaign_cold
+
+    # CI cache-correctness: run twice on one dir; the second run must be
+    # all stage-hits and produce identical deterministic outcomes
+    python -m repro.campaign --cache-dir /tmp/c --outcomes-json /tmp/a.json
+    python -m repro.campaign --cache-dir /tmp/c --outcomes-json /tmp/b.json \
+        --assert-warm
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-from repro.campaign.cache import OfflineCache
+from repro.campaign.cache import ArtifactStore, OfflineCache, resolve_offline
 from repro.campaign.orchestrator import CampaignConfig, run_campaign
 from repro.errors import WorkloadError
 from repro.workloads.scenarios import (
@@ -88,6 +98,12 @@ def _parser() -> argparse.ArgumentParser:
         help="persist offline artifacts under DIR (reused across runs)",
     )
     p.add_argument(
+        "--whole-artifact",
+        action="store_true",
+        help="cache whole offline artifacts (PR 1 granularity) instead of "
+        "the default per-stage store (incremental across config changes)",
+    )
+    p.add_argument(
         "--no-cache",
         action="store_true",
         help="run cold: every scenario pays its own offline stage",
@@ -98,11 +114,24 @@ def _parser() -> argparse.ArgumentParser:
         metavar="NAME",
         help="also write the report to results/NAME.txt",
     )
+    p.add_argument(
+        "--outcomes-json",
+        default=None,
+        metavar="PATH",
+        help="write the deterministic per-scenario outcomes to PATH as "
+        "JSON (timings excluded; identical across repeated runs)",
+    )
+    p.add_argument(
+        "--assert-warm",
+        action="store_true",
+        help="exit with status 3 unless every cache lookup hit — the CI "
+        "cache-correctness check for a second run on a warm --cache-dir",
+    )
     return p
 
 
 def _build_scenarios(
-    args: argparse.Namespace, cache: OfflineCache | None
+    args: argparse.Namespace, cache
 ) -> list[DebugScenario]:
     from repro.workloads import generate_circuit, get_spec
 
@@ -113,26 +142,22 @@ def _build_scenarios(
 
         def screening_offline():
             # route the stuck-at screening pass through the campaign cache
-            # — under the same key the campaign will look up — so
+            # — under the same key(s) the campaign will look up — so
             # generation and the campaign share one offline build
             # (mutation-only runs never need it: each mutation is its own
             # design content)
             if cache is None:
                 return None
-            from repro.campaign.orchestrator import _build_offline
-
             net = generate_circuit(get_spec(design))
             try:
-                return cache.get_or_run(
-                    net,
-                    extra=("physical",) if args.physical else (),
-                    builder=lambda n, c: _build_offline(n, c, args.physical),
+                return resolve_offline(
+                    net, cache=cache, with_physical=args.physical
                 )[0]
             except Exception:
                 # screening only needs the generic artifact; let the
                 # campaign's offline phase surface the physical-stage
                 # failure as a per-scenario error result
-                return cache.get_or_run(net)[0]
+                return resolve_offline(net, cache=cache)[0]
 
         if args.kind == "stuck-at":
             scenarios += stuck_at_scenarios(
@@ -150,13 +175,27 @@ def _build_scenarios(
     return scenarios
 
 
+def _make_cache(args: argparse.Namespace):
+    if args.no_cache:
+        return None
+    if args.whole_artifact:
+        return OfflineCache(cache_dir=args.cache_dir)
+    return ArtifactStore(cache_dir=args.cache_dir)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _parser().parse_args(argv)
+    if args.assert_warm and args.no_cache:
+        print(
+            "error: --assert-warm requires a cache (drop --no-cache)",
+            file=sys.stderr,
+        )
+        return 2
     print(
         f"generating {args.per_design} {args.kind} scenario(s) per design "
         f"for: {', '.join(args.designs)}"
     )
-    cache = None if args.no_cache else OfflineCache(cache_dir=args.cache_dir)
+    cache = _make_cache(args)
     try:
         scenarios = _build_scenarios(args, cache)
     except (KeyError, WorkloadError) as exc:
@@ -174,6 +213,20 @@ def main(argv: list[str] | None = None) -> int:
     if args.save:
         path = report.save(args.save)
         print(f"\n[saved to {path}]")
+    if args.outcomes_json:
+        with open(args.outcomes_json, "w", encoding="utf-8") as fh:
+            json.dump(report.outcomes(), fh, indent=2, default=str)
+        print(f"[outcomes written to {args.outcomes_json}]")
+    if args.assert_warm:
+        misses = cache.stats.as_dict()["misses"]
+        if misses:
+            print(
+                f"--assert-warm failed: {misses} cache miss(es) on a run "
+                "that should have been fully warm",
+                file=sys.stderr,
+            )
+            return 3
+        print("[--assert-warm ok: every cache lookup hit]")
     return 1 if any(r.status == "error" for r in report.results) else 0
 
 

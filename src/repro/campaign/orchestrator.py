@@ -4,19 +4,27 @@
 through the two-stage debug flow:
 
 * **Offline phase** (parent process, serial): every scenario's
-  design-under-debug is materialized and resolved through the
-  :class:`~repro.campaign.cache.OfflineCache` — structurally identical
-  designs share one artifact, so a campaign of N stuck-at scenarios on one
-  design pays the generic stage (and, with ``with_physical``, the full
-  pack/place/route back-end) exactly once.
+  design-under-debug is materialized and resolved through
+  :func:`~repro.campaign.cache.resolve_offline` — against a
+  whole-artifact :class:`~repro.campaign.cache.OfflineCache`, a
+  stage-granular :class:`~repro.pipeline.ArtifactStore` (each compile
+  stage reused independently under its content-addressed key), or cold.
+  Structurally identical designs share artifacts, so a campaign of N
+  stuck-at scenarios on one design pays the generic stage (and, with
+  ``with_physical``, the full pack/place/route back-end) exactly once.
 * **Online phase**: each scenario's debug loop
   (:func:`~repro.campaign.runner.run_scenario`) runs independently — in a
   :class:`~concurrent.futures.ProcessPoolExecutor` when ``workers > 1``,
   with an automatic serial fallback when process pools are unavailable
-  (sandboxes, restricted containers).  Physical-stage payloads are
-  stripped before dispatch: the online loop only needs the virtual PConf.
+  (sandboxes, restricted containers).  Worker payloads are **deduplicated
+  per cache key**: scenarios sharing an offline artifact are grouped into
+  chunks that ship one stripped copy of the artifact each, instead of
+  pickling it once per scenario.  Physical-stage payloads are stripped
+  before dispatch: the online loop only needs the virtual PConf.
 
-Results aggregate into a :class:`~repro.campaign.results.CampaignReport`.
+Results aggregate into a :class:`~repro.campaign.results.CampaignReport`,
+whose ``workers`` field reports the *effective* parallelism (1 when the
+pool fell back to serial).
 """
 
 from __future__ import annotations
@@ -26,19 +34,15 @@ from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Sequence
 
-from repro.campaign.cache import OfflineCache
+from repro.campaign.cache import ArtifactStore, OfflineCache, resolve_offline
 from repro.campaign.results import CampaignReport, ScenarioResult
 from repro.campaign.runner import run_scenario
-from repro.core.flow import (
-    DebugFlowConfig,
-    OfflineStage,
-    run_generic_stage,
-    run_physical_stage,
-)
-from repro.netlist.network import LogicNetwork
+from repro.core.flow import DebugFlowConfig, OfflineStage
 from repro.workloads.scenarios import DebugScenario
 
 __all__ = ["CampaignConfig", "run_campaign"]
+
+CacheLike = OfflineCache | ArtifactStore | None
 
 
 @dataclass
@@ -56,27 +60,60 @@ class CampaignConfig:
     """Per-scenario budget of debugging turns for the localization walk."""
 
 
-def _build_offline(
-    net: LogicNetwork, config: DebugFlowConfig, with_physical: bool
-) -> OfflineStage:
-    stage = run_generic_stage(net, config)
-    if with_physical:
-        run_physical_stage(stage)
-    return stage
+#: One pool task: a stripped offline artifact shared by the chunk's
+#: scenarios, so each distinct artifact is pickled once per chunk instead
+#: of once per scenario.
+GroupPayload = tuple[OfflineStage, "list[tuple[int, DebugScenario]]", int]
 
 
-def _online_worker(
-    payload: tuple[DebugScenario, OfflineStage, int],
-) -> ScenarioResult:
-    scenario, offline, max_turns = payload
-    return run_scenario(scenario, offline, max_turns=max_turns)
+def _online_group_worker(
+    payload: GroupPayload,
+) -> list[tuple[int, ScenarioResult]]:
+    offline, items, max_turns = payload
+    return [
+        (idx, run_scenario(sc, offline, max_turns=max_turns))
+        for idx, sc in items
+    ]
+
+
+def _group_payloads(
+    resolved: "list[tuple[int, DebugScenario, OfflineStage]]",
+    max_turns: int,
+    workers: int,
+) -> list[GroupPayload]:
+    """Dedupe worker payloads per offline-artifact cache key.
+
+    Scenarios resolving to the same artifact (same ``cache_key``; the
+    common case for stuck-at campaigns) are grouped, the artifact is
+    stripped of its physical stage **once**, and the group is split into
+    at most ``workers`` chunks — so parallelism is preserved while each
+    distinct artifact travels to the pool ``min(workers, n)`` times
+    instead of ``n``.
+    """
+    groups: dict[object, list[tuple[int, DebugScenario, OfflineStage]]] = {}
+    for idx, sc, stage in resolved:
+        groups.setdefault(stage.cache_key or id(stage), []).append(
+            (idx, sc, stage)
+        )
+    payloads: list[GroupPayload] = []
+    for items in groups.values():
+        # the online loop runs against the virtual PConf; don't ship the
+        # physical stage (MBs of placement/routing state) to workers
+        stripped = replace(items[0][2], physical=None)
+        n_chunks = max(1, min(workers, len(items)))
+        for c in range(n_chunks):
+            chunk = items[c::n_chunks]
+            payloads.append(
+                (stripped, [(idx, sc) for idx, sc, _ in chunk], max_turns)
+            )
+    return payloads
 
 
 def run_campaign(
     scenarios: Sequence[DebugScenario],
     *,
     config: CampaignConfig | None = None,
-    cache: OfflineCache | None = None,
+    cache: CacheLike = None,
 ) -> CampaignReport:
     """Run a debug campaign over ``scenarios``.
 
@@ -89,9 +126,13 @@ def run_campaign(
         Orchestration knobs; defaults to serial execution, generic-only
         offline artifacts and a 48-turn localization budget.
     cache:
-        Offline-artifact cache.  ``None`` runs *cold*: every scenario pays
-        its own offline stage, the baseline the cache's amortization is
-        measured against (``benchmarks/bench_campaign.py``).
+        Offline-artifact cache: an :class:`~repro.pipeline.ArtifactStore`
+        for stage-granular reuse, an
+        :class:`~repro.campaign.cache.OfflineCache` for whole-artifact
+        reuse, or ``None`` to run *cold* — every scenario pays its own
+        offline stage, the conventional-recompile baseline the caches'
+        amortization is measured against
+        (``benchmarks/bench_campaign.py``, ``bench_incremental.py``).
 
     Scenario outcomes are deterministic — the same scenarios and flow
     config produce the same statuses, suspects and turn counts whether the
@@ -102,8 +143,7 @@ def run_campaign(
     t_wall = time.perf_counter()
 
     # -- offline phase: one artifact per distinct design content ---------------
-    extra = ("physical",) if config.with_physical else ()
-    payloads: list[tuple[DebugScenario, OfflineStage, int]] = []
+    resolved: list[tuple[int, DebugScenario, OfflineStage]] = []
     offline_s: list[float] = []
     hits: list[bool] = []
     failed: dict[int, ScenarioResult] = {}
@@ -111,18 +151,12 @@ def run_campaign(
         t0 = time.perf_counter()
         try:
             net = sc.debug_network()
-            if cache is not None:
-                stage, hit = cache.get_or_run(
-                    net,
-                    config.flow,
-                    extra=extra,
-                    builder=lambda n, c: _build_offline(
-                        n, c, config.with_physical
-                    ),
-                )
-            else:
-                stage = _build_offline(net, config.flow, config.with_physical)
-                hit = False
+            stage, hit = resolve_offline(
+                net,
+                config.flow,
+                cache=cache,
+                with_physical=config.with_physical,
+            )
         except Exception as exc:  # noqa: BLE001 — one bad design ≠ dead campaign
             failed[idx] = ScenarioResult(
                 scenario=sc.name,
@@ -137,32 +171,37 @@ def run_campaign(
             continue
         offline_s.append(time.perf_counter() - t0)
         hits.append(hit)
-        # the online loop runs against the virtual PConf; don't ship the
-        # physical stage (MBs of placement/routing state) to workers
-        payloads.append(
-            (sc, replace(stage, physical=None), config.max_turns)
-        )
+        resolved.append((idx, sc, stage))
 
-    # -- online phase: independent debug loops ---------------------------------
-    online: list[ScenarioResult]
-    if config.workers > 1 and payloads:
+    # -- online phase: independent debug loops, payloads deduped per key -------
+    workers = max(1, config.workers)
+    payloads = _group_payloads(resolved, config.max_turns, workers)
+    indexed: list[tuple[int, ScenarioResult]] = []
+    effective_workers = 1
+    if workers > 1 and payloads:
+        effective_workers = min(workers, len(payloads))
         try:
-            with ProcessPoolExecutor(max_workers=config.workers) as pool:
-                online = list(pool.map(_online_worker, payloads))
+            with ProcessPoolExecutor(max_workers=effective_workers) as pool:
+                for batch in pool.map(_online_group_worker, payloads):
+                    indexed.extend(batch)
         except (OSError, PermissionError, BrokenExecutor) as exc:
+            effective_workers = 1
             notes.append(
-                f"worker pool unavailable ({type(exc).__name__}); "
-                "fell back to serial execution"
+                f"worker pool unavailable ({type(exc).__name__}); fell back "
+                f"to serial execution (effective workers: 1, requested "
+                f"{workers})"
             )
-            online = [_online_worker(p) for p in payloads]
+            indexed = [
+                r for p in payloads for r in _online_group_worker(p)
+            ]
     else:
-        online = [_online_worker(p) for p in payloads]
+        indexed = [r for p in payloads for r in _online_group_worker(p)]
 
-    # re-interleave offline-failure placeholders at their scenario positions
+    # re-interleave results (and offline-failure placeholders) in scenario order
+    by_idx = dict(indexed)
     results: list[ScenarioResult] = []
-    it = iter(online)
     for idx in range(len(scenarios)):
-        results.append(failed[idx] if idx in failed else next(it))
+        results.append(failed[idx] if idx in failed else by_idx[idx])
 
     for r, secs, hit in zip(results, offline_s, hits):
         r.offline_s = secs
@@ -171,7 +210,7 @@ def run_campaign(
     return CampaignReport(
         results=results,
         wall_s=time.perf_counter() - t_wall,
-        workers=max(1, config.workers),
+        workers=effective_workers,
         offline_total_s=sum(offline_s),
         online_total_s=sum(r.online_s for r in results),
         cache_stats=cache.stats.as_dict() if cache is not None else None,

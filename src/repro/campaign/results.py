@@ -93,8 +93,10 @@ class CampaignReport:
     offline_total_s: float = 0.0
     online_total_s: float = 0.0
     cache_stats: dict | None = None
-    """Snapshot of :class:`~repro.campaign.cache.CacheStats` (``None`` when
-    the campaign ran cold, without a cache)."""
+    """Snapshot of the cache's stats ``as_dict()`` — whole-artifact
+    :class:`~repro.campaign.cache.CacheStats`, or a stage-granular
+    :class:`~repro.pipeline.StoreStats` including a ``per_stage``
+    breakdown.  ``None`` when the campaign ran cold, without a cache."""
     notes: list[str] = field(default_factory=list)
 
     def aggregate(self) -> dict:

@@ -30,6 +30,7 @@ from repro.core.parameters import ParameterAssignment
 from repro.core.scg import SpecializedConfigGenerator
 from repro.core.tracebuffer import TraceBuffer
 from repro.core.virtual import build_virtual_pconf
+from repro.emu.fault import NEVER_ENDS, ForcedFault, active_overrides
 from repro.errors import DebugFlowError
 from repro.netlist.simulate import SequentialSimulator
 
@@ -50,27 +51,17 @@ class DebugTurnLog:
     software_s: float
 
 
-@dataclass(frozen=True)
-class ForcedFault:
-    """An emulation-level stuck-at override on a mapped-network signal.
-
-    Models the campaign workload of :mod:`repro.emu.fault` inside a debug
-    session: the emulated (mapped) design misbehaves, but the *bitstream*
-    is the clean one, so every scenario targeting the same design shares
-    one offline-stage artifact.  Note that forcing a value on a mapped
-    node is not always equivalent to forcing it in the source netlist —
-    technology mapping duplicates logic into LUT cones, so paths that
-    absorbed the signal's logic do not see the override.  Failure
-    detection must therefore happen at the mapped level
-    (:meth:`DebugSession.output_trace`), which is also what a real bench
-    observes.
-    """
-
-    node: int
-    signal: str
-    value: int
-    first_cycle: int
-    last_cycle: int
+# ForcedFault lives in repro.emu.fault (one shared stuck-at implementation
+# for plain netlist simulation and mapped-network debug sessions) and is
+# re-exported here for the session-facing API.  In a session, the fault's
+# node is a *mapped-network* node: the emulated design misbehaves, but the
+# bitstream is the clean one, so every scenario targeting the same design
+# shares one offline-stage artifact.  Forcing a mapped node is not always
+# equivalent to forcing it in the source netlist — technology mapping
+# duplicates logic into LUT cones, so paths that absorbed the signal's
+# logic do not see the override.  Failure detection must therefore happen
+# at the mapped level (:meth:`DebugSession.output_trace`), which is also
+# what a real bench observes.
 
 
 class DebugSession:
@@ -209,7 +200,7 @@ class DebugSession:
             signal=signal,
             value=value,
             first_cycle=first_cycle,
-            last_cycle=last_cycle if last_cycle is not None else 2**62,
+            last_cycle=last_cycle if last_cycle is not None else NEVER_ENDS,
         )
         self._forces.append(fault)
         return fault
@@ -225,15 +216,7 @@ class DebugSession:
 
     def _cycle_overrides(self) -> dict[int, np.ndarray] | None:
         """Override arrays for faults active on the upcoming cycle."""
-        if not self._forces:
-            return None
-        cyc = self.sim.cycle
-        overrides: dict[int, np.ndarray] = {}
-        for f in self._forces:
-            if f.first_cycle <= cyc <= f.last_cycle:
-                fill = np.uint64(0xFFFFFFFFFFFFFFFF) if f.value else np.uint64(0)
-                overrides[f.node] = np.full(1, fill, dtype=np.uint64)
-        return overrides or None
+        return active_overrides(self._forces, self.sim.cycle, n_words=1)
 
     # -- execution ----------------------------------------------------------------
 

@@ -18,22 +18,27 @@
 The physical back-end (TPaR placement/routing and PConf bitstream
 generation) lives in :func:`run_physical_stage`, which imports the physical
 design subpackages lazily so mapping-level users don't pay for them.
+
+Both entry points are thin façades over the **stage graph** of
+:mod:`repro.pipeline`: each phase is a declared stage with a
+content-addressed key, so passing ``store=ArtifactStore(...)`` makes
+recompilation incremental — a changed ``fold_polarity`` reuses the
+cleanup/initial-map/parameterisation artifacts and rebuilds only the TCON
+mapping onward.  Without a store the graph simply runs every stage, which
+is byte-for-byte the historical behavior.
 """
 
 from __future__ import annotations
 
 import hashlib
 from dataclasses import asdict, dataclass, field
-from typing import TYPE_CHECKING, Any
+from typing import Any
 
 from repro.core.annotate import ParAnnotation
-from repro.core.muxnet import InstrumentedDesign, build_trace_network
-from repro.errors import DebugFlowError
-from repro.mapping import AbcMap, MappingResult, TconMap
+from repro.core.muxnet import InstrumentedDesign
+from repro.mapping import MappingResult
 from repro.netlist.blif import write_blif
 from repro.netlist.network import LogicNetwork
-from repro.netlist.transforms import cleanup
-from repro.netlist.validate import validate_network
 from repro.util.timing import PhaseTimer
 
 __all__ = [
@@ -82,14 +87,20 @@ class OfflineStage:
     physical: Any | None = None
     """Filled by :func:`run_physical_stage` (a PhysicalStage)."""
     cache_key: str | None = None
-    """Content key under which this artifact was cached, if any.
+    """Content key identifying this artifact.
 
-    Set by :class:`repro.campaign.OfflineCache`; ``None`` for artifacts
-    produced directly by :func:`run_generic_stage`.  The whole dataclass is
-    picklable (networks, mappings and timers are plain containers), which is
-    what lets campaign workers receive the artifact and what the disk cache
-    serializes.
+    Set to the terminal generic stage's (``tcon-map``) content key by the
+    pipeline assembler, and overwritten with the whole-artifact key by
+    :class:`repro.campaign.OfflineCache` when cached there.  The whole
+    dataclass is picklable (networks, mappings and timers are plain
+    containers), which is what lets campaign workers receive the artifact
+    and what the disk caches serialize.
     """
+    stage_keys: dict[str, str] | None = None
+    """Graph-native per-stage content keys this artifact was assembled
+    from (set by the pipeline assembler; ``None`` for artifacts unpickled
+    from older caches).  :func:`run_physical_stage` reuses them so its
+    physical-stage cache entries are shared with full-graph compiles."""
 
     @property
     def taps(self) -> list[int]:
@@ -138,71 +149,33 @@ def offline_cache_key(
 
 
 def run_generic_stage(
-    net: LogicNetwork, config: DebugFlowConfig | None = None
+    net: LogicNetwork, config: DebugFlowConfig | None = None, *, store=None
 ) -> OfflineStage:
     """Run the offline flow on a synthesized network.
 
-    The input network is not modified; all artifacts reference fresh copies.
+    The input network is not modified; all artifacts reference fresh
+    copies.  A façade over :func:`repro.pipeline.compile_design`: pass an
+    :class:`~repro.pipeline.ArtifactStore` via ``store`` and every stage
+    whose content key is unchanged is reused instead of re-run.
     """
-    config = config or DebugFlowConfig()
-    timers = PhaseTimer()
+    from repro.pipeline import assemble_offline, compile_design
 
-    with timers.phase("validate"):
-        validate_network(net)
-
-    work = net
-    if config.run_cleanup:
-        with timers.phase("cleanup"):
-            work = cleanup(net)
-
-    with timers.phase("initial-map"):
-        initial = AbcMap(
-            k=config.k,
-            cut_limit=config.cut_limit,
-            area_rounds=config.area_rounds,
-        ).map(work)
-
-    taps = sorted(initial.luts.keys()) + [l.q for l in work.latches]
-    if not taps:
-        raise DebugFlowError("design has no observable signals after mapping")
-
-    with timers.phase("signal-parameterisation"):
-        instrumented = build_trace_network(
-            work,
-            taps,
-            n_buffer_inputs=config.n_buffer_inputs,
-            with_triggers=False,
-        )
-
-    with timers.phase("tcon-map"):
-        mapping = TconMap(
-            k=config.k,
-            cut_limit=config.cut_limit,
-            area_rounds=config.area_rounds,
-            params=instrumented.param_ids,
-            taps=set(taps),
-            fold_polarity=config.fold_polarity,
-        ).map(instrumented.network)
-
-    return OfflineStage(
-        source=work,
-        config=config,
-        initial=initial,
-        instrumented=instrumented,
-        mapping=mapping,
-        annotation=instrumented.annotation(),
-        timers=timers,
+    return assemble_offline(
+        compile_design(net, config or DebugFlowConfig(), store=store)
     )
 
 
-def run_physical_stage(offline: OfflineStage, arch=None):
+def run_physical_stage(offline: OfflineStage, arch=None, *, store=None):
     """TPaR + bitstream generation: pack, place, route, emit the PConf.
 
     Returns the :class:`~repro.physical.PhysicalStage` and stores it on
-    ``offline.physical``.  Imported lazily — see :mod:`repro.physical`.
+    ``offline.physical``.  A façade over the physical sub-graph of
+    :mod:`repro.pipeline` (imported lazily so mapping-level users don't
+    pay for the physical subpackages); ``store`` enables per-stage
+    caching keyed off the offline artifact's content key.
     """
-    from repro.physical import build_physical_stage
+    from repro.pipeline import run_physical_stages
 
-    stage = build_physical_stage(offline, arch=arch)
+    stage = run_physical_stages(offline, arch=arch, store=store)
     offline.physical = stage
     return stage

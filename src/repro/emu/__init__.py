@@ -9,7 +9,7 @@ bitgen → SCG specialization) end to end.
 """
 
 from repro.emu.emulator import DecodedDesign, decode_bitstream, FpgaEmulator
-from repro.emu.fault import FaultInjector
+from repro.emu.fault import FaultInjector, ForcedFault, active_overrides
 from repro.emu.vcd import VcdWriter, write_vcd
 
 __all__ = [
@@ -17,6 +17,8 @@ __all__ = [
     "decode_bitstream",
     "FpgaEmulator",
     "FaultInjector",
+    "ForcedFault",
+    "active_overrides",
     "VcdWriter",
     "write_vcd",
 ]

@@ -1,16 +1,23 @@
 """Emulation-level fault injection.
 
 Separate from :mod:`repro.workloads.perturb` (which mutates netlists),
-this injector forces values onto *running* signals during simulation —
+this module forces values onto *running* signals during simulation —
 modeling transient upsets or environment-dependent bugs that only internal
 observability can catch, the motivating scenario of the paper's
 introduction.
+
+:class:`ForcedFault` and :func:`active_overrides` are the one shared
+implementation of stuck-at semantics: :class:`FaultInjector` (plain
+netlist simulation) and :meth:`repro.core.debug.DebugSession.force`
+(mapped-network emulation inside a debug session) both apply faults
+through them, so the two layers can never drift apart on windowing or
+value-packing rules.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Iterable, Mapping
 
 import numpy as np
 
@@ -18,15 +25,49 @@ from repro.errors import SimulationError
 from repro.netlist.network import LogicNetwork
 from repro.netlist.simulate import SequentialSimulator
 
-__all__ = ["FaultInjector"]
+__all__ = ["ForcedFault", "active_overrides", "FaultInjector"]
+
+#: Effectively "forever" for fault windows (cycle counters are int64-safe).
+NEVER_ENDS = 2**62
 
 
 @dataclass(frozen=True)
-class _Fault:
+class ForcedFault:
+    """A stuck-at override on a simulated signal during a cycle window.
+
+    ``node`` is the id of the signal in whichever network is being
+    simulated — the source netlist for :class:`FaultInjector`, the mapped
+    network for a :class:`~repro.core.debug.DebugSession`.  ``signal``
+    records the human-readable name for reports; it does not participate
+    in application.
+    """
+
     node: int
     value: int
-    first_cycle: int
-    last_cycle: int
+    first_cycle: int = 0
+    last_cycle: int = NEVER_ENDS
+    signal: str = ""
+
+    def active_at(self, cycle: int) -> bool:
+        return self.first_cycle <= cycle <= self.last_cycle
+
+
+def active_overrides(
+    faults: Iterable[ForcedFault], cycle: int, *, n_words: int = 1
+) -> dict[int, np.ndarray] | None:
+    """Simulator override arrays for the faults active on ``cycle``.
+
+    Returns ``None`` when no fault is in window, so callers can pass the
+    result straight to ``SequentialSimulator.step(..., overrides=...)``.
+    """
+    overrides: dict[int, np.ndarray] | None = None
+    for f in faults:
+        if f.active_at(cycle):
+            fill = np.uint64(0xFFFFFFFFFFFFFFFF) if f.value else np.uint64(0)
+            if overrides is None:
+                overrides = {}
+            overrides[f.node] = np.full(n_words, fill, dtype=np.uint64)
+    return overrides
 
 
 class FaultInjector:
@@ -38,7 +79,7 @@ class FaultInjector:
     def __init__(self, net: LogicNetwork, *, n_words: int = 1) -> None:
         self.net = net
         self.sim = SequentialSimulator(net, n_words=n_words)
-        self._faults: list[_Fault] = []
+        self._faults: list[ForcedFault] = []
 
     def stuck_at(
         self,
@@ -47,34 +88,29 @@ class FaultInjector:
         *,
         first_cycle: int = 0,
         last_cycle: int | None = None,
-    ) -> None:
+    ) -> ForcedFault:
         """Force ``signal`` to ``value`` during [first_cycle, last_cycle]."""
         nid = self.net.find(signal)
         if nid is None:
             raise SimulationError(f"unknown signal {signal!r}")
         if value not in (0, 1):
             raise SimulationError("fault value must be 0/1")
-        self._faults.append(
-            _Fault(
-                node=nid,
-                value=value,
-                first_cycle=first_cycle,
-                last_cycle=last_cycle if last_cycle is not None else 2**62,
-            )
+        fault = ForcedFault(
+            node=nid,
+            value=value,
+            first_cycle=first_cycle,
+            last_cycle=last_cycle if last_cycle is not None else NEVER_ENDS,
+            signal=signal,
         )
+        self._faults.append(fault)
+        return fault
 
     def clear(self) -> None:
         self._faults.clear()
 
     def step(self, pi_values: Mapping[int, np.ndarray]) -> dict[int, np.ndarray]:
         """One cycle with active faults applied as overrides."""
-        cyc = self.sim.cycle
-        overrides: dict[int, np.ndarray] = {}
-        ones = np.full(
-            self.sim.n_words, np.uint64(0xFFFFFFFFFFFFFFFF), dtype=np.uint64
+        overrides = active_overrides(
+            self._faults, self.sim.cycle, n_words=self.sim.n_words
         )
-        zeros = np.zeros(self.sim.n_words, dtype=np.uint64)
-        for f in self._faults:
-            if f.first_cycle <= cyc <= f.last_cycle:
-                overrides[f.node] = ones if f.value else zeros
-        return self.sim.step(pi_values, overrides=overrides)
+        return self.sim.step(pi_values, overrides=overrides or {})

@@ -29,7 +29,15 @@ from repro.util.timing import PhaseTimer
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.flow import OfflineStage
 
-__all__ = ["PhysicalStage", "build_physical_stage", "physical_from_mapping"]
+__all__ = [
+    "PhysicalStage",
+    "build_physical_stage",
+    "physical_from_mapping",
+    "pack_stage",
+    "place_stage",
+    "route_stage",
+    "bitgen_stage",
+]
 
 
 @dataclass
@@ -69,6 +77,46 @@ class PhysicalStage:
         return s
 
 
+def pack_stage(
+    mapping: MappingResult,
+    design: InstrumentedDesign | None,
+    arch: ArchSpec,
+) -> PackedDesign:
+    """The ``pack`` stage body: atoms + clustering."""
+    return pack_design(build_atoms(mapping, design), arch)
+
+
+def place_stage(
+    packed: PackedDesign,
+    grid: DeviceGrid | None = None,
+    *,
+    seed: int = 2016,
+    effort: float = 4.0,
+) -> Placement:
+    """The ``place`` stage body: simulated-annealing placement."""
+    return place_design(packed, grid, seed=seed, effort=effort)
+
+
+def route_stage(
+    placement: Placement, *, max_route_iterations: int = 40
+) -> tuple[RRGraph, RoutingResult]:
+    """The ``route`` stage body: RR-graph construction + PathFinder."""
+    rr = build_rr_graph(placement.grid)
+    return rr, route_design(placement, rr, max_iterations=max_route_iterations)
+
+
+def bitgen_stage(
+    packed: PackedDesign,
+    placement: Placement,
+    rr: RRGraph,
+    routing: RoutingResult,
+    design: InstrumentedDesign | None,
+) -> tuple[ConfigLayout, GeneratedBitstream]:
+    """The ``bitgen`` stage body: config layout + bitstream generation."""
+    layout = build_config_layout(rr)
+    return layout, generate_bitstream(packed, placement, routing, layout, design)
+
+
 def physical_from_mapping(
     mapping: MappingResult,
     design: InstrumentedDesign | None = None,
@@ -79,26 +127,25 @@ def physical_from_mapping(
     effort: float = 4.0,
     max_route_iterations: int = 40,
 ) -> PhysicalStage:
-    """Pack, place, route and generate bits for any mapping result."""
+    """Pack, place, route and generate bits for any mapping result.
+
+    This is the direct, uncached path (conventional-flow experiments, ad
+    hoc mapping results); the same stage bodies run behind the stage graph
+    of :mod:`repro.pipeline` for cached/incremental compilation.
+    """
     arch = arch or VIRTEX5_LIKE
     timers = PhaseTimer()
 
     with timers.phase("pack"):
-        physical = build_atoms(mapping, design)
-        packed = pack_design(physical, arch)
+        packed = pack_stage(mapping, design, arch)
     with timers.phase("place"):
-        placement = place_design(packed, grid, seed=seed, effort=effort)
-    with timers.phase("rr-graph"):
-        rr = build_rr_graph(placement.grid)
+        placement = place_stage(packed, grid, seed=seed, effort=effort)
     with timers.phase("route"):
-        routing = route_design(
-            placement, rr, max_iterations=max_route_iterations
+        rr, routing = route_stage(
+            placement, max_route_iterations=max_route_iterations
         )
     with timers.phase("bitgen"):
-        layout = build_config_layout(rr)
-        bitstream = generate_bitstream(
-            packed, placement, routing, layout, design
-        )
+        layout, bitstream = bitgen_stage(packed, placement, rr, routing, design)
     return PhysicalStage(
         arch=arch,
         packed=packed,
@@ -113,7 +160,12 @@ def physical_from_mapping(
 
 
 def build_physical_stage(offline: "OfflineStage", arch: ArchSpec | None = None) -> PhysicalStage:
-    """Physical back-end for an offline-stage artifact (the proposed flow)."""
-    return physical_from_mapping(
-        offline.mapping, offline.instrumented, arch=arch
-    )
+    """Physical back-end for an offline-stage artifact (the proposed flow).
+
+    A façade over the stage graph's physical sub-graph — see
+    :func:`repro.pipeline.run_physical_stages`, which also accepts an
+    artifact store for per-stage caching.
+    """
+    from repro.pipeline import run_physical_stages
+
+    return run_physical_stages(offline, arch=arch)

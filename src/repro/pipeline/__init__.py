@@ -1,0 +1,68 @@
+"""Stage-graph compilation pipeline with per-stage content-addressed caching.
+
+The compile flow as an explicit DAG (:data:`DEBUG_FLOW_GRAPH`): each phase
+— validate, cleanup, initial-map, signal-parameterisation, tcon-map,
+pack, place, route, bitgen — is a declared :class:`Stage` with typed
+input/output artifacts and a content-addressed key derived from the
+config fields it reads plus its upstream artifacts' keys.  Running the
+graph against an :class:`ArtifactStore` makes recompilation incremental:
+a warm single-knob change rebuilds only the invalidated suffix of the
+graph, a cold design runs everything — the architectural form of the
+paper's "change the instrumentation without recompiling the design".
+
+Quick start::
+
+    from repro.pipeline import ArtifactStore, assemble_offline, compile_design
+
+    store = ArtifactStore(cache_dir=".repro-cache")
+    offline = assemble_offline(compile_design(net, config, store=store))
+    # ... change only fold_polarity: everything up to the TCON mapping hits
+    offline2 = assemble_offline(compile_design(net, config2, store=store))
+    print(store.stats.as_dict()["per_stage"])
+
+``run_generic_stage`` / ``run_physical_stage`` in :mod:`repro.core.flow`
+are thin façades over this graph; the campaign layer threads an
+:class:`ArtifactStore` through whole debug campaigns.
+"""
+
+from repro.pipeline.graph import (
+    SOURCE,
+    Artifact,
+    CompileResult,
+    Stage,
+    StageContext,
+    StageGraph,
+    canonical_param,
+    source_key,
+)
+from repro.pipeline.stages import (
+    DEBUG_FLOW_GRAPH,
+    GENERIC_STAGES,
+    PHYSICAL_STAGES,
+    assemble_offline,
+    assemble_physical,
+    compile_design,
+    run_physical_stages,
+)
+from repro.pipeline.store import ArtifactStore, StageStats, StoreStats
+
+__all__ = [
+    "SOURCE",
+    "Artifact",
+    "CompileResult",
+    "Stage",
+    "StageContext",
+    "StageGraph",
+    "source_key",
+    "canonical_param",
+    "DEBUG_FLOW_GRAPH",
+    "GENERIC_STAGES",
+    "PHYSICAL_STAGES",
+    "assemble_offline",
+    "assemble_physical",
+    "compile_design",
+    "run_physical_stages",
+    "ArtifactStore",
+    "StageStats",
+    "StoreStats",
+]

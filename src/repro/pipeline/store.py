@@ -1,0 +1,269 @@
+"""Stage-granular artifact storage (memory + disk) with per-stage stats.
+
+:class:`ArtifactStore` generalizes PR 1's whole-artifact ``OfflineCache``:
+entries are keyed by ``(stage name, content key)``, so a single knob
+change re-fetches every unaffected stage and rebuilds only the invalidated
+suffix of the graph.  The campaign layer's ``OfflineCache`` is now a thin
+wrapper over this class with one pseudo-stage (``"offline"``).
+
+Entries never expire — a key embeds the source content, the read config
+fields, the stage version and the flow version, so a stale entry is
+unreachable rather than wrong.  Disk persistence is best-effort and
+atomic (temp file + rename): concurrent users of one directory see either
+nothing or a complete artifact, never a torn file.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.pipeline.graph import Artifact
+
+__all__ = ["StageStats", "StoreStats", "ArtifactStore"]
+
+
+@dataclass
+class StageStats:
+    """Hit/miss/invalidation accounting for one stage (or one cache)."""
+
+    hits: int = 0
+    misses: int = 0
+    disk_hits: int = 0
+    """Subset of ``hits`` served by unpickling a persisted artifact."""
+    stores: int = 0
+    invalidations: int = 0
+    """Misses on a stage that already held artifacts under *other* keys —
+    i.e. the stage had been built before and a config/upstream change made
+    that build unreachable.  ``misses - invalidations`` is cold builds."""
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+            "stores": self.stores,
+            "invalidations": self.invalidations,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+@dataclass
+class StoreStats:
+    """Per-stage :class:`StageStats` plus aggregate views."""
+
+    stages: dict[str, StageStats] = field(default_factory=dict)
+
+    def for_stage(self, name: str) -> StageStats:
+        if name not in self.stages:
+            self.stages[name] = StageStats()
+        return self.stages[name]
+
+    def _sum(self, attr: str) -> int:
+        return sum(getattr(s, attr) for s in self.stages.values())
+
+    @property
+    def hits(self) -> int:
+        return self._sum("hits")
+
+    @property
+    def misses(self) -> int:
+        return self._sum("misses")
+
+    @property
+    def disk_hits(self) -> int:
+        return self._sum("disk_hits")
+
+    @property
+    def stores(self) -> int:
+        return self._sum("stores")
+
+    @property
+    def invalidations(self) -> int:
+        return self._sum("invalidations")
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        """Aggregate counters plus a ``per_stage`` breakdown."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+            "stores": self.stores,
+            "invalidations": self.invalidations,
+            "hit_rate": round(self.hit_rate, 4),
+            "per_stage": {
+                name: s.as_dict()
+                for name, s in sorted(self.stages.items())
+                if s.lookups or s.stores
+            },
+        }
+
+
+@dataclass
+class ArtifactStore:
+    """Two-level (memory, disk) store of stage artifacts.
+
+    Parameters
+    ----------
+    cache_dir:
+        Optional directory for persistence across processes and campaign
+        invocations; entries live under ``<cache_dir>/<stage>/<key>.pkl``
+        and are created on demand.  ``None`` keeps the store in-memory.
+    keep_in_memory:
+        Whether disk-loaded and freshly built artifacts are retained in
+        the in-process map (the default; disable to bound memory on very
+        large campaigns while still deduplicating via disk).
+    """
+
+    cache_dir: str | None = None
+    keep_in_memory: bool = True
+    stats: StoreStats = field(default_factory=StoreStats)
+    _memory: dict[tuple[str, str], Any] = field(default_factory=dict)
+
+    def get(
+        self, stage: str, key: str, *, expect: type | None = None
+    ) -> Artifact | None:
+        """Look up ``(stage, key)``; ``None`` on miss (stats updated).
+
+        ``expect`` guards the disk layer: a persisted entry that unpickles
+        to the wrong type (stale artifact from an incompatible version, a
+        foreign file sharing the directory) degrades to a miss and rebuild
+        instead of crashing the consumer later.
+        """
+        st = self.stats.for_stage(stage)
+        mem_key = (stage, key)
+        if mem_key in self._memory:
+            st.hits += 1
+            return Artifact(stage, key, self._memory[mem_key], hit=True)
+        value = self._load_from_disk(stage, key)
+        if value is not None and expect is not None and not isinstance(value, expect):
+            value = None
+        if value is not None:
+            st.hits += 1
+            st.disk_hits += 1
+            if self.keep_in_memory:
+                self._memory[mem_key] = value
+            return Artifact(stage, key, value, hit=True)
+        st.misses += 1
+        if self._stage_has_other_entries(stage, key):
+            st.invalidations += 1
+        return None
+
+    def put(self, stage: str, key: str, value: Any) -> Artifact:
+        """Store ``value`` under ``(stage, key)`` (memory and disk)."""
+        if self.keep_in_memory:
+            self._memory[(stage, key)] = value
+        if self.cache_dir is not None:
+            self._store_to_disk(stage, key, value)
+        self.stats.for_stage(stage).stores += 1
+        return Artifact(stage, key, value, hit=False)
+
+    def get_or_run(
+        self, stage: str, key: str, builder: Callable[[], Any]
+    ) -> tuple[Any, bool]:
+        """Return the value for ``(stage, key)``, building it on a miss."""
+        found = self.get(stage, key)
+        if found is not None:
+            return found.value, True
+        value = builder()
+        self.put(stage, key, value)
+        return value, False
+
+    def clear(self) -> None:
+        """Drop in-memory entries (persisted files are left untouched)."""
+        self._memory.clear()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def count(self, stage: str) -> int:
+        """In-memory entries held for one stage."""
+        return sum(1 for s, _ in self._memory if s == stage)
+
+    def as_offline_fn(self):
+        """Adapter for :func:`repro.analysis.experiments.run_benchmark_columns`.
+
+        Returns ``fn(net, config) -> OfflineStage`` that resolves the
+        generic flow through this store, stage by stage — the
+        stage-granular analogue of ``OfflineCache.as_offline_fn``.
+        """
+        from repro.core.flow import DebugFlowConfig, OfflineStage
+        from repro.netlist.network import LogicNetwork
+
+        def fn(net: LogicNetwork, config: DebugFlowConfig) -> OfflineStage:
+            from repro.pipeline.stages import assemble_offline, compile_design
+
+            return assemble_offline(compile_design(net, config, store=self))
+
+        return fn
+
+    # -- invalidation accounting -----------------------------------------------
+
+    def _stage_has_other_entries(self, stage: str, key: str) -> bool:
+        if any(s == stage and k != key for s, k in self._memory):
+            return True
+        if self.cache_dir is None:
+            return False
+        try:
+            names = os.listdir(os.path.join(self.cache_dir, stage))
+        except OSError:
+            return False
+        return any(
+            n.endswith(".pkl") and n != f"{key}.pkl" for n in names
+        )
+
+    # -- disk layer ------------------------------------------------------------
+
+    def _path(self, stage: str, key: str) -> str:
+        assert self.cache_dir is not None
+        return os.path.join(self.cache_dir, stage, f"{key}.pkl")
+
+    def _load_from_disk(self, stage: str, key: str) -> Any | None:
+        if self.cache_dir is None:
+            return None
+        try:
+            with open(self._path(stage, key), "rb") as fh:
+                return pickle.load(fh)
+        except Exception:
+            # best-effort load: a corrupt, truncated or stale pickle (e.g.
+            # referencing a renamed module) degrades to a miss and rebuild
+            return None
+
+    def _store_to_disk(self, stage: str, key: str, value: Any) -> None:
+        assert self.cache_dir is not None
+        # best-effort: persistence is an optimization, so any failure
+        # (disk full, unpicklable member, ...) degrades to memory-only
+        stage_dir = os.path.join(self.cache_dir, stage)
+        try:
+            os.makedirs(stage_dir, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=stage_dir, suffix=".tmp")
+        except OSError:
+            return
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, self._path(stage, key))
+        except Exception:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass

@@ -82,6 +82,29 @@ class TestOfflineCache:
         assert hit and cold.stats.disk_hits == 1
         assert stage.summary()  # artifact survived pickling intact
 
+    def test_legacy_pr1_disk_layout_migrates(self, tmp_path):
+        import os
+        import pickle
+
+        d = str(tmp_path / "cache")
+        os.makedirs(d)
+        builder = OfflineCache()
+        net = generate_circuit(SPEC)
+        stage, _ = builder.get_or_run(net)
+        key = stage.cache_key
+        # PR 1 persisted whole artifacts at <cache_dir>/<key>.pkl
+        with open(os.path.join(d, f"{key}.pkl"), "wb") as fh:
+            pickle.dump(stage, fh)
+        fresh = OfflineCache(cache_dir=d)
+        got, hit = fresh.get_or_run(generate_circuit(SPEC))
+        assert hit and got.summary()
+        assert fresh.stats.disk_hits == 1 and fresh.stats.misses == 0
+        # a migration is a read, not a build
+        assert fresh.stats.stores == 0
+        # the entry moved to the stage-granular location (old file removed)
+        assert os.path.exists(fresh._path(key))
+        assert not os.path.exists(os.path.join(d, f"{key}.pkl"))
+
     def test_corrupt_disk_entry_is_miss(self, tmp_path):
         d = str(tmp_path / "cache")
         warm = OfflineCache(cache_dir=d)
