@@ -1,0 +1,82 @@
+"""Experiment B2 — lane-parallel online engine throughput.
+
+The bit-parallel simulator evaluates 64 lanes per ``uint64`` word, but the
+historical online loop burned one whole packed emulation per scenario —
+1/64th of the machine it was already paying for.  This benchmark measures
+what packing buys at campaign scale: a 32-scenario stuck-at campaign
+(one shared offline artifact, the paper's amortization sweet spot) run
+
+* **serially** — ``lane_width=1``, one :class:`~repro.core.debug.
+  DebugSession` per scenario (the PR 1/PR 2 behavior), vs.
+* **lane-batched** — ``lane_width=64``, all scenarios bound to lanes of
+  one :class:`~repro.engine.LaneEngine`: one packed golden pass, one
+  packed detection run, and a batched frontier walk advancing every
+  still-active lane per observe+replay turn.
+
+The headline assertion is the PR's acceptance criterion: **≥4× online-
+phase speedup** with **byte-identical scenario outcomes**.  The offline
+cache is pre-warmed for both runs so the comparison isolates the online
+phase.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.reporting import lane_occupancy
+from repro.campaign import CampaignConfig, OfflineCache, run_campaign
+from repro.workloads import campaign_spec, stuck_at_scenarios
+
+SPEC = campaign_spec("lanes-bench", n_gates=120, depth=8, n_pis=20, n_pos=10)
+N_SCENARIOS = 32
+HORIZON = 48
+
+
+@pytest.fixture(scope="module")
+def scenarios():
+    return stuck_at_scenarios(SPEC, N_SCENARIOS, horizon=HORIZON)
+
+
+@pytest.mark.slow
+def test_lane_engine_speedup(scenarios, results_dir):
+    cache = OfflineCache()
+    # pre-warm the offline artifact so both runs measure the online phase
+    run_campaign(scenarios[:1], config=CampaignConfig(lane_width=1), cache=cache)
+
+    serial = run_campaign(
+        scenarios, config=CampaignConfig(lane_width=1), cache=cache
+    )
+    lanes = run_campaign(
+        scenarios, config=CampaignConfig(lane_width=64), cache=cache
+    )
+
+    assert lanes.outcomes() == serial.outcomes(), "lane packing changed results"
+    statuses = {r.status for r in lanes.results}
+    assert "error" not in statuses
+
+    speedup = serial.online_total_s / lanes.online_total_s
+    wall_speedup = serial.wall_s / lanes.wall_s
+    occ = lane_occupancy(lanes.lane_batches)
+    text = (
+        "LANE-PARALLEL ONLINE ENGINE (measured)\n"
+        f"{N_SCENARIOS}-scenario stuck-at campaign on {SPEC.name} "
+        f"({SPEC.n_gates} gates), shared offline artifact (pre-warmed "
+        "cache), horizon "
+        f"{HORIZON} cycles\n\n"
+        f"serial sessions (lane_width=1):  {serial.online_total_s:8.2f} s "
+        f"online ({serial.wall_s:.2f} s wall)\n"
+        f"lane-batched    (lane_width=64): {lanes.online_total_s:8.2f} s "
+        f"online ({lanes.wall_s:.2f} s wall)\n\n"
+        f"online-phase speedup: {speedup:.2f}x  (wall: {wall_speedup:.2f}x)\n"
+        f"lane batches: {lanes.lane_batches} — mean {occ['mean_lanes']:.1f} "
+        f"lanes/word, {100 * occ['occupancy']:.0f}% word occupancy\n"
+        "outcomes: byte-identical to the per-session serial path\n\n"
+        "lane-batched campaign report:\n" + lanes.render()
+    )
+    emit(results_dir, "lane_engine_speedup", text)
+
+    assert speedup >= 4.0, (
+        f"lane packing gained only {speedup:.2f}x on a "
+        f"{N_SCENARIOS}-scenario campaign"
+    )

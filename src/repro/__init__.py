@@ -58,6 +58,7 @@ from repro.core import (
     run_generic_stage,
 )
 from repro.baselines import run_conventional_flow, RecompileModel
+from repro.engine import LaneEngine
 
 __version__ = "1.0.0"
 
@@ -85,6 +86,7 @@ __all__ = [
     "MappingResult",
     "DebugFlowConfig",
     "DebugSession",
+    "LaneEngine",
     "OfflineStage",
     "ParameterizedBitstream",
     "SpecializedConfigGenerator",

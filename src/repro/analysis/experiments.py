@@ -9,6 +9,7 @@ multiprocessing pool's ``map``) to distribute them.
 from __future__ import annotations
 
 import time
+import weakref
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
@@ -35,6 +36,16 @@ __all__ = [
 ]
 
 _CACHE: dict[tuple[str, int], "BenchColumns"] = {}
+
+#: Per ``offline_fn``, the ``(benchmark, seed)`` pairs already offered to
+#: it.  A warm :data:`_CACHE` hit still offers the artifact to an explicit
+#: ``offline_fn`` once (the caller wants its cache populated), but Table
+#: I, Table II and Fig. 7 all replay the same columns — without this memo
+#: every driver would regenerate the circuit and re-offer per column.
+#: Weakly keyed so dropping the cache adapter also drops its memo.
+_OFFERED: "weakref.WeakKeyDictionary[Callable, set[tuple[str, int]]]" = (
+    weakref.WeakKeyDictionary()
+)
 
 
 @dataclass
@@ -98,13 +109,22 @@ def run_benchmark_columns(
         if offline_fn is not None:
             # honor an explicit offline_fn even on a warm hit (the caller
             # wants its own cache populated) without re-running the
-            # already-cached conventional flows
-            offline_fn(generate_circuit(spec, seed), DebugFlowConfig())
+            # already-cached conventional flows — but offer each artifact
+            # to a given offline_fn only once, so replaying the columns
+            # across Table I/II/Fig. 7 doesn't regenerate the circuit and
+            # re-offer per driver
+            offered = _OFFERED.setdefault(offline_fn, set())
+            if key not in offered:
+                offered.add(key)
+                offline_fn(generate_circuit(spec, seed), DebugFlowConfig())
         return got
     t0 = time.perf_counter()
     net = generate_circuit(spec, seed)
     sinks = user_sink_names(net)
     offline = (offline_fn or run_generic_stage)(net, DebugFlowConfig())
+    if offline_fn is not None:
+        # the build path already offered (net, config) to offline_fn
+        _OFFERED.setdefault(offline_fn, set()).add(key)
     sm = run_conventional_flow(net, "simplemap")
     abc = run_conventional_flow(net, "abc")
     cols = BenchColumns(

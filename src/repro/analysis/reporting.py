@@ -15,6 +15,7 @@ __all__ = [
     "save_result",
     "results_dir",
     "aggregate_campaign",
+    "lane_occupancy",
     "render_campaign_report",
 ]
 
@@ -98,12 +99,32 @@ def aggregate_campaign(records: Sequence[Mapping]) -> dict:
     }
 
 
+def lane_occupancy(lane_batches: Sequence[int]) -> dict:
+    """Per-batch lane-occupancy aggregates of a lane-parallel campaign.
+
+    ``lane_batches`` holds the number of scenarios bound to each online
+    batch's packed emulation (1..64).  Occupancy is measured against the
+    64 lanes a ``uint64`` word carries — the fraction of the machine the
+    batched engine actually used.
+    """
+    if not lane_batches:
+        return {"n_batches": 0, "mean_lanes": 0.0, "max_lanes": 0, "occupancy": 0.0}
+    return {
+        "n_batches": len(lane_batches),
+        "mean_lanes": sum(lane_batches) / len(lane_batches),
+        "max_lanes": max(lane_batches),
+        "occupancy": sum(lane_batches) / (64.0 * len(lane_batches)),
+    }
+
+
 def render_campaign_report(
     records: Sequence[Mapping],
     *,
     wall_s: float | None = None,
     workers: int | None = None,
     cache: Mapping | None = None,
+    lane_width: int | None = None,
+    lane_batches: Sequence[int] = (),
     notes: Sequence[str] = (),
     title: str = "DEBUG-CAMPAIGN REPORT",
 ) -> str:
@@ -173,6 +194,14 @@ def render_campaign_report(
     if wall_s is not None:
         par = f", {workers} worker(s)" if workers else ""
         lines.append(f"wall clock: {wall_s:.2f} s{par}")
+    if lane_batches:
+        occ = lane_occupancy(lane_batches)
+        width = f" (lane width {lane_width})" if lane_width else ""
+        lines.append(
+            f"online engine{width}: {occ['n_batches']} lane batch(es), "
+            f"mean {occ['mean_lanes']:.1f} / max {occ['max_lanes']} lanes "
+            f"per word, {100 * occ['occupancy']:.0f}% word occupancy"
+        )
     if cache:
         cache = dict(cache)
         per_stage = cache.pop("per_stage", None)

@@ -43,12 +43,14 @@ from repro.campaign.cache import (
 from repro.campaign.localize import (
     GoldenOracle,
     Localization,
+    divergence_walk,
     golden_signal_traces,
     localize_divergence,
 )
 from repro.campaign.orchestrator import CampaignConfig, run_campaign
 from repro.campaign.results import STATUSES, CampaignReport, ScenarioResult
-from repro.campaign.runner import run_scenario
+from repro.campaign.runner import run_scenario, run_scenario_batch
+from repro.engine import LaneEngine
 from repro.workloads.scenarios import (
     DebugScenario,
     campaign_spec,
@@ -63,7 +65,9 @@ __all__ = [
     "StoreStats",
     "resolve_offline",
     "GoldenOracle",
+    "LaneEngine",
     "Localization",
+    "divergence_walk",
     "golden_signal_traces",
     "localize_divergence",
     "CampaignConfig",
@@ -72,6 +76,7 @@ __all__ = [
     "CampaignReport",
     "ScenarioResult",
     "run_scenario",
+    "run_scenario_batch",
     "DebugScenario",
     "campaign_spec",
     "mutation_scenarios",

@@ -115,12 +115,20 @@ class OfflineCache:
         """The whole-artifact content key for ``(net, config, extra)``."""
         return offline_cache_key(net, config, extra=extra)
 
-    def get(self, key: str) -> OfflineStage | None:
-        """Look up an artifact by key; ``None`` on miss (stats updated)."""
+    def get(self, key: str, *, group: str | None = None) -> OfflineStage | None:
+        """Look up an artifact by key; ``None`` on miss (stats updated).
+
+        ``group`` optionally identifies the *design* behind the lookup
+        (:func:`~repro.pipeline.source_key` of the network) so the store
+        can count "same design, changed config" as an invalidation but a
+        genuinely-new design as a cold build.
+        """
         if self.cache_dir is not None and key not in self._legacy_checked:
             self._legacy_checked.add(key)
             self._migrate_legacy(key)
-        found = self.store.get(OFFLINE_STAGE, key, expect=OfflineStage)
+        found = self.store.get(
+            OFFLINE_STAGE, key, expect=OfflineStage, group=group
+        )
         return found.value if found is not None else None
 
     def _migrate_legacy(self, key: str) -> None:
@@ -166,9 +174,11 @@ class OfflineCache:
         physical back-end (with a matching ``extra`` discriminator).
         Returns ``(artifact, was_hit)``.
         """
+        from repro.pipeline.graph import source_key
+
         config = config or DebugFlowConfig()
         key = self.key(net, config, extra=extra)
-        stage = self.get(key)
+        stage = self.get(key, group=source_key(net))
         if stage is not None:
             return stage, True
         stage = (builder or run_generic_stage)(net, config)

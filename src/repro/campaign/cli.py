@@ -72,6 +72,16 @@ def _parser() -> argparse.ArgumentParser:
         default=1,
         help="online-phase worker processes (default 1 = serial)",
     )
+    p.add_argument(
+        "--lane-width",
+        type=int,
+        default=64,
+        metavar="N",
+        help="scenarios packed per emulation word, 1..64 (default 64); "
+        "1 runs the historical one-session-per-scenario path — outcomes "
+        "are byte-identical at every width (the CI lane-equivalence job "
+        "diffs them)",
+    )
     p.add_argument("--seed", type=int, default=2016)
     p.add_argument(
         "--horizon",
@@ -202,10 +212,14 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
         return 2
 
+    if not 1 <= args.lane_width <= 64:
+        print("error: --lane-width must be within 1..64", file=sys.stderr)
+        return 2
     config = CampaignConfig(
         workers=args.workers,
         with_physical=args.physical,
         max_turns=args.max_turns,
+        lane_width=args.lane_width,
     )
     report = run_campaign(scenarios, config=config, cache=cache)
     print()

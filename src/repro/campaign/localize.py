@@ -22,6 +22,7 @@ from repro.netlist.network import LogicNetwork
 __all__ = [
     "GoldenOracle",
     "Localization",
+    "divergence_walk",
     "golden_signal_traces",
     "localize_divergence",
     "mapped_frontier_fn",
@@ -114,7 +115,7 @@ def observable_frontier(
     return _frontier_walk(net, tapped.__contains__, nid)
 
 
-def mapped_frontier_fn(session: DebugSession):
+def mapped_frontier_fn(session):
     """Observable fan-in frontier over the *mapped* LUT network.
 
     Netlist-level bugs propagate along source connectivity, but an
@@ -125,6 +126,10 @@ def mapped_frontier_fn(session: DebugSession):
     whose LUT swallowed the fault site reads clean).  Use this frontier
     for ``stuck_at`` scenarios; the source-level
     :func:`observable_frontier` remains right for mutations.
+
+    ``session`` is anything exposing ``mapped_net`` and ``design`` — a
+    :class:`~repro.core.debug.DebugSession` or a
+    :class:`~repro.engine.LaneEngine`.
     """
     mapped = session.mapped_net
     design = session.design
@@ -164,6 +169,119 @@ def untapped_region(
     return frozenset(region)
 
 
+def divergence_walk(
+    design,
+    golden_traces: dict[str, np.ndarray],
+    failing_po: str,
+    n_cycles: int,
+    *,
+    max_turns: int = 48,
+    frontier_fn=None,
+):
+    """The frontier walk as a generator: yield observations, receive waves.
+
+    Each ``yield`` hands back one collision-free batch of tapped signals
+    to observe — exactly one debugging turn.  The driver observes the
+    batch, replays the stimulus from reset, and ``send``\\ s the captured
+    waveforms (``{signal: uint8 array}``) back in; the generator's return
+    value (via ``StopIteration``) is the :class:`Localization`.
+
+    Decoupling the walk's *decisions* from its *execution* is what lets
+    one code path serve both drivers: :func:`localize_divergence` runs a
+    single session turn per yield, while the lane-parallel batch runner
+    (:func:`repro.campaign.runner.run_scenario_batch`) advances up to 64
+    of these generators against one packed emulation — every still-active
+    lane gets one turn per emulation replay, and lanes retire as their
+    generators converge.  Because both drivers execute the identical
+    decision sequence, lane-batched campaigns produce byte-identical
+    outcomes to serial ones.
+    """
+    net = design.network
+    tapped = set(design.taps)
+    if frontier_fn is None:
+        frontier_fn = lambda name: observable_frontier(  # noqa: E731
+            net, tapped, net.require(name)
+        )
+
+    turns = 0
+    checked = 0
+    scored: dict[str, bool] = {}
+    # Walk-level verdict memo: frontiers of successive suspects overlap
+    # through shared fan-in, and re-observing an already-judged signal
+    # would burn debugging turns from the budget for no information.
+    budget_hit = False
+
+    def diverges(signals: list[str]):
+        """Observe signals (in collision-free batches) vs the golden model."""
+        nonlocal turns, checked, budget_hit
+        out: dict[str, bool] = {s: scored[s] for s in signals if s in scored}
+        remaining = [
+            s
+            for s in signals
+            if s not in scored
+            and net.find(s) is not None
+            and net.find(s) in tapped
+        ]
+        while remaining:
+            if turns >= max_turns:
+                # unscored signals stay unscored — flag it so the walk
+                # reports exhaustion instead of a false convergence
+                budget_hit = True
+                break
+            batch: list[str] = []
+            used: set[int] = set()
+            rest: list[str] = []
+            for s in remaining:
+                g = design.group_of(net.require(s))
+                if g.index in used:
+                    rest.append(s)
+                else:
+                    used.add(g.index)
+                    batch.append(s)
+            turns += 1
+            waves = yield batch
+            for s in batch:
+                checked += 1
+                exp = golden_traces.get(s)
+                got = waves.get(s)
+                if exp is None or got is None:
+                    verdict = False
+                else:
+                    # the trace buffer keeps the LAST `depth` of the
+                    # n_cycles run — align the golden slice to that window
+                    ref = exp[:n_cycles]
+                    ref = ref[max(0, len(ref) - len(got)) :]
+                    verdict = not np.array_equal(got[: len(ref)], ref)
+                out[s] = scored[s] = verdict
+            remaining = rest
+        return out
+
+    suspect = failing_po
+    visited: set[str] = set()
+    exhausted = False
+    while True:
+        if turns >= max_turns:
+            exhausted = True
+            break
+        visited.add(suspect)
+        frontier = [s for s in frontier_fn(suspect) if s not in visited]
+        verdicts = yield from diverges(frontier)
+        bad = [s for s in frontier if verdicts.get(s)]
+        if not bad:
+            if budget_hit:
+                exhausted = True
+            break
+        suspect = bad[0]
+
+    return Localization(
+        suspect=suspect,
+        region=untapped_region(net, tapped, suspect),
+        turns=turns,
+        signals_checked=checked,
+        exhausted=exhausted,
+    )
+
+
 def localize_divergence(
     session: DebugSession,
     golden_traces: dict[str, np.ndarray],
@@ -174,6 +292,9 @@ def localize_divergence(
     frontier_fn=None,
 ) -> Localization:
     """Walk the divergence from ``failing_po`` back to its root cause.
+
+    A driver over :func:`divergence_walk`: every batch the walk yields
+    costs one observe + replay turn on ``session``.
 
     Parameters
     ----------
@@ -197,91 +318,22 @@ def localize_divergence(
         source-level :func:`observable_frontier`.  Pass
         :func:`mapped_frontier_fn` for emulation-level faults.
     """
-    design = session.design
-    net = design.network
-    tapped = set(design.taps)
     n_cycles = len(stim)
-    turns_before = len(session.turns)
-    checked = 0
-    if frontier_fn is None:
-        frontier_fn = lambda name: observable_frontier(  # noqa: E731
-            net, tapped, net.require(name)
-        )
-
-    scored: dict[str, bool] = {}
-    """Walk-level verdict memo: frontiers of successive suspects overlap
-    through shared fan-in, and re-observing an already-judged signal would
-    burn debugging turns from the budget for no information."""
-    budget_hit = False
-
-    def diverges(signals: list[str]) -> dict[str, bool]:
-        """Observe signals (in collision-free batches) vs the golden model."""
-        nonlocal checked, budget_hit
-        out: dict[str, bool] = {s: scored[s] for s in signals if s in scored}
-        remaining = [
-            s
-            for s in signals
-            if s not in scored
-            and net.find(s) is not None
-            and net.find(s) in tapped
-        ]
-        while remaining:
-            if len(session.turns) - turns_before >= max_turns:
-                # unscored signals stay unscored — flag it so the walk
-                # reports exhaustion instead of a false convergence
-                budget_hit = True
-                break
-            batch: list[str] = []
-            used: set[int] = set()
-            rest: list[str] = []
-            for s in remaining:
-                g = design.group_of(design.network.require(s))
-                if g.index in used:
-                    rest.append(s)
-                else:
-                    used.add(g.index)
-                    batch.append(s)
-            session.observe(batch)
-            session.reset()
-            session.run(n_cycles, stimulus=lambda c: stim[c])
-            waves = session.waveforms()
-            for s in batch:
-                checked += 1
-                exp = golden_traces.get(s)
-                got = waves.get(s)
-                if exp is None or got is None:
-                    verdict = False
-                else:
-                    # the trace buffer keeps the LAST `depth` of the
-                    # n_cycles run — align the golden slice to that window
-                    ref = exp[:n_cycles]
-                    ref = ref[max(0, len(ref) - len(got)) :]
-                    verdict = not np.array_equal(got[: len(ref)], ref)
-                out[s] = scored[s] = verdict
-            remaining = rest
-        return out
-
-    suspect = failing_po
-    visited: set[str] = set()
-    exhausted = False
-    while True:
-        if len(session.turns) - turns_before >= max_turns:
-            exhausted = True
-            break
-        visited.add(suspect)
-        frontier = [s for s in frontier_fn(suspect) if s not in visited]
-        verdicts = diverges(frontier)
-        bad = [s for s in frontier if verdicts.get(s)]
-        if not bad:
-            if budget_hit:
-                exhausted = True
-            break
-        suspect = bad[0]
-
-    return Localization(
-        suspect=suspect,
-        region=untapped_region(net, tapped, suspect),
-        turns=len(session.turns) - turns_before,
-        signals_checked=checked,
-        exhausted=exhausted,
+    walk = divergence_walk(
+        session.design,
+        golden_traces,
+        failing_po,
+        n_cycles,
+        max_turns=max_turns,
+        frontier_fn=frontier_fn,
     )
+    waves = None
+    while True:
+        try:
+            batch = walk.send(waves)
+        except StopIteration as stop:
+            return stop.value
+        session.observe(batch)
+        session.reset()
+        session.run(n_cycles, stimulus=lambda c: stim[c])
+        waves = session.waveforms()

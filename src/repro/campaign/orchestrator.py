@@ -12,19 +12,26 @@ through the two-stage debug flow:
   Structurally identical designs share artifacts, so a campaign of N
   stuck-at scenarios on one design pays the generic stage (and, with
   ``with_physical``, the full pack/place/route back-end) exactly once.
-* **Online phase**: each scenario's debug loop
-  (:func:`~repro.campaign.runner.run_scenario`) runs independently — in a
+* **Online phase**: scenarios are first grouped by **lane batch** — the
+  finest key that lets them share one packed emulation: the offline
+  artifact's cache key plus the golden design's identity and the horizon.
+  Each batch of up to ``lane_width`` (≤64) scenarios runs as the lanes of
+  a single :class:`~repro.engine.LaneEngine`
+  (:func:`~repro.campaign.runner.run_scenario_batch`) — one packed golden
+  pass, one packed detection run, and a batched frontier walk that
+  advances every still-active lane per turn.  ``lane_width=1`` falls back
+  to the historical per-scenario :func:`~repro.campaign.runner.
+  run_scenario` path (the serial baseline the CI equivalence job diffs
+  against).  Batches dispatch to a
   :class:`~concurrent.futures.ProcessPoolExecutor` when ``workers > 1``,
   with an automatic serial fallback when process pools are unavailable
-  (sandboxes, restricted containers).  Worker payloads are **deduplicated
-  per cache key**: scenarios sharing an offline artifact are grouped into
-  chunks that ship one stripped copy of the artifact each, instead of
-  pickling it once per scenario.  Physical-stage payloads are stripped
-  before dispatch: the online loop only needs the virtual PConf.
+  (sandboxes, restricted containers); each payload ships one stripped
+  copy of its artifact (the online loop only needs the virtual PConf).
 
 Results aggregate into a :class:`~repro.campaign.results.CampaignReport`,
 whose ``workers`` field reports the *effective* parallelism (1 when the
-pool fell back to serial).
+pool fell back to serial) and whose ``lane_batches`` field records the
+per-batch lane occupancy.
 """
 
 from __future__ import annotations
@@ -36,7 +43,7 @@ from typing import Sequence
 
 from repro.campaign.cache import ArtifactStore, OfflineCache, resolve_offline
 from repro.campaign.results import CampaignReport, ScenarioResult
-from repro.campaign.runner import run_scenario
+from repro.campaign.runner import run_scenario, run_scenario_batch
 from repro.core.flow import DebugFlowConfig, OfflineStage
 from repro.workloads.scenarios import DebugScenario
 
@@ -58,54 +65,105 @@ class CampaignConfig:
     combinational designs (the TPaR back-end does not yet route latches)."""
     max_turns: int = 48
     """Per-scenario budget of debugging turns for the localization walk."""
+    lane_width: int = 64
+    """Scenarios packed per emulation word (1..64).  Scenarios sharing an
+    offline artifact and a horizon are batched into lanes of one packed
+    :class:`~repro.engine.LaneEngine`; ``1`` runs the historical
+    one-session-per-scenario path.  Outcomes are byte-identical at every
+    width — only the throughput changes."""
 
 
-#: One pool task: a stripped offline artifact shared by the chunk's
-#: scenarios, so each distinct artifact is pickled once per chunk instead
-#: of once per scenario.
-GroupPayload = tuple[OfflineStage, "list[tuple[int, DebugScenario]]", int]
+#: One pool task: a stripped offline artifact, the scenarios of one lane
+#: batch (or serial chunk), the turn budget and the lane width.  Each
+#: distinct artifact is pickled once per payload instead of once per
+#: scenario.
+GroupPayload = tuple[
+    OfflineStage, "list[tuple[int, DebugScenario]]", int, int
+]
 
 
 def _online_group_worker(
     payload: GroupPayload,
 ) -> list[tuple[int, ScenarioResult]]:
-    offline, items, max_turns = payload
+    offline, items, max_turns, lane_width = payload
+    if lane_width > 1:
+        batch_results = run_scenario_batch(
+            [sc for _idx, sc in items], offline, max_turns=max_turns
+        )
+        return [
+            (idx, result)
+            for (idx, _sc), result in zip(items, batch_results)
+        ]
     return [
         (idx, run_scenario(sc, offline, max_turns=max_turns))
         for idx, sc in items
     ]
 
 
+def _lane_batch_key(sc: DebugScenario, stage: OfflineStage) -> tuple:
+    """The finest grouping under which scenarios can share lanes: one
+    offline artifact, one golden design, one replay horizon."""
+    return (
+        stage.cache_key or id(stage),
+        sc.spec,
+        sc.design_seed,
+        sc.horizon,
+    )
+
+
 def _group_payloads(
     resolved: "list[tuple[int, DebugScenario, OfflineStage]]",
     max_turns: int,
     workers: int,
+    lane_width: int,
 ) -> list[GroupPayload]:
-    """Dedupe worker payloads per offline-artifact cache key.
+    """Group scenarios into lane batches (or serial chunks) per payload.
 
-    Scenarios resolving to the same artifact (same ``cache_key``; the
-    common case for stuck-at campaigns) are grouped, the artifact is
-    stripped of its physical stage **once**, and the group is split into
-    at most ``workers`` chunks — so parallelism is preserved while each
-    distinct artifact travels to the pool ``min(workers, n)`` times
-    instead of ``n``.
+    With ``lane_width > 1``, scenarios are grouped by
+    :func:`_lane_batch_key` and split into batches of at most
+    ``lane_width`` lanes; each batch is one payload (one engine, one
+    worker task).  With ``lane_width == 1`` the historical scheme
+    applies: scenarios sharing a cache key are split into at most
+    ``workers`` chunks so pool parallelism is preserved.  Either way the
+    artifact is stripped of its physical stage **once** per group — the
+    online loop runs against the virtual PConf.
     """
     groups: dict[object, list[tuple[int, DebugScenario, OfflineStage]]] = {}
     for idx, sc, stage in resolved:
-        groups.setdefault(stage.cache_key or id(stage), []).append(
-            (idx, sc, stage)
+        key = (
+            _lane_batch_key(sc, stage)
+            if lane_width > 1
+            else (stage.cache_key or id(stage))
         )
+        groups.setdefault(key, []).append((idx, sc, stage))
     payloads: list[GroupPayload] = []
     for items in groups.values():
         # the online loop runs against the virtual PConf; don't ship the
         # physical stage (MBs of placement/routing state) to workers
         stripped = replace(items[0][2], physical=None)
-        n_chunks = max(1, min(workers, len(items)))
-        for c in range(n_chunks):
-            chunk = items[c::n_chunks]
-            payloads.append(
-                (stripped, [(idx, sc) for idx, sc, _ in chunk], max_turns)
-            )
+        if lane_width > 1:
+            for base in range(0, len(items), lane_width):
+                chunk = items[base : base + lane_width]
+                payloads.append(
+                    (
+                        stripped,
+                        [(idx, sc) for idx, sc, _ in chunk],
+                        max_turns,
+                        lane_width,
+                    )
+                )
+        else:
+            n_chunks = max(1, min(workers, len(items)))
+            for c in range(n_chunks):
+                chunk = items[c::n_chunks]
+                payloads.append(
+                    (
+                        stripped,
+                        [(idx, sc) for idx, sc, _ in chunk],
+                        max_turns,
+                        1,
+                    )
+                )
     return payloads
 
 
@@ -173,9 +231,10 @@ def run_campaign(
         hits.append(hit)
         resolved.append((idx, sc, stage))
 
-    # -- online phase: independent debug loops, payloads deduped per key -------
+    # -- online phase: lane-batched debug loops, payloads deduped per key ------
     workers = max(1, config.workers)
-    payloads = _group_payloads(resolved, config.max_turns, workers)
+    lane_width = min(64, max(1, config.lane_width))
+    payloads = _group_payloads(resolved, config.max_turns, workers, lane_width)
     indexed: list[tuple[int, ScenarioResult]] = []
     effective_workers = 1
     if workers > 1 and payloads:
@@ -214,5 +273,9 @@ def run_campaign(
         offline_total_s=sum(offline_s),
         online_total_s=sum(r.online_s for r in results),
         cache_stats=cache.stats.as_dict() if cache is not None else None,
+        lane_width=lane_width,
+        lane_batches=[len(items) for _off, items, _mt, _lw in payloads]
+        if lane_width > 1
+        else [],
         notes=notes,
     )

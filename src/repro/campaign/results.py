@@ -58,6 +58,13 @@ class ScenarioResult:
     modeled_overhead_s: float = 0.0
     """Modeled device-side specialization time summed over all turns."""
     frames_touched: int = 0
+    lane: int = 0
+    """SIMD lane this scenario occupied in its batch's packed emulation
+    (0 on the serial path).  Execution placement, not an outcome — kept
+    out of :meth:`outcome` so lane-batched and serial campaigns diff
+    clean."""
+    lane_batch: int = 1
+    """Lanes in the scenario's batch (1 = solo / serial path)."""
     error: str = ""
 
     def as_record(self) -> dict:
@@ -97,6 +104,10 @@ class CampaignReport:
     :class:`~repro.campaign.cache.CacheStats`, or a stage-granular
     :class:`~repro.pipeline.StoreStats` including a ``per_stage``
     breakdown.  ``None`` when the campaign ran cold, without a cache."""
+    lane_width: int = 1
+    """Configured scenarios-per-word limit of the online engine."""
+    lane_batches: list[int] = field(default_factory=list)
+    """Lane occupancy per online batch (empty on the serial path)."""
     notes: list[str] = field(default_factory=list)
 
     def aggregate(self) -> dict:
@@ -128,6 +139,8 @@ class CampaignReport:
             wall_s=self.wall_s,
             workers=self.workers,
             cache=self.cache_stats,
+            lane_width=self.lane_width,
+            lane_batches=self.lane_batches,
             notes=self.notes,
         )
 

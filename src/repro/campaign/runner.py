@@ -1,16 +1,27 @@
-"""Per-scenario execution: one debug session, detection, localization.
+"""Scenario execution: detection + localization, solo or lane-batched.
 
-:func:`run_scenario` is the unit of work the campaign orchestrator
-dispatches (serially or to a worker pool).  It is a pure function of
-``(scenario, offline artifact)`` — stimulus, golden model and bug
-reproduction all derive deterministically from the scenario — which is
-what guarantees byte-identical outcomes between serial and parallel
-campaigns.
+:func:`run_scenario` is the historical unit of work — one scenario, one
+:class:`~repro.core.debug.DebugSession`.  :func:`run_scenario_batch`
+binds up to 64 scenarios *sharing one offline artifact* (and one
+horizon) to the lanes of a single :class:`~repro.engine.LaneEngine`:
+one packed golden pass, one packed detection run, and a batched frontier
+walk where every observe+replay turn advances every still-active lane,
+retiring lanes as their walks converge.
+
+Both are pure functions of ``(scenarios, offline artifact)`` — stimulus,
+golden model and bug reproduction all derive deterministically from the
+scenario — and the batch path drives the *same*
+:func:`~repro.campaign.localize.divergence_walk` decision generator the
+serial path does, which is what guarantees byte-identical outcomes
+between serial, parallel and lane-batched campaigns.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.campaign.localize import (
+    divergence_walk,
     golden_signal_traces,
     localize_divergence,
     mapped_frontier_fn,
@@ -18,10 +29,15 @@ from repro.campaign.localize import (
 from repro.campaign.results import ScenarioResult
 from repro.core.debug import DebugSession
 from repro.core.flow import OfflineStage
+from repro.engine import LaneEngine
 from repro.util.timing import PhaseTimer
-from repro.workloads.scenarios import DebugScenario, stimulus_script
+from repro.workloads.scenarios import (
+    DebugScenario,
+    packed_signal_traces,
+    stimulus_script,
+)
 
-__all__ = ["run_scenario"]
+__all__ = ["run_scenario", "run_scenario_batch"]
 
 
 def run_scenario(
@@ -149,3 +165,212 @@ def _first_divergence(
             if exp is not None and cyc < len(exp) and int(exp[cyc]) != bit:
                 return cyc, po
     return None
+
+
+def _lane_slice(packed: dict[str, np.ndarray], lane: int) -> dict[str, np.ndarray]:
+    """One lane's ``uint8`` view of lane-packed golden traces."""
+    shift = np.uint64(lane)
+    one = np.uint64(1)
+    return {n: ((arr >> shift) & one).astype(np.uint8) for n, arr in packed.items()}
+
+
+def run_scenario_batch(
+    scenarios: "list[DebugScenario]",
+    offline: OfflineStage,
+    *,
+    max_turns: int = 48,
+) -> list[ScenarioResult]:
+    """Run up to 64 scenarios' online loops as lanes of one packed engine.
+
+    Every scenario must share ``offline`` (the orchestrator groups by
+    offline cache key) and the same horizon — lanes advance in lockstep,
+    so one replay length must serve the whole batch.  The phases mirror
+    :func:`run_scenario`, vectorized across lanes:
+
+    1. *setup* — one :class:`~repro.engine.LaneEngine`; each ``stuck_at``
+       scenario's fault is armed on its lane only (``lane_mask``);
+    2. *golden* — **one** packed reference pass over the shared golden
+       design, every lane's stimulus in its bit of the packed words;
+    3. *detect* — one packed emulation of the horizon, then a per-lane
+       scan of the packed PO trace against the packed golden trace;
+    4. *localize* — a batched frontier walk: each detected lane runs its
+       own :func:`~repro.campaign.localize.divergence_walk` generator,
+       and every observe+replay turn serves all still-active lanes at
+       once (each lane observing its *own* frontier batch via per-lane
+       select parameters); lanes retire as their walks converge.
+
+    Per-scenario timing fields report the batch phase time divided by the
+    batch size — the amortized cost actually paid per scenario, keeping
+    campaign-level ``online_total_s`` equal to wall clock spent.  The
+    deterministic outcome fields are byte-identical to the serial path's.
+    Never raises: per-lane failures degrade to ``status="error"`` results
+    for their lane only.
+    """
+    timers = PhaseTimer()
+    n = len(scenarios)
+    results = [
+        ScenarioResult(
+            scenario=sc.name,
+            design=sc.spec.name,
+            kind=sc.kind,
+            status="error",
+            truth=sc.fault_signal or "",
+            lane=lane,
+            lane_batch=n,
+        )
+        for lane, sc in enumerate(scenarios)
+    ]
+    if not scenarios:
+        return results
+    horizon = scenarios[0].horizon
+    live: list[int] = []
+
+    try:
+        goldens = [sc.golden_network() for sc in scenarios]
+        for lane, sc in enumerate(scenarios):
+            if sc.kind == "mutation":
+                bug = sc.reproduce_bug(goldens[lane].copy())
+                results[lane].truth = bug.node_name
+            if sc.horizon != horizon:
+                raise ValueError("batched scenarios must share one horizon")
+
+        with timers.phase("setup"):
+            engine = LaneEngine(
+                offline,
+                n_lanes=n,
+                trace_depth=max(horizon, offline.config.trace_depth),
+            )
+            stims = [
+                stimulus_script(goldens[lane], horizon, sc.stimulus_seed)
+                for lane, sc in enumerate(scenarios)
+            ]
+            for lane, sc in enumerate(scenarios):
+                engine.bind_stimulus(lane, stims[lane])
+                try:
+                    if sc.kind == "stuck_at":
+                        assert sc.fault_signal is not None
+                        engine.force(
+                            sc.fault_signal,
+                            sc.fault_value,
+                            lane=lane,
+                            first_cycle=sc.fault_from_cycle,
+                        )
+                except Exception as exc:  # noqa: BLE001 — isolate the lane
+                    results[lane].error = f"{type(exc).__name__}: {exc}"
+                    continue
+                live.append(lane)
+
+        design = engine.design
+        tap_names = [design.network.node_name(t) for t in design.taps]
+        trace_names = tap_names + engine.user_po_names
+
+        with timers.phase("golden"):
+            # a golden design is a pure function of (spec, design_seed):
+            # lanes sharing both share one packed reference pass — the
+            # common all-stuck-at batch pays for exactly one
+            packed_golden: list[dict[str, np.ndarray] | None] = [None] * n
+            by_golden: dict[tuple, list[int]] = {}
+            for lane in live:
+                sc = scenarios[lane]
+                by_golden.setdefault((sc.spec, sc.design_seed), []).append(lane)
+            for lanes in by_golden.values():
+                packed = packed_signal_traces(
+                    goldens[lanes[0]], [stims[l] for l in lanes], trace_names
+                )
+                for pos, l in enumerate(lanes):
+                    packed_golden[l] = _lane_slice(packed, pos)
+
+        with timers.phase("detect"):
+            packed_pos = engine.run_outputs(horizon, lanes=live)
+            po_names = engine.user_po_names
+            detected: list[int] = []
+            one = np.uint64(1)
+            for lane in live:
+                golden_lane = packed_golden[lane]
+                obs = ((packed_pos >> np.uint64(lane)) & one).astype(np.uint8)
+                # POs the golden net doesn't drive can never diverge —
+                # same skip _first_divergence applies via golden.get()
+                diff = np.zeros_like(obs, dtype=bool)
+                for j, po in enumerate(po_names):
+                    exp = golden_lane.get(po)
+                    if exp is not None:
+                        diff[:, j] = obs[:, j] != exp[:horizon]
+                hits = np.flatnonzero(diff.ravel())
+                if hits.size == 0:
+                    results[lane].status = "undetected"
+                else:
+                    # row-major ravel = first by cycle, then by PO order —
+                    # the serial scan's exact tie-break
+                    cyc, j = divmod(int(hits[0]), len(po_names))
+                    results[lane].fail_cycle = cyc
+                    results[lane].failing_po = po_names[j]
+                    detected.append(lane)
+
+        with timers.phase("localize"):
+            engine.reset()
+            walks = {}
+            mapped_frontier = mapped_frontier_fn(engine)
+            for lane in detected:
+                walks[lane] = divergence_walk(
+                    design,
+                    packed_golden[lane],
+                    results[lane].failing_po,
+                    horizon,
+                    max_turns=max_turns,
+                    # forced faults propagate along mapped LUT connectivity
+                    frontier_fn=mapped_frontier
+                    if scenarios[lane].kind == "stuck_at"
+                    else None,
+                )
+
+            def finish(lane: int, loc) -> None:
+                r = results[lane]
+                r.suspect = loc.suspect
+                r.region_size = len(loc.region)
+                r.turns = loc.turns
+                r.signals_checked = loc.signals_checked
+                hit = r.truth == loc.suspect or r.truth in loc.region
+                r.status = "localized" if hit else "missed"
+
+            pending: dict[int, list[str]] = {}
+            for lane in detected:
+                try:
+                    pending[lane] = walks[lane].send(None)
+                except StopIteration as stop:
+                    finish(lane, stop.value)
+            while pending:
+                for lane, batch in pending.items():
+                    engine.observe(batch, lane=lane)
+                engine.reset()
+                # charge the replay's cycles only to the lanes that took a
+                # turn — retired lanes' accounting matches a solo session's
+                engine.run(horizon, lanes=list(pending))
+                advanced: dict[int, list[str]] = {}
+                for lane in pending:
+                    waves = engine.waveforms(lane)
+                    try:
+                        advanced[lane] = walks[lane].send(waves)
+                    except StopIteration as stop:
+                        finish(lane, stop.value)
+                pending = advanced
+
+        for lane in live:
+            results[lane].modeled_overhead_s = engine.total_modeled_overhead_s(
+                lane
+            )
+            results[lane].frames_touched = sum(
+                t.frames_touched for t in engine.turns[lane]
+            )
+    except Exception as exc:  # noqa: BLE001 — campaign must survive any batch
+        for lane in range(n):
+            if results[lane].status == "error" and not results[lane].error:
+                results[lane].error = f"{type(exc).__name__}: {exc}"
+
+    share = 1.0 / max(1, n)
+    for r in results:
+        r.setup_s = timers.totals.get("setup", 0.0) * share
+        r.golden_s = timers.totals.get("golden", 0.0) * share
+        r.detect_s = timers.totals.get("detect", 0.0) * share
+        r.localize_s = timers.totals.get("localize", 0.0) * share
+        r.online_s = timers.total() * share
+    return results

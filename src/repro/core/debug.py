@@ -15,40 +15,29 @@ The session executes the **mapped** network (LUTs/TLUTs/TCONs materialized
 via :meth:`~repro.mapping.result.MappingResult.to_lut_network`), so what
 runs is the artifact the flow produced, not the source netlist; parameters
 enter the emulation as the PIs they physically are.
+
+Since the lane-parallel refactor the session is a **one-lane facade**
+over :class:`repro.engine.LaneEngine`: the exact same engine that packs
+64 campaign scenarios into one emulation word serves a single interactive
+session bound to lane 0.  The public API is unchanged; batch users who
+want many scenarios per emulation step should use the engine (or the
+campaign layer) directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Mapping
+from typing import Callable
 
 import numpy as np
 
 from repro.core.costmodel import Virtex5Model
 from repro.core.flow import OfflineStage
 from repro.core.parameters import ParameterAssignment
-from repro.core.scg import SpecializedConfigGenerator
-from repro.core.tracebuffer import TraceBuffer
-from repro.core.virtual import build_virtual_pconf
-from repro.emu.fault import NEVER_ENDS, ForcedFault, active_overrides
-from repro.errors import DebugFlowError
-from repro.netlist.simulate import SequentialSimulator
+from repro.core.tracebuffer import LaneView
+from repro.emu.fault import ForcedFault
+from repro.engine import DebugTurnLog, LaneEngine, Stimulus
 
-__all__ = ["DebugSession", "DebugTurnLog", "ForcedFault"]
-
-Stimulus = Callable[[int], Mapping[str, int]]
-"""Per-cycle primary-input values: cycle → {pi name: 0/1}."""
-
-
-@dataclass
-class DebugTurnLog:
-    """Bookkeeping for one observe+run round."""
-
-    observed: list[str]
-    cycles_run: int
-    modeled_overhead_s: float
-    frames_touched: int
-    software_s: float
+__all__ = ["DebugSession", "DebugTurnLog", "ForcedFault", "Stimulus"]
 
 
 # ForcedFault lives in repro.emu.fault (one shared stuck-at implementation
@@ -74,59 +63,59 @@ class DebugSession:
         model: Virtex5Model | None = None,
         trace_depth: int | None = None,
     ) -> None:
-        self.offline = offline
-        self.design = offline.instrumented
-        self.model = model or Virtex5Model()
-        self.mapped_net = offline.mapping.to_lut_network()
-        self.sim = SequentialSimulator(self.mapped_net, n_words=1)
-        self.pconf = build_virtual_pconf(offline.mapping, self.design)
-        self.scg = SpecializedConfigGenerator(
-            self.pconf.bitstream, model=self.model
+        self._engine = LaneEngine(
+            offline, n_lanes=1, model=model, trace_depth=trace_depth
         )
-        self.assignment: ParameterAssignment = self.design.param_space.zeros()
-        self.scg.load_full(self.assignment)
-        depth = trace_depth or offline.config.trace_depth
-        self.trace = TraceBuffer(
-            width=self.design.n_buffer_inputs, depth=depth
-        )
-        self._observed: dict[str, str] = self.design.observed_at({})
-        self.turns: list[DebugTurnLog] = []
-        self._cycles_this_turn = 0
+        self.trace = LaneView(self._engine.trace, lane=0)
 
-        self._param_pi_values = {
-            self.mapped_net.require(name): np.zeros(1, dtype=np.uint64)
-            for name in self.design.param_space.names
-        }
-        self._user_pis = [
-            pi
-            for pi in self.mapped_net.pis
-            if self.mapped_net.node_name(pi) not in self.design.param_nodes
-        ]
-        self._tb_nodes = [
-            self.mapped_net.require(g.po_name) for g in self.design.groups
-        ]
-        self._forces: list[ForcedFault] = []
-        # design nodes a fault may be forced on: taps, latches and user PIs
-        # (param PIs excluded — forcing a select corrupts observation)
-        net_i = self.design.network
-        self._forceable_nodes = (
-            set(self.design.taps)
-            | {latch.q for latch in net_i.latches}
-            | set(net_i.pis)
-        ) - set(self.design.param_nodes.values())
-        tb_pos = {g.po_name for g in self.design.groups}
-        self._user_po_names = [
-            po
-            for po in offline.source.po_names
-            if po not in tb_pos and self.mapped_net.find(po) is not None
-        ]
+    # -- engine delegation --------------------------------------------------------
+
+    @property
+    def engine(self) -> LaneEngine:
+        """The underlying one-lane engine (this session is lane 0)."""
+        return self._engine
+
+    @property
+    def offline(self) -> OfflineStage:
+        return self._engine.offline
+
+    @property
+    def design(self):
+        return self._engine.design
+
+    @property
+    def model(self) -> Virtex5Model:
+        return self._engine.model
+
+    @property
+    def mapped_net(self):
+        return self._engine.mapped_net
+
+    @property
+    def sim(self):
+        return self._engine.sim
+
+    @property
+    def pconf(self):
+        return self._engine.pconf
+
+    @property
+    def scg(self):
+        return self._engine.scgs[0]
+
+    @property
+    def assignment(self) -> ParameterAssignment:
+        return self._engine.assignments[0]
+
+    @property
+    def turns(self) -> list[DebugTurnLog]:
+        return self._engine.turns[0]
 
     # -- observation ------------------------------------------------------------
 
     @property
     def observable_signals(self) -> list[str]:
-        net = self.design.network
-        return [net.node_name(t) for t in self.design.taps]
+        return self._engine.observable_signals
 
     def observe(self, signals: list[str]) -> dict[str, str]:
         """Route ``signals`` to trace buffers; returns buffer→signal map.
@@ -134,29 +123,14 @@ class DebugSession:
         This closes the previous debug turn: its cycle count and the
         specialization overhead are logged for the amortization analysis.
         """
-        values = self.design.selection_for(signals)
-        self.assignment = self.design.param_space.assignment(values)
-        rec = self.scg.respecialize(self.assignment)
-        for name in self.design.param_space.names:
-            nid = self.mapped_net.require(name)
-            self._param_pi_values[nid][0] = np.uint64(values.get(name, 0))
-        self._observed = self.design.observed_at(values)
-        self.trace.reset()
-        self.turns.append(
-            DebugTurnLog(
-                observed=list(signals),
-                cycles_run=0,
-                modeled_overhead_s=rec.device_cost.specialization_s,
-                frames_touched=len(rec.frames_touched),
-                software_s=rec.software_seconds,
-            )
-        )
-        return dict(self._observed)
+        hookup = self._engine.observe(signals, lane=0)
+        self._engine.reset_trace()
+        return hookup
 
     @property
     def observed(self) -> dict[str, str]:
         """Current buffer input → observed signal name."""
-        return dict(self._observed)
+        return self._engine.observed(0)
 
     # -- fault forcing ------------------------------------------------------------
 
@@ -180,60 +154,28 @@ class DebugSession:
         would corrupt observation itself.  Forces survive :meth:`reset`;
         use :meth:`clear_forces` to remove them.
         """
-        nid = self.mapped_net.find(signal)
-        design_node = self.design.network.find(signal)
-        if (
-            nid is None
-            or design_node is None
-            or design_node not in self._forceable_nodes
-        ):
-            raise DebugFlowError(
-                f"signal {signal!r} is not a forceable design signal; only "
-                "observable taps, latches and user PIs exist in the mapped "
-                "network as design nodes (debug-network nodes cannot be "
-                "forced without corrupting observation)"
-            )
-        if value not in (0, 1):
-            raise DebugFlowError("forced value must be 0 or 1")
-        fault = ForcedFault(
-            node=nid,
-            signal=signal,
-            value=value,
+        return self._engine.force(
+            signal,
+            value,
+            lane=0,
             first_cycle=first_cycle,
-            last_cycle=last_cycle if last_cycle is not None else NEVER_ENDS,
+            last_cycle=last_cycle,
         )
-        self._forces.append(fault)
-        return fault
 
     def clear_forces(self) -> None:
         """Remove every active forced fault."""
-        self._forces.clear()
+        self._engine.clear_forces(0)
 
     @property
     def forces(self) -> list[ForcedFault]:
         """The currently active forced faults."""
-        return list(self._forces)
-
-    def _cycle_overrides(self) -> dict[int, np.ndarray] | None:
-        """Override arrays for faults active on the upcoming cycle."""
-        return active_overrides(self._forces, self.sim.cycle, n_words=1)
+        return self._engine.forces(0)
 
     # -- execution ----------------------------------------------------------------
 
     def reset(self) -> None:
         """Reset emulated latches and the trace memory (not the turn log)."""
-        self.sim.reset()
-        self.trace.reset()
-
-    def _step_with_stimulus(self, stimulus: Stimulus) -> dict[int, np.ndarray]:
-        """Advance one cycle: user stimulus + parameter PIs + active forces."""
-        pi_vals: dict[int, np.ndarray] = dict(self._param_pi_values)
-        stim = stimulus(self.sim.cycle)
-        for pi in self._user_pis:
-            name = self.mapped_net.node_name(pi)
-            bit = int(stim.get(name, 0)) & 1
-            pi_vals[pi] = np.array([bit], dtype=np.uint64)
-        return self.sim.step(pi_vals, overrides=self._cycle_overrides())
+        self._engine.reset()
 
     def run(
         self,
@@ -248,25 +190,16 @@ class DebugSession:
         ``trigger(cycle, buffer_values)`` may arm the trace buffer's
         post-trigger stop.  Returns the captured window.
         """
-        if n_cycles < 0:
-            raise DebugFlowError("n_cycles must be non-negative")
-        for c in range(n_cycles):
-            values = self._step_with_stimulus(stimulus)
-            sample = [int(values[n][0] & np.uint64(1)) for n in self._tb_nodes]
-            named = {
-                g.po_name: sample[i]
-                for i, g in enumerate(self.design.groups)
-            }
-            fire = bool(trigger(self.sim.cycle - 1, named)) if trigger else False
-            self.trace.capture(sample, trigger=fire)
-        if self.turns:
-            self.turns[-1].cycles_run += n_cycles
+        self._engine.bind_stimulus(0, stimulus)
+        self._engine.run(
+            n_cycles, triggers={0: trigger} if trigger is not None else None
+        )
         return self.trace.window()
 
     @property
     def user_po_names(self) -> list[str]:
         """The design's own primary outputs (excluding trace-buffer POs)."""
-        return list(self._user_po_names)
+        return self._engine.user_po_names
 
     def output_trace(
         self, n_cycles: int, stimulus: Stimulus
@@ -281,58 +214,44 @@ class DebugSession:
         capture into the trace buffer.  Returns one ``{po name: 0/1}`` dict
         per cycle.
         """
-        if n_cycles < 0:
-            raise DebugFlowError("n_cycles must be non-negative")
-        po_ids = [self.mapped_net.require(po) for po in self._user_po_names]
-        out: list[dict[str, int]] = []
-        for _ in range(n_cycles):
-            values = self._step_with_stimulus(stimulus)
-            out.append(
-                {
-                    po: int(values[nid][0] & np.uint64(1))
-                    for po, nid in zip(self._user_po_names, po_ids)
-                }
-            )
-        if self.turns:
-            self.turns[-1].cycles_run += n_cycles
-        return out
+        self._engine.bind_stimulus(0, stimulus)
+        packed = self._engine.run_outputs(n_cycles)
+        names = self._engine.user_po_names
+        one = np.uint64(1)
+        return [
+            {po: int(packed[c, j] & one) for j, po in enumerate(names)}
+            for c in range(packed.shape[0])
+        ]
 
     # -- results --------------------------------------------------------------------
 
     def waveforms(self) -> dict[str, np.ndarray]:
         """Captured windows keyed by observed *signal* name."""
-        window = self.trace.window()
-        out: dict[str, np.ndarray] = {}
-        for i, g in enumerate(self.design.groups):
-            sig = self._observed.get(g.po_name)
-            if sig is not None:
-                out[sig] = window[:, i]
-        return out
+        return self._engine.waveforms(0)
 
     # -- session accounting ------------------------------------------------------------
 
     def total_modeled_overhead_s(self) -> float:
-        return sum(t.modeled_overhead_s for t in self.turns)
+        return self._engine.total_modeled_overhead_s(0)
 
     def total_cycles(self) -> int:
-        return sum(t.cycles_run for t in self.turns)
+        return self._engine.total_cycles(0)
 
     def amortization_report(self) -> dict[str, float]:
         """Overhead vs emulation time — the §V-C.2 trade-off for this session."""
         overhead = self.total_modeled_overhead_s()
         turn_s = self.model.debug_turn_s()
         run_s = self.total_cycles() * (1.0 / self.model.fpga_clock_hz)
+        turns = self.turns
         return {
-            "specializations": float(len(self.turns)),
+            "specializations": float(len(turns)),
             "modeled_overhead_s": overhead,
             "emulated_run_s": run_s,
             "overhead_fraction": overhead / (overhead + run_s)
             if (overhead + run_s) > 0
             else 0.0,
             "break_even_turns_per_specialization": float(
-                self.model.break_even_turns(
-                    overhead / max(1, len(self.turns))
-                )
+                self.model.break_even_turns(overhead / max(1, len(turns)))
             ),
             "debug_turn_s": turn_s,
         }

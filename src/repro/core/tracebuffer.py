@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.errors import DebugFlowError
 
-__all__ = ["TraceBuffer"]
+__all__ = ["TraceBuffer", "LaneTraceBuffer", "LaneView"]
 
 
 class TraceBuffer:
@@ -94,3 +94,170 @@ class TraceBuffer:
         if not 0 <= index < self.width:
             raise DebugFlowError(f"channel {index} out of range")
         return self.window()[:, index]
+
+
+class LaneTraceBuffer:
+    """Lane-packed capture memory: one :class:`TraceBuffer` per SIMD lane.
+
+    The lane-parallel debug engine runs up to 64 scenarios through one
+    packed emulation; each cell of this buffer is a ``uint64`` word whose
+    bit *k* is lane *k*'s sample for that (cycle, channel).  One
+    :meth:`capture` call per cycle records *every* lane — O(width)
+    regardless of lane count, which is what keeps trace capture off the
+    per-scenario cost sheet.
+
+    Per-lane trigger/stop state is tracked so one lane can freeze its
+    post-trigger window while the others keep recording: captures blend
+    ``mem = (mem & ~active) | (sample & active)``, so a stopped lane's
+    bits survive later wraps of the ring untouched.  :meth:`window`
+    extracts one lane's history bit-for-bit identical to what a solo
+    :class:`TraceBuffer` would have recorded.
+    """
+
+    def __init__(
+        self,
+        width: int,
+        depth: int,
+        *,
+        n_lanes: int = 1,
+        post_trigger: int | None = None,
+    ):
+        if width <= 0 or depth <= 0:
+            raise DebugFlowError("trace buffer width/depth must be positive")
+        if not 1 <= n_lanes <= 64:
+            raise DebugFlowError("lane count must be within 1..64")
+        self.width = width
+        self.depth = depth
+        self.n_lanes = n_lanes
+        self.post_trigger = depth // 2 if post_trigger is None else post_trigger
+        self._mem = np.zeros((depth, width), dtype=np.uint64)
+        self.reset()
+
+    def reset(self) -> None:
+        self._mem[:] = 0
+        self._head = 0
+        self._cycle = 0
+        self._count = np.zeros(self.n_lanes, dtype=np.int64)
+        self._triggered_at = np.full(self.n_lanes, -1, dtype=np.int64)
+        self._remaining = np.full(self.n_lanes, -1, dtype=np.int64)
+        self._stopped = np.zeros(self.n_lanes, dtype=bool)
+        self._stop_head = np.zeros(self.n_lanes, dtype=np.int64)
+        self._active_mask = np.uint64((1 << self.n_lanes) - 1)
+
+    @property
+    def cycle(self) -> int:
+        """Cycles observed since reset (captured or not)."""
+        return self._cycle
+
+    def stopped(self, lane: int = 0) -> bool:
+        return bool(self._stopped[lane])
+
+    def triggered_at(self, lane: int = 0) -> int | None:
+        t = int(self._triggered_at[lane])
+        return None if t < 0 else t
+
+    def capture(self, sample: np.ndarray, *, trigger_mask: int = 0) -> None:
+        """Record one cycle's packed sample for every non-stopped lane.
+
+        ``sample`` holds one ``uint64`` word per channel (bit *k* = lane
+        *k*).  ``trigger_mask`` arms the post-trigger stop for the lanes
+        whose bits are set, mirroring ``TraceBuffer.capture(trigger=...)``
+        lane by lane.
+        """
+        self._cycle += 1
+        amask = self._active_mask
+        if not amask:
+            return
+        row = np.asarray(sample, dtype=np.uint64)
+        if row.shape != (self.width,):
+            raise DebugFlowError(
+                f"sample width {row.shape} != buffer width {self.width}"
+            )
+        self._mem[self._head] = (self._mem[self._head] & ~amask) | (row & amask)
+        self._head = (self._head + 1) % self.depth
+        active = ~self._stopped
+        np.minimum(self._count + 1, self.depth, out=self._count, where=active)
+        if trigger_mask:
+            for lane in range(self.n_lanes):
+                if (
+                    (trigger_mask >> lane) & 1
+                    and active[lane]
+                    and self._triggered_at[lane] < 0
+                ):
+                    self._triggered_at[lane] = self._cycle - 1
+                    self._remaining[lane] = self.post_trigger
+        armed = active & (self._remaining >= 0)
+        if armed.any():
+            self._remaining[armed] -= 1
+            newly = armed & (self._remaining <= 0)
+            if newly.any():
+                self._stopped |= newly
+                self._stop_head[newly] = self._head
+                live = np.flatnonzero(~self._stopped)
+                self._active_mask = np.uint64(
+                    sum(1 << int(l) for l in live)
+                )
+
+    def window(self, lane: int = 0) -> np.ndarray:
+        """Lane ``lane``'s captured samples, oldest first, ``uint8``."""
+        if not 0 <= lane < self.n_lanes:
+            raise DebugFlowError(f"lane {lane} out of range")
+        count = int(self._count[lane])
+        end = int(self._stop_head[lane]) if self._stopped[lane] else self._head
+        start = (end - count) % self.depth
+        idx = (start + np.arange(count)) % self.depth
+        return ((self._mem[idx] >> np.uint64(lane)) & np.uint64(1)).astype(
+            np.uint8
+        )
+
+    def channel(self, index: int, lane: int = 0) -> np.ndarray:
+        """One channel's captured history for one lane, oldest first."""
+        if not 0 <= index < self.width:
+            raise DebugFlowError(f"channel {index} out of range")
+        return self.window(lane)[:, index]
+
+
+class LaneView:
+    """A single lane of a :class:`LaneTraceBuffer`, with the solo
+    :class:`TraceBuffer` read API — what :class:`~repro.core.debug.
+    DebugSession` hands back as its ``trace`` now that the session is a
+    one-lane facade over the engine.  ``reset`` clears the *shared*
+    buffer, which is exact for the facade (one lane) and what batch
+    drivers want anyway (all lanes re-arm together each turn)."""
+
+    def __init__(self, buffer: LaneTraceBuffer, lane: int = 0) -> None:
+        self._buffer = buffer
+        self.lane = lane
+
+    @property
+    def width(self) -> int:
+        return self._buffer.width
+
+    @property
+    def depth(self) -> int:
+        return self._buffer.depth
+
+    @property
+    def post_trigger(self) -> int:
+        return self._buffer.post_trigger
+
+    @property
+    def cycle(self) -> int:
+        return self._buffer.cycle
+
+    @property
+    def stopped(self) -> bool:
+        return self._buffer.stopped(self.lane)
+
+    @property
+    def triggered_at(self) -> int | None:
+        return self._buffer.triggered_at(self.lane)
+
+    def reset(self) -> None:
+        self._buffer.reset()
+
+    def window(self) -> np.ndarray:
+        return self._buffer.window(self.lane)
+
+    def channel(self, index: int) -> np.ndarray:
+        return self._buffer.channel(index, self.lane)

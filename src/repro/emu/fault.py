@@ -25,10 +25,13 @@ from repro.errors import SimulationError
 from repro.netlist.network import LogicNetwork
 from repro.netlist.simulate import SequentialSimulator
 
-__all__ = ["ForcedFault", "active_overrides", "FaultInjector"]
+__all__ = ["ALL_LANES", "ForcedFault", "active_overrides", "FaultInjector"]
 
 #: Effectively "forever" for fault windows (cycle counters are int64-safe).
 NEVER_ENDS = 2**62
+
+#: Lane mask covering every lane of a 64-bit simulation word.
+ALL_LANES = 0xFFFFFFFFFFFFFFFF
 
 
 @dataclass(frozen=True)
@@ -40,6 +43,14 @@ class ForcedFault:
     network for a :class:`~repro.core.debug.DebugSession`.  ``signal``
     records the human-readable name for reports; it does not participate
     in application.
+
+    ``lane_mask`` selects which of the word's 64 SIMD lanes the fault
+    afflicts (replicated across words when ``n_words > 1``).  The default
+    forces every lane — the historical single-scenario behavior.  The
+    lane-parallel engine arms each scenario's fault with ``1 << lane`` so
+    that 64 concurrent scenarios can each carry a *different* bug through
+    one packed emulation: the simulator blends
+    ``value = (clean & ~mask) | (forced & mask)`` per node.
     """
 
     node: int
@@ -47,6 +58,7 @@ class ForcedFault:
     first_cycle: int = 0
     last_cycle: int = NEVER_ENDS
     signal: str = ""
+    lane_mask: int = ALL_LANES
 
     def active_at(self, cycle: int) -> bool:
         return self.first_cycle <= cycle <= self.last_cycle
@@ -54,19 +66,40 @@ class ForcedFault:
 
 def active_overrides(
     faults: Iterable[ForcedFault], cycle: int, *, n_words: int = 1
-) -> dict[int, np.ndarray] | None:
-    """Simulator override arrays for the faults active on ``cycle``.
+) -> dict[int, "np.ndarray | tuple[np.ndarray, np.ndarray]"] | None:
+    """Simulator overrides for the faults active on ``cycle``.
 
     Returns ``None`` when no fault is in window, so callers can pass the
     result straight to ``SequentialSimulator.step(..., overrides=...)``.
+    Full-lane faults produce plain value arrays (wholesale replacement,
+    the historical form); lane-masked faults produce ``(forced, mask)``
+    pairs the simulator blends with the clean value.  Faults on the same
+    node accumulate lane-wise, later faults winning on overlapping lanes.
     """
-    overrides: dict[int, np.ndarray] | None = None
+    acc: dict[int, tuple[int, int]] | None = None
     for f in faults:
-        if f.active_at(cycle):
-            fill = np.uint64(0xFFFFFFFFFFFFFFFF) if f.value else np.uint64(0)
-            if overrides is None:
-                overrides = {}
-            overrides[f.node] = np.full(n_words, fill, dtype=np.uint64)
+        if not f.active_at(cycle):
+            continue
+        if acc is None:
+            acc = {}
+        lm = f.lane_mask & ALL_LANES
+        forced_bits = lm if f.value else 0
+        prev_forced, prev_mask = acc.get(f.node, (0, 0))
+        acc[f.node] = (
+            (prev_forced & ~lm & ALL_LANES) | forced_bits,
+            prev_mask | lm,
+        )
+    if acc is None:
+        return None
+    overrides: dict[int, np.ndarray | tuple[np.ndarray, np.ndarray]] = {}
+    for node, (forced, mask) in acc.items():
+        if mask == ALL_LANES:
+            overrides[node] = np.full(n_words, np.uint64(forced), dtype=np.uint64)
+        else:
+            overrides[node] = (
+                np.full(n_words, np.uint64(forced), dtype=np.uint64),
+                np.full(n_words, np.uint64(mask), dtype=np.uint64),
+            )
     return overrides
 
 

@@ -1,0 +1,34 @@
+"""The lane-parallel online debug engine.
+
+The bit-parallel simulator packs 64 test vectors per ``uint64`` word, but
+the historical online loop spent one whole :class:`~repro.core.debug.
+DebugSession` — and therefore one whole packed simulation — per scenario,
+using a single bit of every word.  This package turns that waste into the
+campaign layer's biggest speedup: a :class:`LaneEngine` binds up to 64
+scenarios *that share one offline artifact* to the lanes of a single
+packed emulation:
+
+* **per-lane stimulus** — each lane's primary-input stream occupies its
+  bit of the packed PI words (select-parameter PIs included, so every
+  lane can observe a *different* signal set simultaneously);
+* **per-lane fault forcing** — each scenario's emulation-level bug is a
+  :class:`~repro.emu.fault.ForcedFault` with ``lane_mask = 1 << lane``;
+  the simulator blends ``value = (clean & ~mask) | (forced & mask)`` so
+  one lane's bug never leaks into its neighbours;
+* **per-lane observation** — one
+  :class:`~repro.core.scg.SpecializedConfigGenerator` per lane keeps the
+  modeled specialization accounting (frames touched, overhead) identical
+  to a solo session's;
+* **per-lane trace capture** — a
+  :class:`~repro.core.tracebuffer.LaneTraceBuffer` records every lane in
+  O(width) per cycle.
+
+:class:`~repro.core.debug.DebugSession` is now the 1-lane facade over
+this engine (public API unchanged), and the campaign orchestrator groups
+scenarios into lane batches before dispatching them to workers — see
+:func:`repro.campaign.runner.run_scenario_batch`.
+"""
+
+from repro.engine.lanes import DebugTurnLog, LaneEngine, Stimulus
+
+__all__ = ["DebugTurnLog", "LaneEngine", "Stimulus"]

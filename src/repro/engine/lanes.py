@@ -1,0 +1,443 @@
+"""The lane-parallel engine core (§IV-B at SIMD width).
+
+A :class:`LaneEngine` drives one packed
+:class:`~repro.netlist.simulate.SequentialSimulator` over the mapped
+network of an offline artifact, with up to 64 debug scenarios bound to
+the lanes of its ``uint64`` words.  All shared state (the mapped
+network, the virtual PConf layout, the tap/PO directories) is built
+once; everything a scenario owns — stimulus, forced faults, the current
+observation (select-parameter values), the SCG accounting, the captured
+trace — is per lane.
+
+Correctness bar: lane *k* of a packed run is bit-for-bit what a solo
+:class:`~repro.core.debug.DebugSession` produces for the same scenario,
+because gate evaluation is bitwise (lanes cannot interact), faults are
+lane-masked, and each lane's parameters/stimulus occupy only its bit of
+the packed PI words.  ``tests/test_engine.py`` pins this down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.costmodel import Virtex5Model
+from repro.core.flow import OfflineStage
+from repro.core.parameters import ParameterAssignment
+from repro.core.scg import SpecializedConfigGenerator
+from repro.core.tracebuffer import LaneTraceBuffer
+from repro.core.virtual import build_virtual_pconf
+from repro.emu.fault import NEVER_ENDS, ForcedFault, active_overrides
+from repro.errors import DebugFlowError
+from repro.netlist.simulate import SequentialSimulator
+
+__all__ = ["DebugTurnLog", "LaneEngine", "Stimulus"]
+
+Stimulus = Callable[[int], Mapping[str, int]]
+"""Per-cycle primary-input values: cycle → {pi name: 0/1}."""
+
+#: A lane's stimulus: a per-cycle callable, or a pre-recorded script
+#: (one ``{pi name: 0/1}`` row per cycle) the engine packs into lane
+#: bits once and replays across debugging turns.
+StimulusLike = "Stimulus | Sequence[Mapping[str, int]] | None"
+
+
+@dataclass
+class DebugTurnLog:
+    """Bookkeeping for one observe+run round (of one lane)."""
+
+    observed: list[str]
+    cycles_run: int
+    modeled_overhead_s: float
+    frames_touched: int
+    software_s: float
+
+
+class LaneEngine:
+    """Up to 64 concurrent debug scenarios over one offline artifact."""
+
+    def __init__(
+        self,
+        offline: OfflineStage,
+        *,
+        n_lanes: int = 1,
+        model: Virtex5Model | None = None,
+        trace_depth: int | None = None,
+    ) -> None:
+        if not 1 <= n_lanes <= 64:
+            raise DebugFlowError("lane count must be within 1..64")
+        self.offline = offline
+        self.design = offline.instrumented
+        self.model = model or Virtex5Model()
+        self.n_lanes = n_lanes
+        self.mapped_net = offline.mapping.to_lut_network()
+        self.sim = SequentialSimulator(self.mapped_net, n_words=1)
+        self.pconf = build_virtual_pconf(offline.mapping, self.design)
+        depth = trace_depth or offline.config.trace_depth
+        self.trace = LaneTraceBuffer(
+            width=self.design.n_buffer_inputs, depth=depth, n_lanes=n_lanes
+        )
+
+        # -- shared directories (identical to the historical session's) ----
+        self._param_pi_values = {
+            self.mapped_net.require(name): np.zeros(1, dtype=np.uint64)
+            for name in self.design.param_space.names
+        }
+        self._user_pis = [
+            pi
+            for pi in self.mapped_net.pis
+            if self.mapped_net.node_name(pi) not in self.design.param_nodes
+        ]
+        self._user_pi_names = {
+            pi: self.mapped_net.node_name(pi) for pi in self._user_pis
+        }
+        self._tb_nodes = [
+            self.mapped_net.require(g.po_name) for g in self.design.groups
+        ]
+        # design nodes a fault may be forced on: taps, latches and user PIs
+        # (param PIs excluded — forcing a select corrupts observation)
+        net_i = self.design.network
+        self._forceable_nodes = (
+            set(self.design.taps)
+            | {latch.q for latch in net_i.latches}
+            | set(net_i.pis)
+        ) - set(self.design.param_nodes.values())
+        tb_pos = {g.po_name for g in self.design.groups}
+        self._user_po_names = [
+            po
+            for po in offline.source.po_names
+            if po not in tb_pos and self.mapped_net.find(po) is not None
+        ]
+        self._user_po_ids = [
+            self.mapped_net.require(po) for po in self._user_po_names
+        ]
+
+        # -- per-lane state -------------------------------------------------
+        zeros = self.design.param_space.zeros()
+        self.scgs: list[SpecializedConfigGenerator] = []
+        for _ in range(n_lanes):
+            scg = SpecializedConfigGenerator(
+                self.pconf.bitstream, model=self.model
+            )
+            scg.load_full(zeros)
+            self.scgs.append(scg)
+        self.assignments: list[ParameterAssignment] = [zeros] * n_lanes
+        self._observed: list[dict[str, str]] = [
+            self.design.observed_at({}) for _ in range(n_lanes)
+        ]
+        self.turns: list[list[DebugTurnLog]] = [[] for _ in range(n_lanes)]
+        self._forces: list[list[ForcedFault]] = [[] for _ in range(n_lanes)]
+        self._stim_fns: list[Stimulus | None] = [None] * n_lanes
+        self._stim_scripts: list[Sequence[Mapping[str, int]] | None] = [
+            None
+        ] * n_lanes
+        self._packed_stim: dict[int, np.ndarray] | None = None
+
+    # -- lanes ------------------------------------------------------------------
+
+    def _check_lane(self, lane: int) -> int:
+        if not 0 <= lane < self.n_lanes:
+            raise DebugFlowError(
+                f"lane {lane} out of range (engine has {self.n_lanes})"
+            )
+        return lane
+
+    def bind_stimulus(self, lane: int, stimulus: "StimulusLike") -> None:
+        """Attach a lane's stimulus: a callable, a script, or ``None``.
+
+        Scripts (sequences of per-cycle PI rows) are packed into lane
+        bits once and replayed from the packed form every run — the fast
+        path batch campaigns use.  Callables are consulted cycle by
+        cycle, exactly like the historical session's ``stimulus``
+        argument.  Missing PIs default to 0 either way.
+        """
+        self._check_lane(lane)
+        if stimulus is not None and not callable(stimulus):
+            self._stim_scripts[lane] = stimulus
+            self._stim_fns[lane] = None
+            self._packed_stim = None
+        else:
+            self._stim_fns[lane] = stimulus
+            if self._stim_scripts[lane] is not None:
+                self._stim_scripts[lane] = None
+                self._packed_stim = None
+
+    # -- observation ------------------------------------------------------------
+
+    @property
+    def observable_signals(self) -> list[str]:
+        net = self.design.network
+        return [net.node_name(t) for t in self.design.taps]
+
+    def observe(self, signals: list[str], *, lane: int = 0) -> dict[str, str]:
+        """Route ``signals`` to lane ``lane``'s view of the trace buffers.
+
+        Respecializes that lane's SCG (one debugging turn *for that
+        lane*), packs the lane's select-parameter values into its bit of
+        the packed parameter-PI words, and logs the turn.  Other lanes'
+        observations are untouched — each lane can watch a different
+        signal set in the same packed emulation.
+        """
+        self._check_lane(lane)
+        values = self.design.selection_for(signals)
+        assignment = self.design.param_space.assignment(values)
+        self.assignments[lane] = assignment
+        rec = self.scgs[lane].respecialize(assignment)
+        bit = np.uint64(1) << np.uint64(lane)
+        for name in self.design.param_space.names:
+            nid = self.mapped_net.require(name)
+            word = self._param_pi_values[nid]
+            if values.get(name, 0):
+                word[0] |= bit
+            else:
+                word[0] &= ~bit
+        self._observed[lane] = self.design.observed_at(values)
+        self.turns[lane].append(
+            DebugTurnLog(
+                observed=list(signals),
+                cycles_run=0,
+                modeled_overhead_s=rec.device_cost.specialization_s,
+                frames_touched=len(rec.frames_touched),
+                software_s=rec.software_seconds,
+            )
+        )
+        return dict(self._observed[lane])
+
+    def observed(self, lane: int = 0) -> dict[str, str]:
+        """Lane's current buffer input → observed signal name."""
+        self._check_lane(lane)
+        return dict(self._observed[lane])
+
+    # -- fault forcing ------------------------------------------------------------
+
+    def force(
+        self,
+        signal: str,
+        value: int,
+        *,
+        lane: int = 0,
+        first_cycle: int = 0,
+        last_cycle: int | None = None,
+    ) -> ForcedFault:
+        """Force ``signal`` to ``value`` in lane ``lane`` only.
+
+        The fault carries ``lane_mask = 1 << lane``: during emulation the
+        node's value is ``(clean & ~mask) | (forced & mask)``, so every
+        other lane keeps the clean computed value.  Only *design* signals
+        that physically exist in the mapped network — observable taps
+        (LUT roots), latches and user PIs — can be forced;
+        debug-infrastructure nodes (select parameters, mux tree,
+        trace-buffer outputs) are rejected, since forcing those would
+        corrupt observation itself.
+        """
+        self._check_lane(lane)
+        nid = self.mapped_net.find(signal)
+        design_node = self.design.network.find(signal)
+        if (
+            nid is None
+            or design_node is None
+            or design_node not in self._forceable_nodes
+        ):
+            raise DebugFlowError(
+                f"signal {signal!r} is not a forceable design signal; only "
+                "observable taps, latches and user PIs exist in the mapped "
+                "network as design nodes (debug-network nodes cannot be "
+                "forced without corrupting observation)"
+            )
+        if value not in (0, 1):
+            raise DebugFlowError("forced value must be 0 or 1")
+        fault = ForcedFault(
+            node=nid,
+            signal=signal,
+            value=value,
+            first_cycle=first_cycle,
+            last_cycle=last_cycle if last_cycle is not None else NEVER_ENDS,
+            lane_mask=1 << lane,
+        )
+        self._forces[lane].append(fault)
+        return fault
+
+    def clear_forces(self, lane: int = 0) -> None:
+        """Remove every active forced fault of one lane."""
+        self._check_lane(lane)
+        self._forces[lane].clear()
+
+    def forces(self, lane: int = 0) -> list[ForcedFault]:
+        """The lane's currently active forced faults."""
+        self._check_lane(lane)
+        return list(self._forces[lane])
+
+    def _cycle_overrides(self):
+        """Blended override arrays for all lanes' faults, this cycle."""
+        flat = [f for lane_faults in self._forces for f in lane_faults]
+        return active_overrides(flat, self.sim.cycle, n_words=1)
+
+    # -- execution ----------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Reset emulated latches and the trace memory (not the turn logs)."""
+        self.sim.reset()
+        self.trace.reset()
+
+    def reset_trace(self) -> None:
+        """Reset only the (shared) trace memory."""
+        self.trace.reset()
+
+    def _ensure_packed_stim(self) -> dict[int, np.ndarray]:
+        if self._packed_stim is None:
+            horizon = max(
+                (len(s) for s in self._stim_scripts if s is not None),
+                default=0,
+            )
+            packed = {pi: [0] * horizon for pi in self._user_pis}
+            for lane, script in enumerate(self._stim_scripts):
+                if script is None:
+                    continue
+                lane_bit = 1 << lane
+                for cyc, row in enumerate(script):
+                    for pi, name in self._user_pi_names.items():
+                        if int(row.get(name, 0)) & 1:
+                            packed[pi][cyc] |= lane_bit
+            self._packed_stim = {
+                pi: np.array(words, dtype=np.uint64)
+                for pi, words in packed.items()
+            }
+        return self._packed_stim
+
+    def _pi_values(self, cycle: int) -> dict[int, np.ndarray]:
+        """Packed PI words for one cycle: parameters + per-lane stimulus."""
+        pi_vals: dict[int, np.ndarray] = dict(self._param_pi_values)
+        packed = self._ensure_packed_stim()
+        rows: list[Mapping[str, int] | None] | None = None
+        if any(fn is not None for fn in self._stim_fns):
+            rows = [fn(cycle) if fn is not None else None for fn in self._stim_fns]
+        for pi in self._user_pis:
+            arr = packed.get(pi)
+            word = int(arr[cycle]) if arr is not None and cycle < len(arr) else 0
+            if rows is not None:
+                name = self._user_pi_names[pi]
+                for lane, row in enumerate(rows):
+                    if row is None:
+                        continue
+                    if int(row.get(name, 0)) & 1:
+                        word |= 1 << lane
+                    else:
+                        word &= ~(1 << lane)
+            pi_vals[pi] = np.array([word], dtype=np.uint64)
+        return pi_vals
+
+    def _step(self) -> dict[int, np.ndarray]:
+        return self.sim.step(
+            self._pi_values(self.sim.cycle), overrides=self._cycle_overrides()
+        )
+
+    def _account_cycles(
+        self, n_cycles: int, lanes: "Sequence[int] | None"
+    ) -> None:
+        """Charge the run's cycles to each participating lane's open turn.
+
+        ``lanes=None`` charges every lane — right for the facade and for
+        detection runs.  Batch walk drivers pass the lanes that actually
+        took a turn this replay, so a retired lane's accounting stops at
+        its last real turn (matching what a solo session would report).
+        """
+        targets = range(self.n_lanes) if lanes is None else lanes
+        for lane in targets:
+            lane_turns = self.turns[lane]
+            if lane_turns:
+                lane_turns[-1].cycles_run += n_cycles
+
+    def run(
+        self,
+        n_cycles: int,
+        *,
+        triggers: Mapping[int, Callable[[int, dict[str, int]], bool]]
+        | None = None,
+        lanes: "Sequence[int] | None" = None,
+    ) -> None:
+        """Emulate ``n_cycles``, capturing every lane's trace-buffer inputs.
+
+        ``triggers`` optionally maps lane → ``trigger(cycle, buffer
+        values)`` callables arming that lane's post-trigger stop (the
+        facade's per-session trigger).  ``lanes`` restricts which lanes'
+        turn logs the cycles are charged to (emulation always advances
+        every lane — they share the simulator).  Waveforms are read back
+        per lane via :meth:`waveforms`.
+        """
+        if n_cycles < 0:
+            raise DebugFlowError("n_cycles must be non-negative")
+        width = len(self._tb_nodes)
+        for _ in range(n_cycles):
+            values = self._step()
+            sample = np.fromiter(
+                (values[n][0] for n in self._tb_nodes),
+                dtype=np.uint64,
+                count=width,
+            )
+            trigger_mask = 0
+            if triggers:
+                for lane, trig in triggers.items():
+                    if trig is None:
+                        continue
+                    named = {
+                        g.po_name: int(
+                            (sample[i] >> np.uint64(lane)) & np.uint64(1)
+                        )
+                        for i, g in enumerate(self.design.groups)
+                    }
+                    if trig(self.sim.cycle - 1, named):
+                        trigger_mask |= 1 << lane
+            self.trace.capture(sample, trigger_mask=trigger_mask)
+        self._account_cycles(n_cycles, lanes)
+
+    @property
+    def user_po_names(self) -> list[str]:
+        """The design's own primary outputs (excluding trace-buffer POs)."""
+        return list(self._user_po_names)
+
+    def run_outputs(
+        self, n_cycles: int, *, lanes: "Sequence[int] | None" = None
+    ) -> np.ndarray:
+        """Emulate ``n_cycles`` recording the packed primary outputs.
+
+        The lane-parallel analogue of the session's ``output_trace``:
+        advances the same emulation state as :meth:`run` (active forces
+        apply, cycles count toward each lane's current turn) but captures
+        nothing into the trace buffer.  Returns a ``(n_cycles, n_pos)``
+        ``uint64`` array; bit *k* of entry ``[c, j]`` is lane *k*'s value
+        of ``user_po_names[j]`` on cycle ``c``.
+        """
+        if n_cycles < 0:
+            raise DebugFlowError("n_cycles must be non-negative")
+        out = np.zeros((n_cycles, len(self._user_po_ids)), dtype=np.uint64)
+        for c in range(n_cycles):
+            values = self._step()
+            for j, nid in enumerate(self._user_po_ids):
+                out[c, j] = values[nid][0]
+        self._account_cycles(n_cycles, lanes)
+        return out
+
+    # -- results --------------------------------------------------------------------
+
+    def waveforms(self, lane: int = 0) -> dict[str, np.ndarray]:
+        """Lane's captured windows keyed by its observed *signal* names."""
+        self._check_lane(lane)
+        window = self.trace.window(lane)
+        out: dict[str, np.ndarray] = {}
+        for i, g in enumerate(self.design.groups):
+            sig = self._observed[lane].get(g.po_name)
+            if sig is not None:
+                out[sig] = window[:, i]
+        return out
+
+    # -- accounting ------------------------------------------------------------
+
+    def total_modeled_overhead_s(self, lane: int = 0) -> float:
+        self._check_lane(lane)
+        return sum(t.modeled_overhead_s for t in self.turns[lane])
+
+    def total_cycles(self, lane: int = 0) -> int:
+        self._check_lane(lane)
+        return sum(t.cycles_run for t in self.turns[lane])

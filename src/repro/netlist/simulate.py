@@ -30,10 +30,34 @@ from repro.util.bitops import words_for_bits
 
 __all__ = [
     "random_stimulus",
+    "apply_override",
     "simulate_combinational",
     "SequentialSimulator",
     "check_equivalent",
 ]
+
+#: An override entry: either a packed value array (the node's value is
+#: replaced wholesale — the historical behavior) or a ``(forced, mask)``
+#: pair of packed arrays, where only the lanes selected by ``mask`` are
+#: forced and every other lane keeps the *clean* computed value:
+#: ``value = (clean & ~mask) | (forced & mask)``.  Lane-masked overrides
+#: are how the lane-parallel debug engine injects one scenario's fault
+#: into one SIMD lane without disturbing its 63 neighbours.
+Override = "np.ndarray | tuple[np.ndarray, np.ndarray]"
+
+
+def apply_override(clean: np.ndarray, override) -> np.ndarray:
+    """Resolve one override against the clean (computed) value.
+
+    Full-array overrides replace ``clean``; ``(forced, mask)`` pairs blend
+    per lane: ``(clean & ~mask) | (forced & mask)``.
+    """
+    if isinstance(override, tuple):
+        forced, mask = override
+        forced = np.asarray(forced, dtype=np.uint64)
+        mask = np.asarray(mask, dtype=np.uint64)
+        return (clean & ~mask) | (forced & mask)
+    return np.asarray(override, dtype=np.uint64)
 
 
 def random_stimulus(
@@ -88,7 +112,9 @@ def simulate_combinational(
         Packed words for every PI and LATCH node id.
     overrides:
         Optional forced values for arbitrary nodes (used by fault injection:
-        the override wins over the computed value).
+        the override wins over the computed value).  Each entry is either a
+        packed array (full replacement) or a ``(forced, mask)`` pair that
+        forces only the masked lanes — see :func:`apply_override`.
 
     Returns a dict mapping *every* node id to its packed value array.
     """
@@ -110,20 +136,25 @@ def simulate_combinational(
         raise SimulationError("network has no sources")
 
     for nid in net.topo_order():
-        if nid in values and nid not in overrides:
+        ov = overrides.get(nid)
+        if nid in values and ov is None:
             continue
         kind = net.kind(nid)
         if kind != NodeKind.GATE:
-            if nid in overrides:
-                values[nid] = np.asarray(overrides[nid], dtype=np.uint64)
+            if ov is not None:
+                clean = values.get(nid)
+                if clean is None and isinstance(ov, tuple):
+                    clean = np.zeros(n_words, dtype=np.uint64)
+                values[nid] = apply_override(clean, ov)
             continue
-        if nid in overrides:
-            values[nid] = np.asarray(overrides[nid], dtype=np.uint64)
+        if ov is not None and not isinstance(ov, tuple):
+            values[nid] = np.asarray(ov, dtype=np.uint64)
             continue
         func = net.func(nid)
         assert func is not None
         fanin_vals = [values[f] for f in net.fanins(nid)]
-        values[nid] = _eval_gate(func, fanin_vals, n_words)
+        clean = _eval_gate(func, fanin_vals, n_words)
+        values[nid] = apply_override(clean, ov) if ov is not None else clean
     return values
 
 

@@ -326,13 +326,19 @@ class StageGraph:
             values[name] = value
             result.artifacts[name] = Artifact(name, key, value, hit=True)
         selected = [s for s in selected if s.name not in preset]
+        # the lookup group identifies the design behind this run for the
+        # store's invalidation accounting: the source content key, or —
+        # on preset-rooted (physical-only) runs — the preset artifact key
+        group = src_key or None
+        if group is None and preset:
+            group = (preset.get("tcon-map") or next(iter(preset.values())))[0]
         for stage in selected:
             key = self._stage_key(stage, config, params, keys)
             keys[stage.name] = key
             value = None
             hit = False
             if store is not None:
-                found = store.get(stage.name, key)
+                found = store.get(stage.name, key, group=group)
                 if found is not None:
                     value, hit = found.value, True
             if not hit:
@@ -342,7 +348,35 @@ class StageGraph:
                 with result.timers.phase(stage.name):
                     value = stage.fn(ctx)
                 if store is not None:
-                    store.put(stage.name, key, value)
+                    store.put(
+                        stage.name,
+                        key,
+                        value,
+                        group=group,
+                        ref=self._passthrough_ref(stage, value, values, keys),
+                    )
             values[stage.name] = value
             result.artifacts[stage.name] = Artifact(stage.name, key, value, hit)
         return result
+
+    @staticmethod
+    def _passthrough_ref(
+        stage: Stage,
+        value: Any,
+        values: Mapping[str, Any],
+        keys: Mapping[str, str],
+    ):
+        """An alias target when ``stage`` passed an input through untouched.
+
+        A stage returning one of its upstream artifacts *by identity*
+        (``cleanup`` with ``run_cleanup=False``) holds no content of its
+        own — persisting a :class:`~repro.pipeline.store.StoreRef` to the
+        upstream entry instead of a second pickle halves the disk cost of
+        that configuration.
+        """
+        from repro.pipeline.store import StoreRef
+
+        for dep in stage.inputs:
+            if dep != SOURCE and values.get(dep) is value:
+                return StoreRef(dep, keys[dep])
+        return None

@@ -23,7 +23,22 @@ from typing import Any, Callable
 
 from repro.pipeline.graph import Artifact
 
-__all__ = ["StageStats", "StoreStats", "ArtifactStore"]
+__all__ = ["StageStats", "StoreStats", "StoreRef", "ArtifactStore"]
+
+
+@dataclass(frozen=True)
+class StoreRef:
+    """A disk-level alias: "this entry's value lives at (stage, key)".
+
+    Stages that pass their input through untouched (``cleanup`` with
+    ``run_cleanup=False``) would otherwise pickle the identical value a
+    second time under their own key.  Storing a tiny ``StoreRef`` instead
+    keeps the two keys independently addressable while the bytes exist
+    once; :meth:`ArtifactStore.get` resolves refs transparently.
+    """
+
+    stage: str
+    key: str
 
 
 @dataclass
@@ -36,9 +51,12 @@ class StageStats:
     """Subset of ``hits`` served by unpickling a persisted artifact."""
     stores: int = 0
     invalidations: int = 0
-    """Misses on a stage that already held artifacts under *other* keys —
-    i.e. the stage had been built before and a config/upstream change made
-    that build unreachable.  ``misses - invalidations`` is cold builds."""
+    """Misses on a stage that had been built before for the *same design*
+    (lookup group) under a different key — i.e. a config/upstream change
+    made a prior build unreachable.  A genuinely-new design entering a
+    warm store is a cold build, not an invalidation.  When the caller
+    supplies no group, any other key under the stage counts
+    (conservative).  ``misses - invalidations`` is cold builds."""
 
     @property
     def lookups(self) -> int:
@@ -138,9 +156,16 @@ class ArtifactStore:
     keep_in_memory: bool = True
     stats: StoreStats = field(default_factory=StoreStats)
     _memory: dict[tuple[str, str], Any] = field(default_factory=dict)
+    _groups: dict[tuple[str, str], set[str]] = field(default_factory=dict)
+    """Keys seen per ``(stage, lookup group)`` — the invalidation ledger."""
 
     def get(
-        self, stage: str, key: str, *, expect: type | None = None
+        self,
+        stage: str,
+        key: str,
+        *,
+        expect: type | None = None,
+        group: str | None = None,
     ) -> Artifact | None:
         """Look up ``(stage, key)``; ``None`` on miss (stats updated).
 
@@ -148,11 +173,19 @@ class ArtifactStore:
         to the wrong type (stale artifact from an incompatible version, a
         foreign file sharing the directory) degrades to a miss and rebuild
         instead of crashing the consumer later.
+
+        ``group`` identifies the *design* behind the lookup (the pipeline
+        passes the source content key) so invalidation accounting can tell
+        "same design, changed knob" (an invalidation) from "new design on
+        a warm store" (a cold build).  Without a group the old
+        conservative heuristic applies: any other key under the stage
+        counts as an invalidation.
         """
         st = self.stats.for_stage(stage)
         mem_key = (stage, key)
         if mem_key in self._memory:
             st.hits += 1
+            self._record_group(stage, key, group)
             return Artifact(stage, key, self._memory[mem_key], hit=True)
         value = self._load_from_disk(stage, key)
         if value is not None and expect is not None and not isinstance(value, expect):
@@ -162,19 +195,36 @@ class ArtifactStore:
             st.disk_hits += 1
             if self.keep_in_memory:
                 self._memory[mem_key] = value
+            self._record_group(stage, key, group)
             return Artifact(stage, key, value, hit=True)
         st.misses += 1
-        if self._stage_has_other_entries(stage, key):
+        if self._is_invalidation(stage, key, group):
             st.invalidations += 1
+        self._record_group(stage, key, group)
         return None
 
-    def put(self, stage: str, key: str, value: Any) -> Artifact:
-        """Store ``value`` under ``(stage, key)`` (memory and disk)."""
+    def put(
+        self,
+        stage: str,
+        key: str,
+        value: Any,
+        *,
+        group: str | None = None,
+        ref: StoreRef | None = None,
+    ) -> Artifact:
+        """Store ``value`` under ``(stage, key)`` (memory and disk).
+
+        When ``ref`` names another entry already holding the identical
+        value (a pass-through stage), the disk layer persists the tiny
+        :class:`StoreRef` instead of pickling the value a second time;
+        in-memory the value is shared by reference either way.
+        """
         if self.keep_in_memory:
             self._memory[(stage, key)] = value
         if self.cache_dir is not None:
-            self._store_to_disk(stage, key, value)
+            self._store_to_disk(stage, key, value if ref is None else ref)
         self.stats.for_stage(stage).stores += 1
+        self._record_group(stage, key, group)
         return Artifact(stage, key, value, hit=False)
 
     def get_or_run(
@@ -218,6 +268,18 @@ class ArtifactStore:
 
     # -- invalidation accounting -----------------------------------------------
 
+    def _record_group(self, stage: str, key: str, group: str | None) -> None:
+        if group is not None:
+            self._groups.setdefault((stage, group), set()).add(key)
+
+    def _is_invalidation(
+        self, stage: str, key: str, group: str | None
+    ) -> bool:
+        if group is not None:
+            seen = self._groups.get((stage, group))
+            return bool(seen) and any(k != key for k in seen)
+        return self._stage_has_other_entries(stage, key)
+
     def _stage_has_other_entries(self, stage: str, key: str) -> bool:
         if any(s == stage and k != key for s, k in self._memory):
             return True
@@ -242,11 +304,26 @@ class ArtifactStore:
             return None
         try:
             with open(self._path(stage, key), "rb") as fh:
-                return pickle.load(fh)
+                value = pickle.load(fh)
         except Exception:
             # best-effort load: a corrupt, truncated or stale pickle (e.g.
             # referencing a renamed module) degrades to a miss and rebuild
             return None
+        # resolve alias chains (pass-through stages persist a StoreRef
+        # instead of duplicating the upstream pickle); bounded hops keep a
+        # corrupt self-referencing entry from looping
+        hops = 0
+        while isinstance(value, StoreRef) and hops < 8:
+            hops += 1
+            target = self._memory.get((value.stage, value.key))
+            if target is not None:
+                return target
+            try:
+                with open(self._path(value.stage, value.key), "rb") as fh:
+                    value = pickle.load(fh)
+            except Exception:
+                return None
+        return None if isinstance(value, StoreRef) else value
 
     def _store_to_disk(self, stage: str, key: str, value: Any) -> None:
         assert self.cache_dir is not None

@@ -38,6 +38,7 @@ __all__ = [
     "campaign_spec",
     "stimulus_script",
     "signal_traces",
+    "packed_signal_traces",
     "po_trace",
     "stuck_at_scenarios",
     "mutation_scenarios",
@@ -182,6 +183,47 @@ def signal_traces(
         for n in traces:
             traces[n].append(int(values[net.require(n)][0] & np.uint64(1)))
     return {n: np.array(v, dtype=np.uint8) for n, v in traces.items()}
+
+
+def packed_signal_traces(
+    net: LogicNetwork,
+    stims: list[list[dict[str, int]]],
+    names: list[str],
+) -> dict[str, np.ndarray]:
+    """Lane-packed golden traces: one simulation pass for many stimuli.
+
+    ``stims`` holds one per-cycle stimulus script per lane (all the same
+    length, at most 64).  Bit *k* of the returned ``uint64`` array entry
+    ``traces[name][cyc]`` is what :func:`signal_traces` would report for
+    ``name`` on cycle ``cyc`` under ``stims[k]`` — the simulator evaluates
+    every lane's golden reference in the same bitwise operations, which is
+    what lets the lane-parallel campaign runner pay for one golden pass
+    per *batch* instead of one per scenario.  Extract a lane with
+    ``((arr >> lane) & 1).astype(np.uint8)``.
+    """
+    if not stims:
+        return {n: np.zeros(0, dtype=np.uint64) for n in names}
+    if len(stims) > 64:
+        raise WorkloadError("at most 64 stimulus lanes per packed word")
+    n_cycles = len(stims[0])
+    if any(len(s) != n_cycles for s in stims):
+        raise WorkloadError("stimulus lanes must share one horizon")
+    sim = SequentialSimulator(net, n_words=1)
+    names = [n for n in names if net.find(n) is not None]
+    traces = {n: np.zeros(n_cycles, dtype=np.uint64) for n in names}
+    pi_names = {p: net.node_name(p) for p in net.pis}
+    for cyc in range(n_cycles):
+        pi_vals: dict[int, np.ndarray] = {}
+        for p, pname in pi_names.items():
+            word = 0
+            for lane, stim in enumerate(stims):
+                if int(stim[cyc].get(pname, 0)) & 1:
+                    word |= 1 << lane
+            pi_vals[p] = np.array([word], dtype=np.uint64)
+        values = sim.step(pi_vals)
+        for n in names:
+            traces[n][cyc] = values[net.require(n)][0]
+    return traces
 
 
 def po_trace(

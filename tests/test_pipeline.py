@@ -167,6 +167,63 @@ class TestArtifactStore:
         st = store.stats.for_stage("s")
         assert (st.hits, st.misses, st.invalidations) == (1, 2, 1)
 
+    def test_new_group_is_cold_build_not_invalidation(self):
+        # an invalidation means a *prior build of the same design* became
+        # unreachable; a genuinely-new design entering a warm store is a
+        # cold build
+        store = ArtifactStore()
+        store.get("s", "k1", group="design-a")
+        store.put("s", "k1", 1, group="design-a")
+        store.get("s", "k2", group="design-b")  # new design: cold
+        assert store.stats.for_stage("s").invalidations == 0
+        store.get("s", "k3", group="design-a")  # same design, new key
+        assert store.stats.for_stage("s").invalidations == 1
+        # without a group the conservative heuristic still applies
+        store.get("s", "k4")
+        assert store.stats.for_stage("s").invalidations == 2
+
+    def test_new_design_not_counted_as_invalidation_via_pipeline(self):
+        store = ArtifactStore()
+        compile_design(generate_circuit(SPEC), store=store)
+        other = campaign_spec("pipe-test-b", n_gates=100, depth=7)
+        compile_design(generate_circuit(other), store=store)
+        assert store.stats.invalidations == 0
+        # a knob change on a known design still counts
+        compile_design(
+            generate_circuit(SPEC),
+            DebugFlowConfig(fold_polarity=False),
+            store=store,
+        )
+        assert store.stats.for_stage("tcon-map").invalidations == 1
+        assert store.stats.invalidations == 1
+
+    def test_passthrough_cleanup_persists_ref_not_duplicate(self, tmp_path):
+        import os
+
+        from repro.pipeline.store import StoreRef
+
+        d = str(tmp_path / "refstore")
+        store = ArtifactStore(cache_dir=d)
+        cfg = DebugFlowConfig(run_cleanup=False)
+        net = generate_circuit(SPEC)
+        result = compile_design(net, cfg, store=store)
+        # pass-through: cleanup returned the validate artifact by identity
+        assert result.value("cleanup") is result.value("validate")
+        val_path = store._path("validate", result.artifacts["validate"].key)
+        cln_path = store._path("cleanup", result.artifacts["cleanup"].key)
+        # the cleanup entry on disk is a tiny StoreRef, not a second pickle
+        assert os.path.getsize(cln_path) < os.path.getsize(val_path) / 2
+        import pickle
+
+        with open(cln_path, "rb") as fh:
+            ref = pickle.load(fh)
+        assert isinstance(ref, StoreRef) and ref.stage == "validate"
+        # a fresh store (new process) resolves the ref transparently
+        fresh = ArtifactStore(cache_dir=d)
+        again = compile_design(net, cfg, store=fresh)
+        assert again.full_hit
+        assert again.value("cleanup").name == net.name
+
     def test_disk_roundtrip_and_corrupt_entry(self, tmp_path):
         d = str(tmp_path / "store")
         warm = ArtifactStore(cache_dir=d)
@@ -366,17 +423,24 @@ class TestOrchestratorPolish:
             (i, sc, resolve_offline(sc.debug_network(), cache=cache)[0])
             for i, sc in enumerate(scenarios)
         ]
-        # serial: one payload for the whole shared-artifact group
-        serial = _group_payloads(resolved, 48, workers=1)
+        # serial (lane_width=1): one payload for the shared-artifact group
+        serial = _group_payloads(resolved, 48, workers=1, lane_width=1)
         assert len(serial) == 1
-        stage, items, max_turns = serial[0]
-        assert stage.physical is None and max_turns == 48
+        stage, items, max_turns, lane_width = serial[0]
+        assert stage.physical is None and max_turns == 48 and lane_width == 1
         assert sorted(idx for idx, _ in items) == [0, 1, 2]
         # pooled: split into at most `workers` chunks, artifact shipped
         # once per chunk instead of once per scenario
-        pooled = _group_payloads(resolved, 48, workers=2)
+        pooled = _group_payloads(resolved, 48, workers=2, lane_width=1)
         assert len(pooled) == 2
         assert sorted(idx for p in pooled for idx, _ in p[1]) == [0, 1, 2]
+        # lane mode: the shared-artifact group packs into one 64-lane batch
+        lanes = _group_payloads(resolved, 48, workers=2, lane_width=64)
+        assert len(lanes) == 1 and lanes[0][3] == 64
+        assert sorted(idx for idx, _ in lanes[0][1]) == [0, 1, 2]
+        # narrow lanes split the group into ceil(n / lane_width) batches
+        narrow = _group_payloads(resolved, 48, workers=1, lane_width=2)
+        assert sorted(len(p[1]) for p in narrow) == [1, 2]
 
     def test_pool_fallback_reports_effective_workers(
         self, scenarios, monkeypatch
