@@ -8,7 +8,7 @@ trade-off on stereov.
 
 from __future__ import annotations
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, emit_json
 from repro.core.muxnet import build_trace_network
 from repro.mapping import AbcMap, TconMap
 from repro.util.tables import TextTable
@@ -53,6 +53,11 @@ def test_ablation_mux_arity(benchmark, results_dir):
         _sweep, rounds=1, iterations=1, warmup_rounds=0
     )
     emit(results_dir, "ablation_muxarity", text)
+    emit_json(
+        results_dir,
+        "ablation_muxarity",
+        {"tcons_per_budget": {str(b): t for b, t in rows}},
+    )
     # rows sweep b from large to small; fewer buffer inputs → deeper trees
     # → more muxes → monotonically more TCONs
     tcons = [t for _b, t in rows]

@@ -8,7 +8,7 @@ contribution of parameter folding from everything else in the flow.
 
 from __future__ import annotations
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, emit_json
 from repro.core.muxnet import build_trace_network
 from repro.mapping import AbcMap, TconMap
 from repro.util.tables import TextTable
@@ -60,5 +60,13 @@ def test_ablation_param_cuts(benchmark, results_dir):
         _run, rounds=1, iterations=1, warmup_rounds=0
     )
     emit(results_dir, "ablation_param_cuts", text)
+    emit_json(
+        results_dir,
+        "ablation_param_cuts",
+        {
+            "aware_vs_blind_luts": pairs,
+            "savings": [blind / max(1, aware) for aware, blind in pairs],
+        },
+    )
     for aware, blind in pairs:
         assert blind > aware, "parameter folding must strictly save LUTs"

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, emit_json
 from repro.campaign import CampaignConfig, OfflineCache, run_campaign
 from repro.workloads import campaign_spec, stuck_at_scenarios
 
@@ -66,6 +66,16 @@ def test_campaign_cache_speedup(scenarios, results_dir):
         "warm-campaign report:\n" + warm.render()
     )
     emit(results_dir, "campaign_cache_speedup", text)
+    emit_json(
+        results_dir,
+        "campaign",
+        {
+            "scenarios": N_SCENARIOS,
+            "cold_wall_s": cold.wall_s,
+            "warm_wall_s": warm.wall_s,
+            "cache_speedup": speedup,
+        },
+    )
 
     assert speedup >= 2.0, (
         f"offline-stage caching gained only {speedup:.2f}x on a "
@@ -99,3 +109,13 @@ def test_campaign_parallel_scaling(scenarios, results_dir):
     for note in pooled.notes:
         text += f"note: {note}\n"
     emit(results_dir, "campaign_parallel_scaling", text)
+    emit_json(
+        results_dir,
+        "campaign",
+        {
+            "serial_wall_s": serial.wall_s,
+            "pooled_wall_s": pooled.wall_s,
+            "pool_speedup": ratio,
+            "effective_workers": pooled.workers,
+        },
+    )

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import os
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, emit_json
 from repro.analysis import run_compile_time
 from repro.workloads import get_spec
 
@@ -33,6 +33,7 @@ def test_compile_time_overhead(benchmark, results_dir):
     )
     emit(results_dir, "compile_time", text)
     # the parameterized flow must use fewer wires and fewer CLBs
+    wires_ratio = clb_ratio = None
     for line in text.splitlines():
         if line.startswith("stereov."):
             cells = [c.strip() for c in line.split("|")]
@@ -40,3 +41,8 @@ def test_compile_time_overhead(benchmark, results_dir):
             clb_ratio = float(cells[6].rstrip("x"))
             assert wires_ratio > 1.3, f"wire ratio {wires_ratio}"
             assert clb_ratio > 1.2, f"CLB ratio {clb_ratio}"
+    emit_json(
+        results_dir,
+        "compile_time",
+        {"stereov_wires_ratio": wires_ratio, "stereov_clb_ratio": clb_ratio},
+    )

@@ -6,7 +6,7 @@ CSV) the figure plots.
 
 from __future__ import annotations
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, emit_json
 from repro.analysis import run_fig7
 
 
@@ -17,3 +17,8 @@ def test_fig7_area_chart(benchmark, results_dir):
     emit(results_dir, "fig7_area_chart", text)
     assert "CSV series" in text
     assert "Proposed" in text
+    emit_json(
+        results_dir,
+        "fig7_area_chart",
+        {"csv_lines": sum(1 for l in text.splitlines() if "," in l)},
+    )

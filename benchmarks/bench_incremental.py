@@ -26,7 +26,7 @@ from dataclasses import replace
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, emit_json
 from repro.baselines.incremental import invalidation_table, stages_invalidated
 from repro.campaign import ArtifactStore, OfflineCache, resolve_offline
 from repro.core.flow import DebugFlowConfig
@@ -96,6 +96,18 @@ def test_incremental_stage_cache_speedup(results_dir):
         )
     )
     emit(results_dir, "incremental_stage_cache", text)
+    emit_json(
+        results_dir,
+        "incremental",
+        {
+            "cold_s": cold_s,
+            "whole_artifact_s": whole_s,
+            "stage_granular_s": stage_s,
+            "speedup_vs_whole": speedup_vs_whole,
+            "speedup_vs_cold": speedup_vs_cold,
+            "variants": len(VARIANTS),
+        },
+    )
 
     assert speedup_vs_whole >= 1.2, (
         f"stage-granular caching gained only {speedup_vs_whole:.2f}x over "
@@ -127,3 +139,12 @@ def test_stage_cache_disk_warm_restart(results_dir, tmp_path):
         f"stats: {restarted.stats.as_dict()}"
     )
     emit(results_dir, "incremental_disk_restart", text)
+    emit_json(
+        results_dir,
+        "incremental",
+        {
+            "disk_cold_s": sw_cold.elapsed,
+            "disk_warm_s": sw_warm.elapsed,
+            "disk_restart_speedup": ratio,
+        },
+    )

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, emit_json
 from repro.analysis.reporting import lane_occupancy
 from repro.campaign import CampaignConfig, OfflineCache, run_campaign
 from repro.workloads import campaign_spec, stuck_at_scenarios
@@ -75,6 +75,18 @@ def test_lane_engine_speedup(scenarios, results_dir):
         "lane-batched campaign report:\n" + lanes.render()
     )
     emit(results_dir, "lane_engine_speedup", text)
+    emit_json(
+        results_dir,
+        "lanes",
+        {
+            "scenarios": N_SCENARIOS,
+            "serial_online_s": serial.online_total_s,
+            "lane_online_s": lanes.online_total_s,
+            "online_speedup": speedup,
+            "wall_speedup": wall_speedup,
+            "word_occupancy": occ["occupancy"],
+        },
+    )
 
     assert speedup >= 4.0, (
         f"lane packing gained only {speedup:.2f}x on a "

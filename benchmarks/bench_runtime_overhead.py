@@ -9,7 +9,7 @@ of magnitude) and a break-even of ~5000 debugging turns at 400 MHz with a
 
 from __future__ import annotations
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, emit_json
 from repro.analysis import run_runtime_overhead
 from repro.core.costmodel import Virtex5Model
 
@@ -31,7 +31,18 @@ def test_runtime_overhead(benchmark, results_dir):
     assert model.break_even_turns(50e-6) == 5000
 
     # three-orders-of-magnitude shape from the measured report
+    factor = None
     for line in text.splitlines():
         if line.startswith("shape check"):
             factor = float(line.split("is ")[1].split("x")[0])
             assert factor >= 1000, f"only {factor}x faster than full reconfig"
+    emit_json(
+        results_dir,
+        "runtime_overhead",
+        {
+            "full_reconfig_s": full,
+            "debug_turn_s": model.debug_turn_s(),
+            "break_even_turns_50us": model.break_even_turns(50e-6),
+            "specialization_vs_full_factor": factor,
+        },
+    )

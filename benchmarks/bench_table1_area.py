@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, emit_json
 from repro.analysis import run_benchmark_columns, run_table1
 from repro.workloads import paper_suite
 
@@ -34,4 +34,13 @@ def test_table1_area(benchmark, results_dir):
         # the mux network lands in routing: TCONs scale with the tap count
         assert cols.proposed.n_tcons > len(cols.offline.taps)
     avg = sum(ratios) / len(ratios)
+    emit_json(
+        results_dir,
+        "table1_area",
+        {
+            "benchmarks": len(ratios),
+            "avg_conventional_over_proposed": avg,
+            "per_benchmark_ratios": ratios,
+        },
+    )
     assert 2.5 <= avg <= 5.0, f"avg conventional/proposed ratio {avg:.2f}"

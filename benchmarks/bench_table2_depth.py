@@ -6,7 +6,7 @@ golden (initial) mapping, while the conventional mappers may add a level.
 
 from __future__ import annotations
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, emit_json
 from repro.analysis import run_benchmark_columns, run_table2
 from repro.workloads import paper_suite
 
@@ -17,6 +17,7 @@ def test_table2_depth(benchmark, results_dir):
     )
     emit(results_dir, "table2_depth", text)
 
+    depths = {}
     for spec in paper_suite():
         cols = run_benchmark_columns(spec)
         golden = cols.initial.depth_to(cols.user_sinks)
@@ -27,3 +28,5 @@ def test_table2_depth(benchmark, results_dir):
         assert prop <= golden, f"{spec.name}: proposed deepened user logic"
         assert cols.sm.user_depth <= golden + 1
         assert cols.abc.user_depth <= golden + 1
+        depths[spec.name] = {"golden": golden, "proposed": prop}
+    emit_json(results_dir, "table2_depth", {"user_depths": depths})

@@ -3,11 +3,16 @@
 Each benchmark regenerates one paper artifact (table/figure/section) and
 writes its output under ``results/`` as well as printing it, so
 ``pytest benchmarks/ --benchmark-only -s`` reproduces the full evaluation
-section in one run.
+section in one run.  Besides the human-readable ``results/<name>.txt``,
+every benchmark persists its headline numbers machine-readably via
+:func:`emit_json` as ``results/BENCH_<name>.json`` — the perf trajectory
+CI tracks across PRs (the bench-smoke job uploads these artifacts and
+enforces regression floors on them).
 """
 
 from __future__ import annotations
 
+import json
 import os
 import sys
 
@@ -29,3 +34,28 @@ def emit(results_dir: str, name: str, text: str) -> None:
 
     path = save_result(name, text, results_dir)
     print(f"\n{'=' * 72}\n{text}\n[saved to {path}]\n{'=' * 72}")
+
+
+def emit_json(results_dir: str, name: str, data: dict) -> str:
+    """Merge ``data`` into ``results/BENCH_<name>.json``.
+
+    Merging (rather than overwriting) lets several tests of one bench
+    file contribute fields to a single machine-readable record — e.g.
+    ``bench_kernels.py``'s per-step and end-to-end measurements — and
+    lets a CI smoke run that executes only the fast subset leave the
+    other fields untouched.
+    """
+    path = os.path.join(results_dir, f"BENCH_{name}.json")
+    merged: dict = {}
+    if os.path.exists(path):
+        try:
+            with open(path, encoding="utf-8") as fh:
+                merged = json.load(fh)
+        except (OSError, ValueError):
+            merged = {}
+    merged.update(data)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(merged, fh, indent=2, sort_keys=True, default=float)
+        fh.write("\n")
+    print(f"[bench json saved to {path}]")
+    return path

@@ -103,17 +103,19 @@ def lane_occupancy(lane_batches: Sequence[int]) -> dict:
     """Per-batch lane-occupancy aggregates of a lane-parallel campaign.
 
     ``lane_batches`` holds the number of scenarios bound to each online
-    batch's packed emulation (1..64).  Occupancy is measured against the
-    64 lanes a ``uint64`` word carries — the fraction of the machine the
-    batched engine actually used.
+    batch's packed emulation.  Occupancy is measured against the words
+    each batch actually allocated (64 lanes per ``uint64`` word, so a
+    96-lane batch occupies 96 of 128 word bits) — the fraction of the
+    packed machine the batched engine actually used.
     """
     if not lane_batches:
         return {"n_batches": 0, "mean_lanes": 0.0, "max_lanes": 0, "occupancy": 0.0}
+    capacity = sum(64 * ((n + 63) // 64) for n in lane_batches)
     return {
         "n_batches": len(lane_batches),
         "mean_lanes": sum(lane_batches) / len(lane_batches),
         "max_lanes": max(lane_batches),
-        "occupancy": sum(lane_batches) / (64.0 * len(lane_batches)),
+        "occupancy": sum(lane_batches) / capacity if capacity else 0.0,
     }
 
 

@@ -77,10 +77,27 @@ def _parser() -> argparse.ArgumentParser:
         type=int,
         default=64,
         metavar="N",
-        help="scenarios packed per emulation word, 1..64 (default 64); "
-        "1 runs the historical one-session-per-scenario path — outcomes "
-        "are byte-identical at every width (the CI lane-equivalence job "
+        help="scenarios packed per emulation batch, >= 1 (default 64; "
+        "widths beyond 64 span multiple uint64 words); 1 runs the "
+        "historical one-session-per-scenario path — outcomes are "
+        "byte-identical at every width (the CI lane-equivalence job "
         "diffs them)",
+    )
+    p.add_argument(
+        "--interpreted",
+        action="store_true",
+        help="run the online phase on the reference per-gate interpreter "
+        "instead of the compiled simulation kernels (escape hatch / "
+        "benchmark baseline; outcomes are bit-identical)",
+    )
+    p.add_argument(
+        "--synthetic-gates",
+        type=int,
+        default=None,
+        metavar="N",
+        help="replace --designs with one synthetic N-gate campaign design "
+        "(sized freely — how the CI jobs build >64-scenario campaigns "
+        "without a paper benchmark large enough)",
     )
     p.add_argument("--seed", type=int, default=2016)
     p.add_argument(
@@ -143,10 +160,25 @@ def _parser() -> argparse.ArgumentParser:
 def _build_scenarios(
     args: argparse.Namespace, cache
 ) -> list[DebugScenario]:
-    from repro.workloads import generate_circuit, get_spec
+    from repro.workloads import campaign_spec, generate_circuit, get_spec
+
+    designs: list = list(args.designs)
+    if args.synthetic_gates is not None:
+        # one freely-sized synthetic design; scale the PI/PO interface
+        # with the gate count so wide campaigns find enough taps
+        n_gates = args.synthetic_gates
+        designs = [
+            campaign_spec(
+                f"synthetic-{n_gates}",
+                n_gates=n_gates,
+                depth=8,
+                n_pis=max(16, n_gates // 16),
+                n_pos=max(8, n_gates // 32),
+            )
+        ]
 
     scenarios: list[DebugScenario] = []
-    for design in args.designs:
+    for design in designs:
         n = args.per_design
         kw = dict(seed=args.seed, horizon=args.horizon)
 
@@ -158,7 +190,8 @@ def _build_scenarios(
             # design content)
             if cache is None:
                 return None
-            net = generate_circuit(get_spec(design))
+            spec = get_spec(design) if isinstance(design, str) else design
+            net = generate_circuit(spec)
             try:
                 return resolve_offline(
                     net, cache=cache, with_physical=args.physical
@@ -201,9 +234,14 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
+    names = (
+        [f"synthetic-{args.synthetic_gates}"]
+        if args.synthetic_gates is not None
+        else args.designs
+    )
     print(
         f"generating {args.per_design} {args.kind} scenario(s) per design "
-        f"for: {', '.join(args.designs)}"
+        f"for: {', '.join(names)}"
     )
     cache = _make_cache(args)
     try:
@@ -212,14 +250,22 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
         return 2
 
-    if not 1 <= args.lane_width <= 64:
-        print("error: --lane-width must be within 1..64", file=sys.stderr)
+    if args.lane_width < 1:
+        print("error: --lane-width must be at least 1", file=sys.stderr)
+        return 2
+    if args.interpreted and args.lane_width > 64:
+        print(
+            "error: --interpreted is single-word; use --lane-width <= 64 "
+            "(multi-word lanes need the compiled kernels)",
+            file=sys.stderr,
+        )
         return 2
     config = CampaignConfig(
         workers=args.workers,
         with_physical=args.physical,
         max_turns=args.max_turns,
         lane_width=args.lane_width,
+        interpreted=args.interpreted,
     )
     report = run_campaign(scenarios, config=config, cache=cache)
     print()

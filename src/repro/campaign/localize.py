@@ -68,7 +68,11 @@ class GoldenOracle:
 
 
 def golden_signal_traces(
-    net: LogicNetwork, stim: list[dict[str, int]], names: list[str]
+    net: LogicNetwork,
+    stim: list[dict[str, int]],
+    names: list[str],
+    *,
+    interpreted: bool = False,
 ) -> dict[str, np.ndarray]:
     """Simulate ``net`` under ``stim`` recording the named signals.
 
@@ -80,7 +84,7 @@ def golden_signal_traces(
     """
     from repro.workloads.scenarios import signal_traces
 
-    return signal_traces(net, stim, names)
+    return signal_traces(net, stim, names, interpreted=interpreted)
 
 
 def _frontier_walk(net: LogicNetwork, is_tap, nid: int) -> list[str]:

@@ -15,7 +15,8 @@ through the two-stage debug flow:
 * **Online phase**: scenarios are first grouped by **lane batch** — the
   finest key that lets them share one packed emulation: the offline
   artifact's cache key plus the golden design's identity and the horizon.
-  Each batch of up to ``lane_width`` (≤64) scenarios runs as the lanes of
+  Each batch of up to ``lane_width`` scenarios (64 per packed word,
+  words added beyond that) runs as the lanes of
   a single :class:`~repro.engine.LaneEngine`
   (:func:`~repro.campaign.runner.run_scenario_batch`) — one packed golden
   pass, one packed detection run, and a batched frontier walk that
@@ -66,36 +67,55 @@ class CampaignConfig:
     max_turns: int = 48
     """Per-scenario budget of debugging turns for the localization walk."""
     lane_width: int = 64
-    """Scenarios packed per emulation word (1..64).  Scenarios sharing an
-    offline artifact and a horizon are batched into lanes of one packed
-    :class:`~repro.engine.LaneEngine`; ``1`` runs the historical
-    one-session-per-scenario path.  Outcomes are byte-identical at every
-    width — only the throughput changes."""
+    """Scenarios packed per emulation batch (≥ 1; widths beyond 64 span
+    multiple ``uint64`` words — lane *k* is word ``k // 64``, bit
+    ``k % 64``).  Scenarios sharing an offline artifact and a horizon are
+    batched into lanes of one packed :class:`~repro.engine.LaneEngine`;
+    ``1`` runs the historical one-session-per-scenario path.  Outcomes
+    are byte-identical at every width — only the throughput changes."""
+    interpreted: bool = False
+    """Run the online phase on the reference per-gate interpreter instead
+    of the compiled simulation kernels — the escape hatch, and the
+    baseline ``benchmarks/bench_kernels.py`` measures the compiled path
+    against.  Outcomes are bit-identical either way."""
 
 
 #: One pool task: a stripped offline artifact, the scenarios of one lane
-#: batch (or serial chunk), the turn budget and the lane width.  Each
-#: distinct artifact is pickled once per payload instead of once per
-#: scenario.
+#: batch (or serial chunk), the turn budget, the lane width and the
+#: interpreted-simulator flag.  Each distinct artifact is pickled once
+#: per payload instead of once per scenario.
 GroupPayload = tuple[
-    OfflineStage, "list[tuple[int, DebugScenario]]", int, int
+    OfflineStage, "list[tuple[int, DebugScenario]]", int, int, bool
 ]
 
 
 def _online_group_worker(
-    payload: GroupPayload,
+    payload: GroupPayload, store=None
 ) -> list[tuple[int, ScenarioResult]]:
-    offline, items, max_turns, lane_width = payload
+    offline, items, max_turns, lane_width, interpreted = payload
     if lane_width > 1:
         batch_results = run_scenario_batch(
-            [sc for _idx, sc in items], offline, max_turns=max_turns
+            [sc for _idx, sc in items],
+            offline,
+            max_turns=max_turns,
+            interpreted=interpreted,
+            store=store,
         )
         return [
             (idx, result)
             for (idx, _sc), result in zip(items, batch_results)
         ]
     return [
-        (idx, run_scenario(sc, offline, max_turns=max_turns))
+        (
+            idx,
+            run_scenario(
+                sc,
+                offline,
+                max_turns=max_turns,
+                interpreted=interpreted,
+                store=store,
+            ),
+        )
         for idx, sc in items
     ]
 
@@ -116,6 +136,7 @@ def _group_payloads(
     max_turns: int,
     workers: int,
     lane_width: int,
+    interpreted: bool = False,
 ) -> list[GroupPayload]:
     """Group scenarios into lane batches (or serial chunks) per payload.
 
@@ -150,6 +171,7 @@ def _group_payloads(
                         [(idx, sc) for idx, sc, _ in chunk],
                         max_turns,
                         lane_width,
+                        interpreted,
                     )
                 )
         else:
@@ -162,6 +184,7 @@ def _group_payloads(
                         [(idx, sc) for idx, sc, _ in chunk],
                         max_turns,
                         1,
+                        interpreted,
                     )
                 )
     return payloads
@@ -233,8 +256,14 @@ def run_campaign(
 
     # -- online phase: lane-batched debug loops, payloads deduped per key ------
     workers = max(1, config.workers)
-    lane_width = min(64, max(1, config.lane_width))
-    payloads = _group_payloads(resolved, config.max_turns, workers, lane_width)
+    lane_width = max(1, config.lane_width)
+    payloads = _group_payloads(
+        resolved, config.max_turns, workers, lane_width, config.interpreted
+    )
+    # compiled programs persist in the stage store when one is in play —
+    # worker processes compile their own (the store isn't shipped), but
+    # serial runs and warm restarts skip compilation entirely
+    program_store = cache if isinstance(cache, ArtifactStore) else None
     indexed: list[tuple[int, ScenarioResult]] = []
     effective_workers = 1
     if workers > 1 and payloads:
@@ -251,10 +280,16 @@ def run_campaign(
                 f"{workers})"
             )
             indexed = [
-                r for p in payloads for r in _online_group_worker(p)
+                r
+                for p in payloads
+                for r in _online_group_worker(p, store=program_store)
             ]
     else:
-        indexed = [r for p in payloads for r in _online_group_worker(p)]
+        indexed = [
+            r
+            for p in payloads
+            for r in _online_group_worker(p, store=program_store)
+        ]
 
     # re-interleave results (and offline-failure placeholders) in scenario order
     by_idx = dict(indexed)
@@ -274,8 +309,6 @@ def run_campaign(
         online_total_s=sum(r.online_s for r in results),
         cache_stats=cache.stats.as_dict() if cache is not None else None,
         lane_width=lane_width,
-        lane_batches=[len(items) for _off, items, _mt, _lw in payloads]
-        if lane_width > 1
-        else [],
+        lane_batches=[len(p[1]) for p in payloads] if lane_width > 1 else [],
         notes=notes,
     )

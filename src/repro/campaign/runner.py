@@ -2,18 +2,20 @@
 
 :func:`run_scenario` is the historical unit of work — one scenario, one
 :class:`~repro.core.debug.DebugSession`.  :func:`run_scenario_batch`
-binds up to 64 scenarios *sharing one offline artifact* (and one
-horizon) to the lanes of a single :class:`~repro.engine.LaneEngine`:
-one packed golden pass, one packed detection run, and a batched frontier
-walk where every observe+replay turn advances every still-active lane,
-retiring lanes as their walks converge.
+binds any number of scenarios *sharing one offline artifact* (and one
+horizon) to the lanes of a single :class:`~repro.engine.LaneEngine` —
+64 per packed word, further words added beyond that — one packed golden
+pass, one packed detection run (with a per-lane early exit: the moment
+every live lane has diverged, the rest of the horizon is skipped), and a
+batched frontier walk where every observe+replay turn advances every
+still-active lane, retiring lanes as their walks converge.
 
 Both are pure functions of ``(scenarios, offline artifact)`` — stimulus,
 golden model and bug reproduction all derive deterministically from the
 scenario — and the batch path drives the *same*
 :func:`~repro.campaign.localize.divergence_walk` decision generator the
 serial path does, which is what guarantees byte-identical outcomes
-between serial, parallel and lane-batched campaigns.
+between serial, parallel and lane-batched campaigns at every lane width.
 """
 
 from __future__ import annotations
@@ -45,6 +47,8 @@ def run_scenario(
     offline: OfflineStage,
     *,
     max_turns: int = 48,
+    interpreted: bool = False,
+    store=None,
 ) -> ScenarioResult:
     """Run one scenario's online debug loop against its offline artifact.
 
@@ -87,6 +91,8 @@ def run_scenario(
                 trace_depth=max(
                     scenario.horizon, offline.config.trace_depth
                 ),
+                interpreted=interpreted,
+                program_store=store,
             )
             if scenario.kind == "stuck_at":
                 assert scenario.fault_signal is not None
@@ -102,7 +108,10 @@ def run_scenario(
 
         with timers.phase("golden"):
             golden_traces = golden_signal_traces(
-                golden, stim, tap_names + session.user_po_names
+                golden,
+                stim,
+                tap_names + session.user_po_names,
+                interpreted=interpreted,
             )
 
         with timers.phase("detect"):
@@ -169,9 +178,12 @@ def _first_divergence(
 
 def _lane_slice(packed: dict[str, np.ndarray], lane: int) -> dict[str, np.ndarray]:
     """One lane's ``uint8`` view of lane-packed golden traces."""
-    shift = np.uint64(lane)
+    word, bit = lane >> 6, np.uint64(lane & 63)
     one = np.uint64(1)
-    return {n: ((arr >> shift) & one).astype(np.uint8) for n, arr in packed.items()}
+    return {
+        n: ((arr[:, word] >> bit) & one).astype(np.uint8)
+        for n, arr in packed.items()
+    }
 
 
 def run_scenario_batch(
@@ -179,20 +191,27 @@ def run_scenario_batch(
     offline: OfflineStage,
     *,
     max_turns: int = 48,
+    interpreted: bool = False,
+    store=None,
 ) -> list[ScenarioResult]:
-    """Run up to 64 scenarios' online loops as lanes of one packed engine.
+    """Run many scenarios' online loops as lanes of one packed engine.
 
     Every scenario must share ``offline`` (the orchestrator groups by
     offline cache key) and the same horizon — lanes advance in lockstep,
-    so one replay length must serve the whole batch.  The phases mirror
-    :func:`run_scenario`, vectorized across lanes:
+    so one replay length must serve the whole batch.  Batches wider than
+    64 simply span multiple packed words (lane *k* = word ``k // 64``,
+    bit ``k % 64``).  The phases mirror :func:`run_scenario`, vectorized
+    across lanes:
 
     1. *setup* — one :class:`~repro.engine.LaneEngine`; each ``stuck_at``
        scenario's fault is armed on its lane only (``lane_mask``);
     2. *golden* — **one** packed reference pass over the shared golden
        design, every lane's stimulus in its bit of the packed words;
-    3. *detect* — one packed emulation of the horizon, then a per-lane
-       scan of the packed PO trace against the packed golden trace;
+    3. *detect* — one packed emulation compared cycle by cycle against
+       the packed golden PO words, with a per-lane early exit: the run
+       stops the moment every live lane has diverged (lanes that never
+       diverge keep it going to the full horizon, so ``undetected``
+       verdicts are unchanged);
     4. *localize* — a batched frontier walk: each detected lane runs its
        own :func:`~repro.campaign.localize.divergence_walk` generator,
        and every observe+replay turn serves all still-active lanes at
@@ -203,8 +222,10 @@ def run_scenario_batch(
     batch size — the amortized cost actually paid per scenario, keeping
     campaign-level ``online_total_s`` equal to wall clock spent.  The
     deterministic outcome fields are byte-identical to the serial path's.
-    Never raises: per-lane failures degrade to ``status="error"`` results
-    for their lane only.
+    ``interpreted`` runs the whole batch on the reference interpreter
+    (benchmark baseline); ``store`` persists compiled programs.  Never
+    raises: per-lane failures degrade to ``status="error"`` results for
+    their lane only.
     """
     timers = PhaseTimer()
     n = len(scenarios)
@@ -239,6 +260,8 @@ def run_scenario_batch(
                 offline,
                 n_lanes=n,
                 trace_depth=max(horizon, offline.config.trace_depth),
+                interpreted=interpreted,
+                program_store=store,
             )
             stims = [
                 stimulus_script(goldens[lane], horizon, sc.stimulus_seed)
@@ -275,33 +298,61 @@ def run_scenario_batch(
                 by_golden.setdefault((sc.spec, sc.design_seed), []).append(lane)
             for lanes in by_golden.values():
                 packed = packed_signal_traces(
-                    goldens[lanes[0]], [stims[l] for l in lanes], trace_names
+                    goldens[lanes[0]],
+                    [stims[l] for l in lanes],
+                    trace_names,
+                    interpreted=interpreted,
                 )
                 for pos, l in enumerate(lanes):
                     packed_golden[l] = _lane_slice(packed, pos)
 
         with timers.phase("detect"):
-            packed_pos = engine.run_outputs(horizon, lanes=live)
             po_names = engine.user_po_names
-            detected: list[int] = []
-            one = np.uint64(1)
+            # word-packed golden PO values per (cycle, po), built from the
+            # per-lane slices so lanes from different golden groups land
+            # on their own bits; po_lane_masks[j] marks the lanes whose
+            # golden model drives that PO at all (absent ⇒ cannot diverge,
+            # the same skip the serial scan applies via golden.get())
+            n_pos = len(po_names)
+            golden_words = [[0] * n_pos for _ in range(horizon)]
+            po_lane_masks = [0] * n_pos
+            for j, po in enumerate(po_names):
+                for lane in live:
+                    exp = packed_golden[lane].get(po)
+                    if exp is None:
+                        continue
+                    po_lane_masks[j] |= 1 << lane
+                    lane_bit = 1 << lane
+                    for c in np.flatnonzero(exp[:horizon]):
+                        golden_words[int(c)][j] |= lane_bit
+
+            undiverged = 0
             for lane in live:
-                golden_lane = packed_golden[lane]
-                obs = ((packed_pos >> np.uint64(lane)) & one).astype(np.uint8)
-                # POs the golden net doesn't drive can never diverge —
-                # same skip _first_divergence applies via golden.get()
-                diff = np.zeros_like(obs, dtype=bool)
-                for j, po in enumerate(po_names):
-                    exp = golden_lane.get(po)
-                    if exp is not None:
-                        diff[:, j] = obs[:, j] != exp[:horizon]
-                hits = np.flatnonzero(diff.ravel())
-                if hits.size == 0:
+                undiverged |= 1 << lane
+            first_div: dict[int, tuple[int, int]] = {}
+
+            def _all_diverged(c: int, row_ints: "list[int]") -> bool:
+                # scanning POs in order and retiring a lane at its first
+                # hit reproduces the serial scan's (cycle, po) tie-break
+                nonlocal undiverged
+                gw = golden_words[c]
+                for j, got in enumerate(row_ints):
+                    d = (got ^ gw[j]) & po_lane_masks[j] & undiverged
+                    while d:
+                        low = d & -d
+                        first_div[low.bit_length() - 1] = (c, j)
+                        undiverged &= ~low
+                        d ^= low
+                return undiverged == 0
+
+            engine.run_outputs(horizon, lanes=live, stop=_all_diverged)
+            detected: list[int] = []
+            for lane in live:
+                hit = first_div.get(lane)
+                if hit is None:
                     results[lane].status = "undetected"
                 else:
-                    # row-major ravel = first by cycle, then by PO order —
-                    # the serial scan's exact tie-break
-                    cyc, j = divmod(int(hits[0]), len(po_names))
+                    cyc, j = hit
                     results[lane].fail_cycle = cyc
                     results[lane].failing_po = po_names[j]
                     detected.append(lane)

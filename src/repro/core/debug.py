@@ -18,10 +18,13 @@ enter the emulation as the PIs they physically are.
 
 Since the lane-parallel refactor the session is a **one-lane facade**
 over :class:`repro.engine.LaneEngine`: the exact same engine that packs
-64 campaign scenarios into one emulation word serves a single interactive
-session bound to lane 0.  The public API is unchanged; batch users who
-want many scenarios per emulation step should use the engine (or the
-campaign layer) directly.
+whole campaign batches (64 scenarios per word, words added beyond that)
+into one compiled-kernel emulation serves a single interactive session
+bound to lane 0.  The public API is unchanged; batch users who want many
+scenarios per emulation step should use the engine (or the campaign
+layer) directly.  ``interpreted=True`` selects the reference per-gate
+interpreter instead of the compiled kernels (bit-identical, much
+slower); ``program_store`` persists compiled programs across restarts.
 """
 
 from __future__ import annotations
@@ -62,9 +65,16 @@ class DebugSession:
         *,
         model: Virtex5Model | None = None,
         trace_depth: int | None = None,
+        interpreted: bool = False,
+        program_store=None,
     ) -> None:
         self._engine = LaneEngine(
-            offline, n_lanes=1, model=model, trace_depth=trace_depth
+            offline,
+            n_lanes=1,
+            model=model,
+            trace_depth=trace_depth,
+            interpreted=interpreted,
+            program_store=program_store,
         )
         self.trace = LaneView(self._engine.trace, lane=0)
 
@@ -219,7 +229,7 @@ class DebugSession:
         names = self._engine.user_po_names
         one = np.uint64(1)
         return [
-            {po: int(packed[c, j] & one) for j, po in enumerate(names)}
+            {po: int(packed[c, j, 0] & one) for j, po in enumerate(names)}
             for c in range(packed.shape[0])
         ]
 

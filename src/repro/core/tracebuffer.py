@@ -99,12 +99,14 @@ class TraceBuffer:
 class LaneTraceBuffer:
     """Lane-packed capture memory: one :class:`TraceBuffer` per SIMD lane.
 
-    The lane-parallel debug engine runs up to 64 scenarios through one
-    packed emulation; each cell of this buffer is a ``uint64`` word whose
-    bit *k* is lane *k*'s sample for that (cycle, channel).  One
-    :meth:`capture` call per cycle records *every* lane — O(width)
-    regardless of lane count, which is what keeps trace capture off the
-    per-scenario cost sheet.
+    The lane-parallel debug engine runs many scenarios through one packed
+    emulation; each cell of this buffer is a row of ``n_words`` ``uint64``
+    words whose bit *k* of word *w* is lane ``64*w + k``'s sample for
+    that (cycle, channel).  One :meth:`capture` call per cycle records
+    *every* lane — O(width × words) regardless of lane count, which is
+    what keeps trace capture off the per-scenario cost sheet.  Lane
+    counts beyond 64 simply widen the rows (the multi-word addressing the
+    compiled-kernel engine uses for >64-lane campaigns).
 
     Per-lane trigger/stop state is tracked so one lane can freeze its
     post-trigger window while the others keep recording: captures blend
@@ -124,14 +126,22 @@ class LaneTraceBuffer:
     ):
         if width <= 0 or depth <= 0:
             raise DebugFlowError("trace buffer width/depth must be positive")
-        if not 1 <= n_lanes <= 64:
-            raise DebugFlowError("lane count must be within 1..64")
+        if n_lanes < 1:
+            raise DebugFlowError("lane count must be at least 1")
         self.width = width
         self.depth = depth
         self.n_lanes = n_lanes
+        self.n_words = (n_lanes + 63) >> 6
         self.post_trigger = depth // 2 if post_trigger is None else post_trigger
-        self._mem = np.zeros((depth, width), dtype=np.uint64)
+        self._mem = np.zeros((depth, width, self.n_words), dtype=np.uint64)
         self.reset()
+
+    def _lane_masks(self, lanes: np.ndarray) -> np.ndarray:
+        """``(n_words,)`` word mask covering the given lane indices."""
+        mask = np.zeros(self.n_words, dtype=np.uint64)
+        for lane in lanes:
+            mask[int(lane) >> 6] |= np.uint64(1) << np.uint64(int(lane) & 63)
+        return mask
 
     def reset(self) -> None:
         self._mem[:] = 0
@@ -142,7 +152,7 @@ class LaneTraceBuffer:
         self._remaining = np.full(self.n_lanes, -1, dtype=np.int64)
         self._stopped = np.zeros(self.n_lanes, dtype=bool)
         self._stop_head = np.zeros(self.n_lanes, dtype=np.int64)
-        self._active_mask = np.uint64((1 << self.n_lanes) - 1)
+        self._active_mask = self._lane_masks(np.arange(self.n_lanes))
 
     @property
     def cycle(self) -> int:
@@ -159,33 +169,43 @@ class LaneTraceBuffer:
     def capture(self, sample: np.ndarray, *, trigger_mask: int = 0) -> None:
         """Record one cycle's packed sample for every non-stopped lane.
 
-        ``sample`` holds one ``uint64`` word per channel (bit *k* = lane
-        *k*).  ``trigger_mask`` arms the post-trigger stop for the lanes
-        whose bits are set, mirroring ``TraceBuffer.capture(trigger=...)``
-        lane by lane.
+        ``sample`` holds one row of ``n_words`` ``uint64`` words per
+        channel (bit *k* of word *w* = lane ``64*w + k``); a flat
+        ``(width,)`` array is accepted for single-word buffers.
+        ``trigger_mask`` arms the post-trigger stop for the lanes whose
+        bits are set, mirroring ``TraceBuffer.capture(trigger=...)`` lane
+        by lane.
         """
         self._cycle += 1
         amask = self._active_mask
-        if not amask:
+        if not amask.any():
             return
         row = np.asarray(sample, dtype=np.uint64)
-        if row.shape != (self.width,):
+        if row.shape == (self.width,) and self.n_words == 1:
+            row = row.reshape(self.width, 1)
+        if row.shape != (self.width, self.n_words):
             raise DebugFlowError(
-                f"sample width {row.shape} != buffer width {self.width}"
+                f"sample shape {row.shape} != buffer shape "
+                f"({self.width}, {self.n_words})"
             )
         self._mem[self._head] = (self._mem[self._head] & ~amask) | (row & amask)
         self._head = (self._head + 1) % self.depth
         active = ~self._stopped
         np.minimum(self._count + 1, self.depth, out=self._count, where=active)
         if trigger_mask:
-            for lane in range(self.n_lanes):
+            lane = 0
+            tm = trigger_mask
+            while tm:
                 if (
-                    (trigger_mask >> lane) & 1
+                    tm & 1
+                    and lane < self.n_lanes
                     and active[lane]
                     and self._triggered_at[lane] < 0
                 ):
                     self._triggered_at[lane] = self._cycle - 1
                     self._remaining[lane] = self.post_trigger
+                tm >>= 1
+                lane += 1
         armed = active & (self._remaining >= 0)
         if armed.any():
             self._remaining[armed] -= 1
@@ -193,9 +213,8 @@ class LaneTraceBuffer:
             if newly.any():
                 self._stopped |= newly
                 self._stop_head[newly] = self._head
-                live = np.flatnonzero(~self._stopped)
-                self._active_mask = np.uint64(
-                    sum(1 << int(l) for l in live)
+                self._active_mask = self._lane_masks(
+                    np.flatnonzero(~self._stopped)
                 )
 
     def window(self, lane: int = 0) -> np.ndarray:
@@ -206,9 +225,10 @@ class LaneTraceBuffer:
         end = int(self._stop_head[lane]) if self._stopped[lane] else self._head
         start = (end - count) % self.depth
         idx = (start + np.arange(count)) % self.depth
-        return ((self._mem[idx] >> np.uint64(lane)) & np.uint64(1)).astype(
-            np.uint8
-        )
+        word, bit = lane >> 6, lane & 63
+        return (
+            (self._mem[idx, :, word] >> np.uint64(bit)) & np.uint64(1)
+        ).astype(np.uint8)
 
     def channel(self, index: int, lane: int = 0) -> np.ndarray:
         """One channel's captured history for one lane, oldest first."""

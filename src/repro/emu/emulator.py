@@ -245,10 +245,12 @@ class FpgaEmulator:
 
     def __init__(
         self, bits: np.ndarray, gen: GeneratedBitstream, rr: RRGraph,
-        *, n_words: int = 1,
+        *, n_words: int = 1, interpreted: bool = False,
     ) -> None:
         self.decoded = decode_bitstream(bits, gen, rr)
-        self.sim = SequentialSimulator(self.decoded.network, n_words=n_words)
+        self.sim = SequentialSimulator(
+            self.decoded.network, n_words=n_words, interpreted=interpreted
+        )
 
     def reset(self) -> None:
         self.sim.reset()

@@ -25,7 +25,13 @@ from repro.errors import SimulationError
 from repro.netlist.network import LogicNetwork
 from repro.netlist.simulate import SequentialSimulator
 
-__all__ = ["ALL_LANES", "ForcedFault", "active_overrides", "FaultInjector"]
+__all__ = [
+    "ALL_LANES",
+    "ForcedFault",
+    "active_overrides",
+    "active_override_ints",
+    "FaultInjector",
+]
 
 #: Effectively "forever" for fault windows (cycle counters are int64-safe).
 NEVER_ENDS = 2**62
@@ -44,13 +50,21 @@ class ForcedFault:
     records the human-readable name for reports; it does not participate
     in application.
 
-    ``lane_mask`` selects which of the word's 64 SIMD lanes the fault
-    afflicts (replicated across words when ``n_words > 1``).  The default
-    forces every lane — the historical single-scenario behavior.  The
-    lane-parallel engine arms each scenario's fault with ``1 << lane`` so
-    that 64 concurrent scenarios can each carry a *different* bug through
-    one packed emulation: the simulator blends
-    ``value = (clean & ~mask) | (forced & mask)`` per node.
+    ``lane_mask`` selects which SIMD lanes the fault afflicts as an
+    *absolute lane-index* mask: lane *k* is bit *k*, so with
+    ``n_words > 1`` lane 77 is word 1, bit 13 (``1 << 77``).  The
+    :data:`ALL_LANES` default is a sentinel meaning *every lane of every
+    word* — the historical whole-value force; note this means a literal
+    mask of exactly ``(1 << 64) - 1`` cannot express "word 0's 64 lanes
+    only" on a multi-word simulation (split such a fault into two masks).
+    The lane-parallel engine arms each scenario's fault with
+    ``1 << lane`` so that concurrent scenarios each carry a *different*
+    bug through one packed emulation: the simulator blends
+    ``value = (clean & ~mask) | (forced & mask)`` per node.  (The legacy
+    array path, :func:`active_overrides`, predates multi-word lanes and
+    replicates any mask across words; the integer path
+    :func:`active_override_ints` is what the engine and
+    :class:`FaultInjector` use.)
     """
 
     node: int
@@ -103,15 +117,59 @@ def active_overrides(
     return overrides
 
 
+def active_override_ints(
+    faults: Iterable[ForcedFault], cycle: int, *, n_words: int = 1
+) -> "dict[int, tuple[int, int]] | None":
+    """Word-packed integer overrides for the faults active on ``cycle``.
+
+    The multi-word counterpart of :func:`active_overrides`, feeding the
+    compiled simulator directly: each entry is a ``(forced, mask)`` pair
+    of plain integers spanning all ``64 * n_words`` lanes.  Unlike the
+    historical array form (which *replicates* a 64-bit mask across
+    words), ``lane_mask`` here is an absolute lane-index mask — a fault
+    on lane 77 carries ``lane_mask = 1 << 77`` and lands in word 1, bit
+    13 — except the :data:`ALL_LANES` default, which expands to every
+    lane of every word (the historical whole-value force).  Faults on the
+    same node accumulate lane-wise, later faults winning on overlap.
+    """
+    full = (1 << (64 * n_words)) - 1
+    acc: dict[int, tuple[int, int]] | None = None
+    for f in faults:
+        if not f.active_at(cycle):
+            continue
+        if acc is None:
+            acc = {}
+        lm = full if f.lane_mask == ALL_LANES else f.lane_mask & full
+        forced_bits = lm if f.value else 0
+        prev_forced, prev_mask = acc.get(f.node, (0, 0))
+        acc[f.node] = (
+            (prev_forced & ~lm & full) | forced_bits,
+            prev_mask | lm,
+        )
+    return acc
+
+
 class FaultInjector:
     """Drives a simulator while forcing faulty values on chosen signals.
 
+    Faults may be restricted to a subset of the packed SIMD lanes via
+    ``lane_mask`` (an absolute lane-index mask — with ``n_words > 1``
+    lane 77 is bit 77, i.e. word 1 bit 13), so a vectorized fault
+    campaign can carry one candidate fault per lane through a single
+    simulation, composing with multi-word lane counts instead of forcing
+    whole-word overrides.
+
     >>> # fi = FaultInjector(net); fi.stuck_at("n17", 0, first_cycle=5)
+    >>> # fi.stuck_at("n9", 1, lane_mask=1 << 77)   # lane 77 only
     """
 
-    def __init__(self, net: LogicNetwork, *, n_words: int = 1) -> None:
+    def __init__(
+        self, net: LogicNetwork, *, n_words: int = 1, interpreted: bool = False
+    ) -> None:
         self.net = net
-        self.sim = SequentialSimulator(net, n_words=n_words)
+        self.sim = SequentialSimulator(
+            net, n_words=n_words, interpreted=interpreted
+        )
         self._faults: list[ForcedFault] = []
 
     def stuck_at(
@@ -121,8 +179,13 @@ class FaultInjector:
         *,
         first_cycle: int = 0,
         last_cycle: int | None = None,
+        lane_mask: int = ALL_LANES,
     ) -> ForcedFault:
-        """Force ``signal`` to ``value`` during [first_cycle, last_cycle]."""
+        """Force ``signal`` to ``value`` during [first_cycle, last_cycle].
+
+        ``lane_mask`` selects the afflicted lanes (default: all of them —
+        the historical whole-value force).
+        """
         nid = self.net.find(signal)
         if nid is None:
             raise SimulationError(f"unknown signal {signal!r}")
@@ -134,6 +197,7 @@ class FaultInjector:
             first_cycle=first_cycle,
             last_cycle=last_cycle if last_cycle is not None else NEVER_ENDS,
             signal=signal,
+            lane_mask=lane_mask,
         )
         self._faults.append(fault)
         return fault
@@ -143,7 +207,7 @@ class FaultInjector:
 
     def step(self, pi_values: Mapping[int, np.ndarray]) -> dict[int, np.ndarray]:
         """One cycle with active faults applied as overrides."""
-        overrides = active_overrides(
+        overrides = active_override_ints(
             self._faults, self.sim.cycle, n_words=self.sim.n_words
         )
         return self.sim.step(pi_values, overrides=overrides or {})

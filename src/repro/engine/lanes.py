@@ -2,18 +2,32 @@
 
 A :class:`LaneEngine` drives one packed
 :class:`~repro.netlist.simulate.SequentialSimulator` over the mapped
-network of an offline artifact, with up to 64 debug scenarios bound to
-the lanes of its ``uint64`` words.  All shared state (the mapped
-network, the virtual PConf layout, the tap/PO directories) is built
-once; everything a scenario owns — stimulus, forced faults, the current
-observation (select-parameter values), the SCG accounting, the captured
-trace — is per lane.
+network of an offline artifact, with debug scenarios bound to the lanes
+of its packed words.  All shared state (the mapped network, the virtual
+PConf layout, the tap/PO directories) is built once; everything a
+scenario owns — stimulus, forced faults, the current observation
+(select-parameter values), the SCG accounting, the captured trace — is
+per lane.
+
+Since the compiled-kernel refactor the emulation step executes the
+mapped network's :class:`~repro.netlist.compiled.CompiledProgram` (built
+once per network content key, optionally persisted through an
+:class:`~repro.pipeline.ArtifactStore`): per cycle the engine hands the
+kernel word-packed integer stimulus and lane-blended override indices,
+and reads trace samples and PO words straight out of the flat value
+list — no per-node dicts, no per-cycle array allocation.  Because a
+word-packed integer spans ``n_words`` 64-lane words, ``n_lanes`` may
+exceed 64: lane *k* lives at word ``k // 64``, bit ``k % 64`` everywhere
+(stimulus, faults, trace memory, PO captures).  ``interpreted=True``
+falls back to the historical per-gate interpreter (single-word only) —
+the escape hatch and the benchmark baseline.
 
 Correctness bar: lane *k* of a packed run is bit-for-bit what a solo
 :class:`~repro.core.debug.DebugSession` produces for the same scenario,
 because gate evaluation is bitwise (lanes cannot interact), faults are
 lane-masked, and each lane's parameters/stimulus occupy only its bit of
-the packed PI words.  ``tests/test_engine.py`` pins this down.
+the packed PI words.  ``tests/test_engine.py`` and
+``tests/test_compiled.py`` pin this down.
 """
 
 from __future__ import annotations
@@ -29,9 +43,16 @@ from repro.core.parameters import ParameterAssignment
 from repro.core.scg import SpecializedConfigGenerator
 from repro.core.tracebuffer import LaneTraceBuffer
 from repro.core.virtual import build_virtual_pconf
-from repro.emu.fault import NEVER_ENDS, ForcedFault, active_overrides
+from repro.emu.fault import (
+    NEVER_ENDS,
+    ForcedFault,
+    active_override_ints,
+    active_overrides,
+)
 from repro.errors import DebugFlowError
+from repro.netlist.compiled import int_to_words
 from repro.netlist.simulate import SequentialSimulator
+from repro.util.bitops import words_for_bits
 
 __all__ = ["DebugTurnLog", "LaneEngine", "Stimulus"]
 
@@ -56,7 +77,12 @@ class DebugTurnLog:
 
 
 class LaneEngine:
-    """Up to 64 concurrent debug scenarios over one offline artifact."""
+    """Many concurrent debug scenarios over one offline artifact.
+
+    ``n_lanes`` is unbounded above (words are added every 64 lanes);
+    memory and per-cycle cost grow linearly with the word count, so
+    campaigns pick the width that saturates their batch sizes.
+    """
 
     def __init__(
         self,
@@ -65,15 +91,29 @@ class LaneEngine:
         n_lanes: int = 1,
         model: Virtex5Model | None = None,
         trace_depth: int | None = None,
+        interpreted: bool = False,
+        program_store=None,
     ) -> None:
-        if not 1 <= n_lanes <= 64:
-            raise DebugFlowError("lane count must be within 1..64")
+        if n_lanes < 1:
+            raise DebugFlowError("lane count must be at least 1")
+        if interpreted and n_lanes > 64:
+            raise DebugFlowError(
+                "the interpreted escape hatch is single-word: lane counts "
+                "beyond 64 need the compiled kernels (interpreted=False)"
+            )
         self.offline = offline
         self.design = offline.instrumented
         self.model = model or Virtex5Model()
         self.n_lanes = n_lanes
+        self.n_words = max(1, words_for_bits(n_lanes))
         self.mapped_net = offline.mapping.to_lut_network()
-        self.sim = SequentialSimulator(self.mapped_net, n_words=1)
+        self.sim = SequentialSimulator(
+            self.mapped_net,
+            n_words=self.n_words,
+            interpreted=interpreted,
+            store=program_store,
+        )
+        self._csim = self.sim.compiled  # None on the interpreted path
         self.pconf = build_virtual_pconf(offline.mapping, self.design)
         depth = trace_depth or offline.config.trace_depth
         self.trace = LaneTraceBuffer(
@@ -82,7 +122,7 @@ class LaneEngine:
 
         # -- shared directories (identical to the historical session's) ----
         self._param_pi_values = {
-            self.mapped_net.require(name): np.zeros(1, dtype=np.uint64)
+            self.mapped_net.require(name): 0
             for name in self.design.param_space.names
         }
         self._user_pis = [
@@ -114,6 +154,15 @@ class LaneEngine:
             self.mapped_net.require(po) for po in self._user_po_names
         ]
 
+        # preallocated packed-sample row the trace capture reads through
+        # (rebound per cycle from the kernel's integer values; zero numpy
+        # allocation on the emulation fast path)
+        self._word_bytes = 8 * self.n_words
+        self._sample_buf = bytearray(len(self._tb_nodes) * self._word_bytes)
+        self._sample_view = np.frombuffer(
+            self._sample_buf, dtype=np.uint64
+        ).reshape(len(self._tb_nodes), self.n_words)
+
         # -- per-lane state -------------------------------------------------
         zeros = self.design.param_space.zeros()
         self.scgs: list[SpecializedConfigGenerator] = []
@@ -133,7 +182,7 @@ class LaneEngine:
         self._stim_scripts: list[Sequence[Mapping[str, int]] | None] = [
             None
         ] * n_lanes
-        self._packed_stim: dict[int, np.ndarray] | None = None
+        self._packed_stim: dict[int, list[int]] | None = None
 
     # -- lanes ------------------------------------------------------------------
 
@@ -185,14 +234,13 @@ class LaneEngine:
         assignment = self.design.param_space.assignment(values)
         self.assignments[lane] = assignment
         rec = self.scgs[lane].respecialize(assignment)
-        bit = np.uint64(1) << np.uint64(lane)
+        bit = 1 << lane
         for name in self.design.param_space.names:
             nid = self.mapped_net.require(name)
-            word = self._param_pi_values[nid]
             if values.get(name, 0):
-                word[0] |= bit
+                self._param_pi_values[nid] |= bit
             else:
-                word[0] &= ~bit
+                self._param_pi_values[nid] &= ~bit
         self._observed[lane] = self.design.observed_at(values)
         self.turns[lane].append(
             DebugTurnLog(
@@ -269,10 +317,12 @@ class LaneEngine:
         self._check_lane(lane)
         return list(self._forces[lane])
 
-    def _cycle_overrides(self):
-        """Blended override arrays for all lanes' faults, this cycle."""
+    def _cycle_overrides_ints(self):
+        """Word-packed blended overrides for all lanes' faults, this cycle."""
         flat = [f for lane_faults in self._forces for f in lane_faults]
-        return active_overrides(flat, self.sim.cycle, n_words=1)
+        return active_override_ints(
+            flat, self.sim.cycle, n_words=self.n_words
+        )
 
     # -- execution ----------------------------------------------------------------
 
@@ -285,7 +335,7 @@ class LaneEngine:
         """Reset only the (shared) trace memory."""
         self.trace.reset()
 
-    def _ensure_packed_stim(self) -> dict[int, np.ndarray]:
+    def _ensure_packed_stim(self) -> dict[int, list[int]]:
         if self._packed_stim is None:
             horizon = max(
                 (len(s) for s in self._stim_scripts if s is not None),
@@ -300,22 +350,19 @@ class LaneEngine:
                     for pi, name in self._user_pi_names.items():
                         if int(row.get(name, 0)) & 1:
                             packed[pi][cyc] |= lane_bit
-            self._packed_stim = {
-                pi: np.array(words, dtype=np.uint64)
-                for pi, words in packed.items()
-            }
+            self._packed_stim = packed
         return self._packed_stim
 
-    def _pi_values(self, cycle: int) -> dict[int, np.ndarray]:
-        """Packed PI words for one cycle: parameters + per-lane stimulus."""
-        pi_vals: dict[int, np.ndarray] = dict(self._param_pi_values)
+    def _pi_values_ints(self, cycle: int) -> dict[int, int]:
+        """Word-packed PI values for one cycle: parameters + lane stimulus."""
+        pi_vals = dict(self._param_pi_values)
         packed = self._ensure_packed_stim()
         rows: list[Mapping[str, int] | None] | None = None
         if any(fn is not None for fn in self._stim_fns):
             rows = [fn(cycle) if fn is not None else None for fn in self._stim_fns]
         for pi in self._user_pis:
-            arr = packed.get(pi)
-            word = int(arr[cycle]) if arr is not None and cycle < len(arr) else 0
+            script = packed.get(pi)
+            word = script[cycle] if script is not None and cycle < len(script) else 0
             if rows is not None:
                 name = self._user_pi_names[pi]
                 for lane, row in enumerate(rows):
@@ -325,13 +372,44 @@ class LaneEngine:
                         word |= 1 << lane
                     else:
                         word &= ~(1 << lane)
-            pi_vals[pi] = np.array([word], dtype=np.uint64)
+            pi_vals[pi] = word
         return pi_vals
 
-    def _step(self) -> dict[int, np.ndarray]:
-        return self.sim.step(
-            self._pi_values(self.sim.cycle), overrides=self._cycle_overrides()
+    def _step_compiled(self) -> None:
+        """One packed cycle on the compiled kernel (no array traffic)."""
+        self._csim.step(
+            self._pi_values_ints(self._csim.cycle),
+            overrides=self._cycle_overrides_ints(),
         )
+
+    def _step_interpreted(self) -> dict[int, np.ndarray]:
+        cycle = self.sim.cycle
+        pi_arrays = {
+            pi: int_to_words(word, self.n_words)
+            for pi, word in self._pi_values_ints(cycle).items()
+        }
+        flat = [f for lane_faults in self._forces for f in lane_faults]
+        overrides = active_overrides(flat, cycle, n_words=self.n_words)
+        return self.sim.step(pi_arrays, overrides=overrides)
+
+    def _trigger_mask(self, triggers, cycle: int, lane_bit) -> int:
+        """Evaluate each lane's trigger against its view of this cycle's
+        trace-buffer inputs.  ``lane_bit(group_index, lane)`` extracts one
+        lane's 0/1 sample — the only piece that differs between the
+        compiled and interpreted step paths."""
+        if not triggers:
+            return 0
+        mask = 0
+        for lane, trig in triggers.items():
+            if trig is None:
+                continue
+            named = {
+                g.po_name: lane_bit(i, lane)
+                for i, g in enumerate(self.design.groups)
+            }
+            if trig(cycle, named):
+                mask |= 1 << lane
+        return mask
 
     def _account_cycles(
         self, n_cycles: int, lanes: "Sequence[int] | None"
@@ -368,27 +446,38 @@ class LaneEngine:
         """
         if n_cycles < 0:
             raise DebugFlowError("n_cycles must be non-negative")
-        width = len(self._tb_nodes)
+        tb_nodes = self._tb_nodes
+        csim = self._csim
+        if csim is not None:
+            vals = csim.values
+            for _ in range(n_cycles):
+                self._step_compiled()
+                csim.export_words(tb_nodes, self._sample_buf)
+                trigger_mask = self._trigger_mask(
+                    triggers,
+                    csim.cycle - 1,
+                    lambda i, lane: (vals[tb_nodes[i]] >> lane) & 1,
+                )
+                self.trace.capture(
+                    self._sample_view, trigger_mask=trigger_mask
+                )
+            self._account_cycles(n_cycles, lanes)
+            return
+        width = len(tb_nodes)
         for _ in range(n_cycles):
-            values = self._step()
+            values = self._step_interpreted()
             sample = np.fromiter(
-                (values[n][0] for n in self._tb_nodes),
+                (values[n][0] for n in tb_nodes),
                 dtype=np.uint64,
                 count=width,
             )
-            trigger_mask = 0
-            if triggers:
-                for lane, trig in triggers.items():
-                    if trig is None:
-                        continue
-                    named = {
-                        g.po_name: int(
-                            (sample[i] >> np.uint64(lane)) & np.uint64(1)
-                        )
-                        for i, g in enumerate(self.design.groups)
-                    }
-                    if trig(self.sim.cycle - 1, named):
-                        trigger_mask |= 1 << lane
+            trigger_mask = self._trigger_mask(
+                triggers,
+                self.sim.cycle - 1,
+                lambda i, lane: int(
+                    (sample[i] >> np.uint64(lane)) & np.uint64(1)
+                ),
+            )
             self.trace.capture(sample, trigger_mask=trigger_mask)
         self._account_cycles(n_cycles, lanes)
 
@@ -398,26 +487,54 @@ class LaneEngine:
         return list(self._user_po_names)
 
     def run_outputs(
-        self, n_cycles: int, *, lanes: "Sequence[int] | None" = None
+        self,
+        n_cycles: int,
+        *,
+        lanes: "Sequence[int] | None" = None,
+        stop: Callable[[int, "list[int]"], bool] | None = None,
     ) -> np.ndarray:
-        """Emulate ``n_cycles`` recording the packed primary outputs.
+        """Emulate up to ``n_cycles`` recording the packed primary outputs.
 
         The lane-parallel analogue of the session's ``output_trace``:
         advances the same emulation state as :meth:`run` (active forces
         apply, cycles count toward each lane's current turn) but captures
-        nothing into the trace buffer.  Returns a ``(n_cycles, n_pos)``
-        ``uint64`` array; bit *k* of entry ``[c, j]`` is lane *k*'s value
-        of ``user_po_names[j]`` on cycle ``c``.
+        nothing into the trace buffer.  Returns a ``(cycles_run, n_pos,
+        n_words)`` ``uint64`` array; bit *k* of word *w* of entry
+        ``[c, j]`` is lane ``64*w + k``'s value of ``user_po_names[j]``
+        on cycle ``c``.
+
+        ``stop(cycle_index, po_words)`` is consulted after every cycle
+        with the word-packed integer PO values; returning ``True`` halts
+        the run early (the packed-detection early exit: once every active
+        lane has diverged there is nothing left to learn from the rest of
+        the horizon).  Only the cycles actually emulated are charged and
+        returned.
         """
         if n_cycles < 0:
             raise DebugFlowError("n_cycles must be non-negative")
-        out = np.zeros((n_cycles, len(self._user_po_ids)), dtype=np.uint64)
+        po_ids = self._user_po_ids
+        out = np.zeros((n_cycles, len(po_ids), self.n_words), dtype=np.uint64)
+        csim = self._csim
+        ran = 0
         for c in range(n_cycles):
-            values = self._step()
-            for j, nid in enumerate(self._user_po_ids):
-                out[c, j] = values[nid][0]
-        self._account_cycles(n_cycles, lanes)
-        return out
+            if csim is not None:
+                self._step_compiled()
+                vals = csim.values
+                row_ints = [vals[nid] for nid in po_ids]
+            else:
+                values = self._step_interpreted()
+                row_ints = [int(values[nid][0]) for nid in po_ids]
+            if self.n_words == 1:
+                for j, x in enumerate(row_ints):
+                    out[c, j, 0] = x
+            else:
+                for j, x in enumerate(row_ints):
+                    out[c, j] = int_to_words(x, self.n_words)
+            ran += 1
+            if stop is not None and stop(c, row_ints):
+                break
+        self._account_cycles(ran, lanes)
+        return out[:ran]
 
     # -- results --------------------------------------------------------------------
 

@@ -21,6 +21,14 @@ from repro.netlist.simulate import (
     random_stimulus,
     check_equivalent,
 )
+from repro.netlist.compiled import (
+    COMPILED_SIM_STAGE,
+    CompiledProgram,
+    CompiledSimulator,
+    compile_network,
+    network_signature,
+    program_for,
+)
 from repro.netlist.stats import network_stats, NetworkStats, logic_depth
 
 __all__ = [
@@ -43,6 +51,12 @@ __all__ = [
     "SequentialSimulator",
     "random_stimulus",
     "check_equivalent",
+    "COMPILED_SIM_STAGE",
+    "CompiledProgram",
+    "CompiledSimulator",
+    "compile_network",
+    "network_signature",
+    "program_for",
     "network_stats",
     "NetworkStats",
     "logic_depth",

@@ -1,0 +1,563 @@
+"""Compiled simulation kernels: per-network evaluation programs.
+
+The interpreted simulator (:mod:`repro.netlist.simulate`) walks the gate
+list every cycle, paying per node for dict lookups, cover-cache hits and
+fresh small-array allocations — with ``n_words`` typically 1, numpy
+dispatch overhead dominates the packed emulation step.  This module
+follows the ESSENT-style "compile the design into a program" idiom from
+the HPC simulation literature: a :class:`LogicNetwork` is lowered **once**
+into a :class:`CompiledProgram` — a topo-ordered straight-line op list
+with integer-indexed fanins, ISOP cube masks/polarities flattened into
+the op stream, constants folded, and PI/latch/PO index tables — and that
+program is code-generated into a Python kernel whose only per-cycle work
+is bitwise integer arithmetic over the dense lane state.
+
+Lane state representation
+-------------------------
+A node's packed value is one **word-packed integer** carrying all
+``n_words * 64`` SIMD lanes (Python integers are arbitrary-precision, so
+one value object spans every word; lane *k* lives at bit ``k``, i.e. word
+``k // 64``, bit ``k % 64``).  The generated kernel rebinds slots of one
+preallocated flat list — no per-node dicts, no per-cycle array
+allocation — and :meth:`CompiledSimulator.dense` exports the state as the
+contiguous ``(n_nodes, n_words)`` ``uint64`` matrix (into a preallocated
+buffer) whenever an array view is wanted.  Bit *k* of word *w* of row *n*
+is lane ``64*w + k`` of node ``n`` — exactly the layout the interpreted
+simulator spreads across its per-node arrays, which is what makes the
+two paths bit-for-bit comparable (``tests/test_compiled.py``).
+
+Overrides (fault forcing) resolve through precomputed node indices: gate
+overrides blend inside a second generated kernel via per-node
+``(forced, ~mask)`` tables (``value = (clean & ~mask) | (forced & mask)``
+per lane, the same formula as
+:func:`repro.netlist.simulate.apply_override`), while source and
+folded-constant overrides blend before the kernel runs.
+
+Program caching
+---------------
+Compilation costs one cover extraction + codegen pass per network, so
+programs are cached at three levels by :func:`program_for`:
+
+* a ``WeakKeyDictionary`` keyed by network *instance* (revalidated
+  against the structural signature — in-place rewires miss instead of
+  returning a stale program);
+* a bounded signature-keyed LRU, so regenerated-but-identical networks
+  (every ``mapping.to_lut_network()`` call builds a fresh object) share
+  one program;
+* optionally an :class:`~repro.pipeline.ArtifactStore` under the
+  :data:`COMPILED_SIM_STAGE` pseudo-stage, so warm campaign restarts
+  skip compilation the way they skip every other pipeline stage.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Mapping
+from weakref import WeakKeyDictionary
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.netlist.network import LogicNetwork, NodeKind
+from repro.netlist.sop import truthtable_to_cover
+
+__all__ = [
+    "COMPILED_SIM_STAGE",
+    "PROGRAM_VERSION",
+    "CompiledProgram",
+    "CompiledSimulator",
+    "compile_network",
+    "network_signature",
+    "program_for",
+]
+
+#: ArtifactStore pseudo-stage name compiled programs persist under (the
+#: online-phase analogue of the offline pipeline's stage entries).
+COMPILED_SIM_STAGE = "compiled-sim"
+
+#: Folded into :func:`network_signature`; bump when program lowering or
+#: kernel semantics change so persisted programs from older versions miss.
+PROGRAM_VERSION = 1
+
+_MASK64 = (1 << 64) - 1
+
+#: Straight-line ops per generated kernel function; very large networks
+#: are split into several functions to keep CPython's compiler happy.
+_OPS_PER_CHUNK = 2000
+
+
+def network_signature(net: LogicNetwork) -> str:
+    """Structural content key of a network for program caching.
+
+    Hashes kinds, fanin indices, truth tables, latch wiring, PO node
+    indices and the program version — *not* signal names, so a
+    renamed-but-structurally identical network (e.g. every regeneration
+    of the same mapped design) shares one compiled program.  Cheap
+    relative to compilation: one linear pass, no cover extraction.
+    """
+    h = hashlib.sha256()
+    h.update(f"{COMPILED_SIM_STAGE}-v{PROGRAM_VERSION}:{net.n_nodes}\n".encode())
+    h.update(repr(tuple(net.pis)).encode())
+    h.update(
+        repr([(l.driver, l.q, l.init) for l in net.latches]).encode()
+    )
+    # PO membership by node index (still name-free): the program's
+    # po_nodes table must belong to the network a cache hit serves
+    h.update(repr([net.require(n) for n in net.po_names]).encode())
+    for nid in range(net.n_nodes):
+        kind = net.kind(nid)
+        if kind == NodeKind.GATE:
+            func = net.func(nid)
+            assert func is not None
+            h.update(
+                f"g{nid}:{net.fanins(nid)}:{func.n_vars}:{func.bits:x}\n".encode()
+            )
+        else:
+            h.update(f"n{nid}:{int(kind)}\n".encode())
+    return h.hexdigest()
+
+
+class CompiledProgram:
+    """A network lowered to a flat, name-free evaluation program.
+
+    Attributes
+    ----------
+    signature:
+        The :func:`network_signature` this program was compiled from.
+    n_nodes:
+        Size of the node id space (= the lane-state vector length).
+    ops:
+        Topo-ordered gate ops, each ``(node, fanins, cubes)`` with
+        ``cubes`` a tuple of ``(mask, polarity)`` pairs over the fanin
+        positions — the ISOP cover flattened out of the truth table.
+    const_nodes:
+        ``(node, 0/1)`` pairs for constant gates — folded at reset, never
+        re-evaluated per cycle.
+    pi_nodes / latch_qs / latch_drivers / latch_inits / po_nodes:
+        Integer index tables for the simulator's per-cycle bookkeeping.
+
+    Programs are picklable (generated kernels are dropped from the state
+    and regenerated lazily on first use), which is what lets an
+    :class:`~repro.pipeline.ArtifactStore` persist them as pipeline
+    artifacts.
+    """
+
+    def __init__(
+        self,
+        *,
+        signature: str,
+        n_nodes: int,
+        ops: tuple,
+        const_nodes: tuple,
+        pi_nodes: tuple,
+        latch_qs: tuple,
+        latch_drivers: tuple,
+        latch_inits: tuple,
+        po_nodes: tuple,
+    ) -> None:
+        self.signature = signature
+        self.n_nodes = n_nodes
+        self.ops = ops
+        self.const_nodes = const_nodes
+        self.pi_nodes = pi_nodes
+        self.latch_qs = latch_qs
+        self.latch_drivers = latch_drivers
+        self.latch_inits = latch_inits
+        self.po_nodes = po_nodes
+        self._finish_init()
+
+    def _finish_init(self) -> None:
+        self.source_nodes = self.pi_nodes + self.latch_qs
+        is_op = [False] * self.n_nodes
+        for node, _fanins, _cubes in self.ops:
+            is_op[node] = True
+        self.is_op = is_op
+        self.const_value = dict(self.const_nodes)
+        self._kernels: "tuple | None" = None
+
+    # -- pickling (kernels are exec-generated functions; regenerate) --------
+
+    def __getstate__(self) -> dict:
+        return {
+            "signature": self.signature,
+            "n_nodes": self.n_nodes,
+            "ops": self.ops,
+            "const_nodes": self.const_nodes,
+            "pi_nodes": self.pi_nodes,
+            "latch_qs": self.latch_qs,
+            "latch_drivers": self.latch_drivers,
+            "latch_inits": self.latch_inits,
+            "po_nodes": self.po_nodes,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._finish_init()
+
+    # -- kernel generation ---------------------------------------------------
+
+    def kernels(self):
+        """The generated ``(clean, forced)`` kernel pair (cached).
+
+        ``clean(v, M)`` evaluates every gate op into the flat value list
+        ``v`` (``M`` is the all-lanes mask).  ``forced(v, M, f, nm)``
+        additionally blends each result through the per-node forced/
+        not-mask tables: ``v[n] = (expr & nm[n]) | f[n]`` — with the
+        tables at their neutral values (``0`` / ``M``) this reduces to
+        the clean result, so only the nodes an override actually targets
+        need their table slots armed.
+        """
+        if self._kernels is None:
+            self._kernels = _codegen(self)
+        return self._kernels
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CompiledProgram(n_nodes={self.n_nodes}, ops={len(self.ops)}, "
+            f"consts={len(self.const_nodes)}, sig={self.signature[:12]}...)"
+        )
+
+
+def _op_exprs(ops) -> "list[tuple[int, str]]":
+    """Lower each op to a Python bitwise expression over ``v``/``M``."""
+    out = []
+    for node, fanins, cubes in ops:
+        terms = []
+        for cmask, cpol in cubes:
+            lits = []
+            for pos, src in enumerate(fanins):
+                if not (cmask >> pos) & 1:
+                    continue
+                if (cpol >> pos) & 1:
+                    lits.append(f"v[{src}]")
+                else:
+                    lits.append(f"(M^v[{src}])")
+            if lits:
+                terms.append("&".join(lits))
+            else:  # tautology cube (defensive; consts are folded earlier)
+                terms.append("M")
+        out.append((node, "|".join(terms) if terms else "0"))
+    return out
+
+
+def _codegen(program: CompiledProgram):
+    """Generate the straight-line clean/forced kernels for a program."""
+    exprs = _op_exprs(program.ops)
+    clean_chunks = []
+    forced_chunks = []
+    for base in range(0, max(1, len(exprs)), _OPS_PER_CHUNK):
+        chunk = exprs[base : base + _OPS_PER_CHUNK]
+        clean_lines = [f"def _clean_{base}(v, M):"]
+        forced_lines = [f"def _forced_{base}(v, M, f, nm):"]
+        if not chunk:
+            clean_lines.append("    pass")
+            forced_lines.append("    pass")
+        for node, expr in chunk:
+            clean_lines.append(f"    v[{node}] = {expr}")
+            forced_lines.append(
+                f"    v[{node}] = (({expr})&nm[{node}])|f[{node}]"
+            )
+        ns: dict = {}
+        exec(  # noqa: S102 — code generated from our own lowering, no user input
+            compile(
+                "\n".join(clean_lines + forced_lines),
+                f"<compiled-sim:{program.signature[:12]}:{base}>",
+                "exec",
+            ),
+            ns,
+        )
+        clean_chunks.append(ns[f"_clean_{base}"])
+        forced_chunks.append(ns[f"_forced_{base}"])
+
+    if len(clean_chunks) == 1:
+        return clean_chunks[0], forced_chunks[0]
+
+    def clean(v, M, _chunks=tuple(clean_chunks)):
+        for fn in _chunks:
+            fn(v, M)
+
+    def forced(v, M, f, nm, _chunks=tuple(forced_chunks)):
+        for fn in _chunks:
+            fn(v, M, f, nm)
+
+    return clean, forced
+
+
+def compile_network(
+    net: LogicNetwork, *, signature: str | None = None
+) -> CompiledProgram:
+    """Lower ``net`` into a :class:`CompiledProgram` (no caching here —
+    use :func:`program_for` for the cached entry point)."""
+    ops = []
+    const_nodes = []
+    for nid in net.topo_order():
+        if net.kind(nid) != NodeKind.GATE:
+            continue
+        func = net.func(nid)
+        assert func is not None
+        const = func.const_value()
+        if const is not None:
+            const_nodes.append((nid, int(const)))
+            continue
+        cover = truthtable_to_cover(func)
+        cubes = tuple((c.mask, c.polarity) for c in cover.cubes)
+        ops.append((nid, net.fanins(nid), cubes))
+    return CompiledProgram(
+        signature=signature or network_signature(net),
+        n_nodes=net.n_nodes,
+        ops=tuple(ops),
+        const_nodes=tuple(const_nodes),
+        pi_nodes=tuple(net.pis),
+        latch_qs=tuple(l.q for l in net.latches),
+        latch_drivers=tuple(l.driver for l in net.latches),
+        latch_inits=tuple(l.init for l in net.latches),
+        po_nodes=tuple(
+            net.require(name) for name in net.po_names
+        ),
+    )
+
+
+# -- program caches ----------------------------------------------------------
+
+_BY_NET: "WeakKeyDictionary[LogicNetwork, CompiledProgram]" = WeakKeyDictionary()
+_BY_KEY: "OrderedDict[str, CompiledProgram]" = OrderedDict()
+_BY_KEY_LIMIT = 64
+
+
+def program_for(net: LogicNetwork, *, store=None) -> CompiledProgram:
+    """The compiled program for ``net``, through every cache level.
+
+    ``store`` (an :class:`~repro.pipeline.ArtifactStore` or anything with
+    its ``get``/``put`` protocol) persists programs under the
+    :data:`COMPILED_SIM_STAGE` pseudo-stage keyed by the structural
+    signature, so a warm campaign restart pays zero compilations; in-
+    process, programs are memoized per network instance (signature-
+    revalidated, so in-place rewires recompile) and per signature (so
+    regenerated identical networks — every ``to_lut_network()`` call —
+    share one program).
+    """
+    sig = network_signature(net)
+    hit = _BY_NET.get(net)
+    if hit is not None and hit.signature == sig:
+        return hit
+    program = None
+    if store is not None:
+        found = store.get(COMPILED_SIM_STAGE, sig, expect=CompiledProgram)
+        if found is not None:
+            program = found.value
+        else:
+            program = _BY_KEY.get(sig)
+            if program is None:
+                program = compile_network(net, signature=sig)
+            store.put(COMPILED_SIM_STAGE, sig, program)
+    else:
+        program = _BY_KEY.get(sig)
+        if program is None:
+            program = compile_network(net, signature=sig)
+    _BY_KEY[sig] = program
+    _BY_KEY.move_to_end(sig)
+    while len(_BY_KEY) > _BY_KEY_LIMIT:
+        _BY_KEY.popitem(last=False)
+    try:
+        _BY_NET[net] = program
+    except TypeError:  # pragma: no cover — un-weakref-able network subclass
+        pass
+    return program
+
+
+# -- execution ----------------------------------------------------------------
+
+
+def int_to_words(value: int, n_words: int) -> np.ndarray:
+    """A word-packed integer as a little-endian ``uint64`` array (bits
+    beyond ``64 * n_words`` are dropped)."""
+    value &= (1 << (64 * n_words)) - 1
+    return np.frombuffer(
+        value.to_bytes(8 * n_words, "little"), dtype=np.uint64
+    )
+
+
+def words_to_int(arr: np.ndarray) -> int:
+    """Inverse of :func:`int_to_words` (any uint64 array, little-endian)."""
+    return int.from_bytes(
+        np.ascontiguousarray(arr, dtype=np.uint64).tobytes(), "little"
+    )
+
+
+class CompiledSimulator:
+    """Executes a :class:`CompiledProgram` cycle by cycle.
+
+    All per-cycle state lives in preallocated containers: the flat value
+    list (one word-packed integer per node), the latch-state list, the
+    forced/not-mask override tables and the dense export buffer.  A step
+    is: write PI and latch-output slots, run the generated kernel,
+    capture next latch state — nothing allocates an array.
+
+    This is the engine-facing fast path; the drop-in replacement for the
+    historical dict-of-arrays API is
+    :class:`repro.netlist.simulate.SequentialSimulator`, which wraps this
+    class and converts at its boundary.
+    """
+
+    def __init__(self, program: CompiledProgram, n_words: int = 1) -> None:
+        if n_words < 1:
+            raise SimulationError("n_words must be at least 1")
+        self.program = program
+        self.n_words = int(n_words)
+        self.full_mask = (1 << (64 * self.n_words)) - 1
+        self.cycle = 0
+        n = program.n_nodes
+        self.values: list[int] = [0] * n
+        self.latch_state: list[int] = [0] * len(program.latch_qs)
+        self._forced: list[int] = [0] * n
+        self._notmask: list[int] = [self.full_mask] * n
+        self._armed: list[int] = []
+        self._dirty_consts: list[int] = []
+        self._word_bytes = 8 * self.n_words
+        self._dense_buf = bytearray(n * self._word_bytes)
+        self._dense = np.frombuffer(self._dense_buf, dtype=np.uint64).reshape(
+            n, self.n_words
+        )
+        self._clean_kernel, self._forced_kernel = program.kernels()
+        self.reset()
+
+    # -- state ---------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Reload latch initial values and re-fold constants."""
+        self.cycle = 0
+        full = self.full_mask
+        v = self.values
+        for node, const in self.program.const_nodes:
+            v[node] = full if const else 0
+        for i, init in enumerate(self.program.latch_inits):
+            self.latch_state[i] = full if init == 1 else 0
+        self._dirty_consts.clear()
+
+    def value(self, node: int) -> int:
+        """Node's current word-packed value (all lanes, one integer)."""
+        return self.values[node]
+
+    def word(self, node: int, word: int = 0) -> int:
+        """One 64-lane word of a node's value."""
+        return (self.values[node] >> (64 * word)) & _MASK64
+
+    def export_words(self, nodes, buf: bytearray) -> None:
+        """Serialize ``nodes``' word-packed values into ``buf``
+        (little-endian, ``8 * n_words`` bytes per node) — the one
+        int→uint64 conversion loop shared by :meth:`dense` and the
+        engine's per-cycle trace-sample capture."""
+        bl = self._word_bytes
+        v = self.values
+        pos = 0
+        for n in nodes:
+            buf[pos : pos + bl] = v[n].to_bytes(bl, "little")
+            pos += bl
+
+    def dense(self) -> np.ndarray:
+        """Export state as the contiguous ``(n_nodes, n_words)`` matrix.
+
+        Fills the preallocated buffer in place — callers that keep the
+        result across steps must copy.  Row ``n`` word ``w`` bit ``k`` is
+        lane ``64*w + k`` of node ``n``.
+        """
+        self.export_words(range(len(self.values)), self._dense_buf)
+        return self._dense
+
+    # -- evaluation ----------------------------------------------------------
+
+    def _restore_consts(self) -> None:
+        if self._dirty_consts:
+            full = self.full_mask
+            cv = self.program.const_value
+            v = self.values
+            for node in self._dirty_consts:
+                v[node] = full if cv[node] else 0
+            self._dirty_consts.clear()
+
+    def _eval(
+        self, overrides: "Mapping[int, tuple[int, int]] | None"
+    ) -> None:
+        """Run one combinational settle with overrides already split out.
+
+        ``overrides`` maps node → ``(forced, mask)`` word-packed integer
+        pairs.  Source and folded-constant overrides blend into the value
+        list before the kernel runs; gate overrides arm the forced-kernel
+        tables so the blend happens the moment the gate is evaluated —
+        its fanouts see the forced value, exactly like the interpreted
+        path.
+        """
+        v = self.values
+        full = self.full_mask
+        if not overrides:
+            self._clean_kernel(v, full)
+            return
+        is_op = self.program.is_op
+        const_value = self.program.const_value
+        armed = self._armed
+        f = self._forced
+        nm = self._notmask
+        for node, (forced, mask) in overrides.items():
+            forced &= full
+            mask &= full
+            if is_op[node]:
+                f[node] = forced & mask
+                nm[node] = full ^ mask
+                armed.append(node)
+            else:
+                v[node] = (v[node] & (full ^ mask)) | (forced & mask)
+                if node in const_value:
+                    self._dirty_consts.append(node)
+        if armed:
+            self._forced_kernel(v, full, f, nm)
+            for node in armed:
+                f[node] = 0
+                nm[node] = full
+            armed.clear()
+        else:
+            self._clean_kernel(v, full)
+
+    def step(
+        self,
+        pi_values: "Mapping[int, int]",
+        *,
+        overrides: "Mapping[int, tuple[int, int]] | None" = None,
+    ) -> None:
+        """Advance one clock cycle over word-packed integer stimulus."""
+        self._restore_consts()
+        v = self.values
+        full = self.full_mask
+        try:
+            for pid in self.program.pi_nodes:
+                v[pid] = pi_values[pid] & full
+        except KeyError as exc:
+            raise SimulationError(
+                f"cycle {self.cycle}: no value for PI node {exc.args[0]}"
+            ) from exc
+        state = self.latch_state
+        for i, q in enumerate(self.program.latch_qs):
+            v[q] = state[i]
+        self._eval(overrides)
+        for i, d in enumerate(self.program.latch_drivers):
+            state[i] = v[d]
+        self.cycle += 1
+
+    def eval_combinational(
+        self,
+        source_values: "Mapping[int, int]",
+        *,
+        overrides: "Mapping[int, tuple[int, int]] | None" = None,
+    ) -> None:
+        """One combinational settle from explicit source values (PIs and
+        latch outputs alike), without touching latch state or the cycle
+        counter — the compiled counterpart of
+        :func:`repro.netlist.simulate.simulate_combinational`."""
+        self._restore_consts()
+        v = self.values
+        full = self.full_mask
+        for src in self.program.source_nodes:
+            if src not in source_values:
+                raise SimulationError(f"no stimulus for source node {src}")
+            v[src] = source_values[src] & full
+        self._eval(overrides)

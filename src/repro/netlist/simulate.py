@@ -1,14 +1,17 @@
 """Bit-parallel functional simulation.
 
 Values are packed 64 test vectors per ``numpy.uint64`` word: a node's value
-is a vector of ``n_words`` words, and every gate evaluation is a handful of
-bitwise numpy operations over whole arrays (the vectorization idiom from the
-HPC guides — the Python-level loop runs once per *gate*, never per vector).
+is a vector of ``n_words`` words, so lane ``k`` of a packed run lives at
+word ``k // 64``, bit ``k % 64``.
 
-Gate functions are evaluated through their ISOP covers
-(:func:`repro.netlist.sop.truthtable_to_cover`): each cube is an AND of
-literals, cubes are OR-ed.  Covers are cached per truth table, so repeated
-simulation of mapped networks costs little setup.
+Both entry points are **façades over the compiled kernels** of
+:mod:`repro.netlist.compiled` by default: the network is lowered once into
+a :class:`~repro.netlist.compiled.CompiledProgram` (cached per content
+key) and every step executes generated straight-line bitwise code instead
+of walking the gate list.  Pass ``interpreted=True`` to run the historical
+reference interpreter — a per-gate loop evaluating ISOP covers
+(:func:`repro.netlist.sop.truthtable_to_cover`) with numpy ops — which the
+compiled path is tested bit-for-bit against (``tests/test_compiled.py``).
 
 Two entry points:
 
@@ -24,6 +27,12 @@ from typing import Mapping
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.netlist.compiled import (
+    CompiledSimulator,
+    int_to_words,
+    program_for,
+    words_to_int,
+)
 from repro.netlist.network import LogicNetwork, NodeKind
 from repro.netlist.sop import truthtable_to_cover
 from repro.util.bitops import words_for_bits
@@ -98,11 +107,60 @@ def _eval_gate(
     return acc
 
 
+def _override_to_arrays(override, n_words: int):
+    """Normalize integer-form overrides to the array forms the reference
+    interpreter consumes (arrays pass through untouched)."""
+    if isinstance(override, tuple):
+        forced, mask = override
+        if isinstance(forced, int):
+            forced = int_to_words(forced, n_words)
+        if isinstance(mask, int):
+            mask = int_to_words(mask, n_words)
+        return forced, mask
+    if isinstance(override, int):
+        return int_to_words(override, n_words)
+    return override
+
+
+def _override_to_ints(override, n_words: int) -> tuple[int, int]:
+    """Normalize one override entry to a ``(forced, mask)`` integer pair.
+
+    Accepts every form the stack produces: packed arrays (full
+    replacement), ``(forced, mask)`` array pairs (lane blends), plain
+    integers and ``(forced, mask)`` integer pairs (the word-packed form
+    multi-word lane engines use natively).
+    """
+    full = (1 << (64 * n_words)) - 1
+    if isinstance(override, tuple):
+        forced, mask = override
+        forced = forced if isinstance(forced, int) else words_to_int(
+            np.asarray(forced, dtype=np.uint64)
+        )
+        mask = mask if isinstance(mask, int) else words_to_int(
+            np.asarray(mask, dtype=np.uint64)
+        )
+        return forced & full, mask & full
+    if isinstance(override, int):
+        return override & full, full
+    return words_to_int(np.asarray(override, dtype=np.uint64)) & full, full
+
+
+def _overrides_to_ints(
+    overrides, n_words: int
+) -> "dict[int, tuple[int, int]] | None":
+    if not overrides:
+        return None
+    return {
+        nid: _override_to_ints(ov, n_words) for nid, ov in overrides.items()
+    }
+
+
 def simulate_combinational(
     net: LogicNetwork,
     source_values: Mapping[int, np.ndarray],
     *,
     overrides: Mapping[int, np.ndarray] | None = None,
+    interpreted: bool = False,
 ) -> dict[int, np.ndarray]:
     """Evaluate all nodes given values for every combinational source.
 
@@ -114,10 +172,19 @@ def simulate_combinational(
         Optional forced values for arbitrary nodes (used by fault injection:
         the override wins over the computed value).  Each entry is either a
         packed array (full replacement) or a ``(forced, mask)`` pair that
-        forces only the masked lanes — see :func:`apply_override`.
+        forces only the masked lanes — see :func:`apply_override`; the
+        word-packed integer forms are accepted too.
+    interpreted:
+        ``False`` (default) runs the compiled per-network kernel of
+        :mod:`repro.netlist.compiled`; ``True`` runs the reference
+        per-gate interpreter.  Results are bit-identical.
 
     Returns a dict mapping *every* node id to its packed value array.
     """
+    if not interpreted:
+        return _simulate_combinational_compiled(
+            net, source_values, overrides=overrides
+        )
     values: dict[int, np.ndarray] = {}
     overrides = overrides or {}
     n_words: int | None = None
@@ -134,6 +201,10 @@ def simulate_combinational(
         values[nid] = arr
     if n_words is None:
         raise SimulationError("network has no sources")
+    overrides = {
+        nid: _override_to_arrays(ov, n_words)
+        for nid, ov in overrides.items()
+    }
 
     for nid in net.topo_order():
         ov = overrides.get(nid)
@@ -158,6 +229,41 @@ def simulate_combinational(
     return values
 
 
+def _export_values(csim: CompiledSimulator) -> dict[int, np.ndarray]:
+    """Materialize a compiled simulator's state as the historical
+    dict-of-arrays result (one fresh matrix per call, rows are views)."""
+    matrix = csim.dense().copy()
+    return {nid: matrix[nid] for nid in range(csim.program.n_nodes)}
+
+
+def _simulate_combinational_compiled(
+    net: LogicNetwork,
+    source_values: Mapping[int, np.ndarray],
+    *,
+    overrides=None,
+) -> dict[int, np.ndarray]:
+    ints: dict[int, int] = {}
+    n_words: int | None = None
+    for nid in net.sources():
+        if nid not in source_values:
+            raise SimulationError(
+                f"no stimulus for source {net.node_name(nid)!r}"
+            )
+        arr = np.asarray(source_values[nid], dtype=np.uint64)
+        if n_words is None:
+            n_words = arr.size
+        elif arr.size != n_words:
+            raise SimulationError("stimulus arrays must share length")
+        ints[nid] = words_to_int(arr)
+    if n_words is None:
+        raise SimulationError("network has no sources")
+    csim = CompiledSimulator(program_for(net), n_words=n_words)
+    csim.eval_combinational(
+        ints, overrides=_overrides_to_ints(overrides, n_words)
+    )
+    return _export_values(csim)
+
+
 class SequentialSimulator:
     """Cycle-accurate simulation of a sequential network.
 
@@ -165,8 +271,17 @@ class SequentialSimulator:
     their stored state, combinational logic settles, and state is updated
     from the D inputs at the end of the cycle.
 
-    64 parallel *runs* share each word, so a testbench can drive 64
-    independent stimulus streams at once.
+    ``64 * n_words`` parallel *runs* share each step, so a testbench can
+    drive that many independent stimulus streams at once.
+
+    By default steps execute the network's compiled kernel
+    (:mod:`repro.netlist.compiled`); ``interpreted=True`` selects the
+    reference per-gate interpreter (bit-identical, an order of magnitude
+    slower — the escape hatch and the parity-test baseline).  ``program``
+    injects a pre-compiled program; ``store`` threads an
+    :class:`~repro.pipeline.ArtifactStore` through
+    :func:`~repro.netlist.compiled.program_for` so program compilation is
+    skipped on warm restarts.
 
     >>> from repro.netlist.blif import parse_blif
     >>> net = parse_blif('''
@@ -187,23 +302,79 @@ class SequentialSimulator:
     True
     """
 
-    def __init__(self, net: LogicNetwork, n_words: int = 1) -> None:
+    def __init__(
+        self,
+        net: LogicNetwork,
+        n_words: int = 1,
+        *,
+        interpreted: bool = False,
+        program=None,
+        store=None,
+    ) -> None:
         self.net = net
         self.n_words = int(n_words)
-        self.cycle = 0
-        self.state: dict[int, np.ndarray] = {}
+        self.interpreted = bool(interpreted)
+        if self.interpreted:
+            self.compiled: CompiledSimulator | None = None
+        else:
+            self.compiled = CompiledSimulator(
+                program if program is not None else program_for(net, store=store),
+                n_words=self.n_words,
+            )
+        self._cycle = 0
+        self._state: dict[int, np.ndarray] = {}
         self.reset()
+
+    @property
+    def cycle(self) -> int:
+        """Cycles stepped since reset (shared with the compiled core)."""
+        if self.compiled is not None:
+            return self.compiled.cycle
+        return self._cycle
+
+    @property
+    def state(self) -> dict[int, np.ndarray]:
+        """Current latch state, keyed by latch-output node id."""
+        if self.compiled is None:
+            return self._state
+        return {
+            q: int_to_words(s, self.n_words)
+            for q, s in zip(
+                self.compiled.program.latch_qs, self.compiled.latch_state
+            )
+        }
 
     def reset(self) -> None:
         """Load latch initial values (init=1 → all-ones, else zeros)."""
-        self.cycle = 0
-        self.state = {}
+        self._cycle = 0
+        if self.compiled is not None:
+            self.compiled.reset()
+            return
+        self._state = {}
         ones = np.full(self.n_words, np.iinfo(np.uint64).max, dtype=np.uint64)
         for latch in self.net.latches:
             if latch.init == 1:
-                self.state[latch.q] = ones.copy()
+                self._state[latch.q] = ones.copy()
             else:
-                self.state[latch.q] = np.zeros(self.n_words, dtype=np.uint64)
+                self._state[latch.q] = np.zeros(self.n_words, dtype=np.uint64)
+
+    def _pi_ints(self, pi_values: Mapping[int, np.ndarray]) -> dict[int, int]:
+        ints: dict[int, int] = {}
+        for pi in self.net.pis:
+            if pi not in pi_values:
+                raise SimulationError(
+                    f"cycle {self.cycle}: no value for PI "
+                    f"{self.net.node_name(pi)!r}"
+                )
+            val = pi_values[pi]
+            if isinstance(val, int):
+                ints[pi] = val
+                continue
+            arr = np.asarray(val, dtype=np.uint64)
+            if arr.size != self.n_words:
+                raise SimulationError("PI value width mismatch")
+            ints[pi] = words_to_int(arr)
+        return ints
 
     def step(
         self,
@@ -212,6 +383,12 @@ class SequentialSimulator:
         overrides: Mapping[int, np.ndarray] | None = None,
     ) -> dict[int, np.ndarray]:
         """Advance one clock cycle; returns every node's value this cycle."""
+        if self.compiled is not None:
+            self.compiled.step(
+                self._pi_ints(pi_values),
+                overrides=_overrides_to_ints(overrides, self.n_words),
+            )
+            return _export_values(self.compiled)
         sources: dict[int, np.ndarray] = {}
         for pi in self.net.pis:
             if pi not in pi_values:
@@ -223,13 +400,15 @@ class SequentialSimulator:
             if arr.size != self.n_words:
                 raise SimulationError("PI value width mismatch")
             sources[pi] = arr
-        sources.update(self.state)
-        values = simulate_combinational(self.net, sources, overrides=overrides)
+        sources.update(self._state)
+        values = simulate_combinational(
+            self.net, sources, overrides=overrides, interpreted=True
+        )
         next_state: dict[int, np.ndarray] = {}
         for latch in self.net.latches:
             next_state[latch.q] = values[latch.driver].copy()
-        self.state = next_state
-        self.cycle += 1
+        self._state = next_state
+        self._cycle += 1
         return values
 
 

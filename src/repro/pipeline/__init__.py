@@ -46,7 +46,14 @@ from repro.pipeline.stages import (
 )
 from repro.pipeline.store import ArtifactStore, StageStats, StoreStats
 
+# The online phase persists compiled simulation programs
+# (:mod:`repro.netlist.compiled`) in the same store, under a pseudo-stage
+# alongside the offline pipeline's entries — re-exported here so store
+# administrators can enumerate every stage name the system writes.
+from repro.netlist.compiled import COMPILED_SIM_STAGE
+
 __all__ = [
+    "COMPILED_SIM_STAGE",
     "SOURCE",
     "Artifact",
     "CompileResult",

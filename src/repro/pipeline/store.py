@@ -11,6 +11,12 @@ fields, the stage version and the flow version, so a stale entry is
 unreachable rather than wrong.  Disk persistence is best-effort and
 atomic (temp file + rename): concurrent users of one directory see either
 nothing or a complete artifact, never a torn file.
+
+Besides the nine compile-graph stages, the online phase stores compiled
+simulation programs (:func:`repro.netlist.compiled.program_for`) under
+the ``"compiled-sim"`` pseudo-stage keyed by network structural
+signature, so a warm campaign restart skips kernel compilation the same
+way it skips every offline stage.
 """
 
 from __future__ import annotations

@@ -26,8 +26,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import WorkloadError
+from repro.netlist.compiled import int_to_words
 from repro.netlist.network import LogicNetwork
 from repro.netlist.simulate import SequentialSimulator
+from repro.util.bitops import words_for_bits
 from repro.util.rng import RngHub, derive_seed
 from repro.workloads.generator import generate_circuit
 from repro.workloads.perturb import InjectedBug, inject_bug
@@ -156,7 +158,11 @@ def stimulus_script(
 
 
 def signal_traces(
-    net: LogicNetwork, stim: list[dict[str, int]], names: list[str]
+    net: LogicNetwork,
+    stim: list[dict[str, int]],
+    names: list[str],
+    *,
+    interpreted: bool = False,
 ) -> dict[str, np.ndarray]:
     """Simulate ``net`` under ``stim`` recording the named signals.
 
@@ -165,8 +171,9 @@ def signal_traces(
     and PO traces (:func:`po_trace`) are views over it, so value packing
     can never diverge between them.  One simulation pass serves any
     number of signals; names absent from ``net`` are skipped.
+    ``interpreted`` bypasses the compiled kernels (benchmark baseline).
     """
-    sim = SequentialSimulator(net, n_words=1)
+    sim = SequentialSimulator(net, n_words=1, interpreted=interpreted)
     traces: dict[str, list[int]] = {
         n: [] for n in names if net.find(n) is not None
     }
@@ -189,40 +196,50 @@ def packed_signal_traces(
     net: LogicNetwork,
     stims: list[list[dict[str, int]]],
     names: list[str],
+    *,
+    interpreted: bool = False,
 ) -> dict[str, np.ndarray]:
     """Lane-packed golden traces: one simulation pass for many stimuli.
 
     ``stims`` holds one per-cycle stimulus script per lane (all the same
-    length, at most 64).  Bit *k* of the returned ``uint64`` array entry
-    ``traces[name][cyc]`` is what :func:`signal_traces` would report for
-    ``name`` on cycle ``cyc`` under ``stims[k]`` — the simulator evaluates
-    every lane's golden reference in the same bitwise operations, which is
-    what lets the lane-parallel campaign runner pay for one golden pass
-    per *batch* instead of one per scenario.  Extract a lane with
-    ``((arr >> lane) & 1).astype(np.uint8)``.
+    length); every 64 lanes occupy one ``uint64`` word, so the returned
+    arrays have shape ``(n_cycles, n_words)``.  Bit ``k % 64`` of word
+    ``k // 64`` of ``traces[name][cyc]`` is what :func:`signal_traces`
+    would report for ``name`` on cycle ``cyc`` under ``stims[k]`` — the
+    simulator evaluates every lane's golden reference in the same bitwise
+    operations, which is what lets the lane-parallel campaign runner pay
+    for one golden pass per *batch* instead of one per scenario.  Extract
+    lane ``k`` with ``((arr[:, k // 64] >> (k % 64)) & 1).astype(np.uint8)``.
     """
+    n_words = max(1, words_for_bits(len(stims)))
     if not stims:
-        return {n: np.zeros(0, dtype=np.uint64) for n in names}
-    if len(stims) > 64:
-        raise WorkloadError("at most 64 stimulus lanes per packed word")
+        return {n: np.zeros((0, n_words), dtype=np.uint64) for n in names}
     n_cycles = len(stims[0])
     if any(len(s) != n_cycles for s in stims):
         raise WorkloadError("stimulus lanes must share one horizon")
-    sim = SequentialSimulator(net, n_words=1)
+    sim = SequentialSimulator(net, n_words=n_words, interpreted=interpreted)
     names = [n for n in names if net.find(n) is not None]
-    traces = {n: np.zeros(n_cycles, dtype=np.uint64) for n in names}
+    traces = {n: np.zeros((n_cycles, n_words), dtype=np.uint64) for n in names}
+    name_ids = {n: net.require(n) for n in names}
     pi_names = {p: net.node_name(p) for p in net.pis}
+    # pack each PI's whole script once: one word-packed integer per cycle
+    packed_pis: dict[int, list[int]] = {p: [0] * n_cycles for p in pi_names}
+    for lane, stim in enumerate(stims):
+        lane_bit = 1 << lane
+        for cyc in range(n_cycles):
+            row = stim[cyc]
+            for p, pname in pi_names.items():
+                if int(row.get(pname, 0)) & 1:
+                    packed_pis[p][cyc] |= lane_bit
     for cyc in range(n_cycles):
-        pi_vals: dict[int, np.ndarray] = {}
-        for p, pname in pi_names.items():
-            word = 0
-            for lane, stim in enumerate(stims):
-                if int(stim[cyc].get(pname, 0)) & 1:
-                    word |= 1 << lane
-            pi_vals[p] = np.array([word], dtype=np.uint64)
-        values = sim.step(pi_vals)
-        for n in names:
-            traces[n][cyc] = values[net.require(n)][0]
+        values = sim.step(
+            {
+                p: int_to_words(script[cyc], n_words)
+                for p, script in packed_pis.items()
+            }
+        )
+        for n, nid in name_ids.items():
+            traces[n][cyc] = values[nid]
     return traces
 
 

@@ -139,10 +139,13 @@ class TestLaneTraceBuffer:
 
     def test_lane_bounds(self):
         with pytest.raises(DebugFlowError):
-            LaneTraceBuffer(width=1, depth=4, n_lanes=65)
+            LaneTraceBuffer(width=1, depth=4, n_lanes=0)
         tb = LaneTraceBuffer(width=1, depth=4, n_lanes=2)
         with pytest.raises(DebugFlowError):
             tb.window(2)
+        # beyond 64 lanes the rows simply widen (multi-word addressing)
+        wide = LaneTraceBuffer(width=1, depth=4, n_lanes=65)
+        assert wide.n_words == 2
 
 
 class TestPackedGolden:
@@ -156,13 +159,21 @@ class TestPackedGolden:
             serial = signal_traces(golden, stim, names)
             for n in serial:
                 lane_bits = (
-                    (packed[n] >> np.uint64(lane)) & np.uint64(1)
+                    (packed[n][:, 0] >> np.uint64(lane)) & np.uint64(1)
                 ).astype(np.uint8)
                 assert np.array_equal(lane_bits, serial[n]), n
 
-    def test_lane_limit_and_horizon_check(self, golden):
-        with pytest.raises(Exception):
-            packed_signal_traces(golden, [[{}]] * 65, [])
+    def test_multiword_lanes_and_horizon_check(self, golden):
+        # 65 lanes span two packed words; lane 64 = word 1, bit 0
+        stims = [stimulus_script(golden, 8, seed) for seed in range(65)]
+        names = list(golden.po_names)[:2]
+        packed = packed_signal_traces(golden, stims, names)
+        for n in names:
+            assert packed[n].shape == (8, 2)
+        serial = signal_traces(golden, stims[64], names)
+        for n in names:
+            lane_bits = (packed[n][:, 1] & np.uint64(1)).astype(np.uint8)
+            assert np.array_equal(lane_bits, serial[n]), n
         with pytest.raises(Exception):
             packed_signal_traces(golden, [[{}], [{}, {}]], [])
 
@@ -266,7 +277,8 @@ class TestLaneIsolation:
         with pytest.raises(DebugFlowError):
             LaneEngine(offline, n_lanes=0)
         with pytest.raises(DebugFlowError):
-            LaneEngine(offline, n_lanes=65)
+            # the interpreted escape hatch stays single-word
+            LaneEngine(offline, n_lanes=65, interpreted=True)
 
 
 class TestFacade:
