@@ -74,6 +74,11 @@ def test_campaign_cache_speedup(scenarios, results_dir):
             "cold_wall_s": cold.wall_s,
             "warm_wall_s": warm.wall_s,
             "cache_speedup": speedup,
+            # per-stage offline build cost of the single warm-run build —
+            # the physical-pipeline breakdown PR 5's rewrites target
+            "offline_stage_s": {
+                k: round(v, 3) for k, v in warm.offline_stage_s.items()
+            },
         },
     )
 

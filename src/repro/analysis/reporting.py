@@ -127,6 +127,9 @@ def render_campaign_report(
     cache: Mapping | None = None,
     lane_width: int | None = None,
     lane_batches: Sequence[int] = (),
+    offline_workers: int | None = None,
+    offline_wall_s: float | None = None,
+    offline_stage_s: Mapping[str, float] | None = None,
     notes: Sequence[str] = (),
     title: str = "DEBUG-CAMPAIGN REPORT",
 ) -> str:
@@ -193,6 +196,21 @@ def render_campaign_report(
         f"turn(s), {1e6 * agg['modeled_overhead_s']:.1f} us modeled "
         "specialization"
     )
+    if offline_stage_s:
+        breakdown = ", ".join(
+            f"{name}={secs:.2f}s" for name, secs in offline_stage_s.items()
+        )
+        par = (
+            f", {offline_workers} build worker(s)"
+            if offline_workers and offline_workers > 1
+            else ""
+        )
+        wall = (
+            f" ({offline_wall_s:.2f} s wall{par})"
+            if offline_wall_s is not None
+            else ""
+        )
+        lines.append(f"offline stages built: {breakdown}{wall}")
     if wall_s is not None:
         par = f", {workers} worker(s)" if workers else ""
         lines.append(f"wall clock: {wall_s:.2f} s{par}")

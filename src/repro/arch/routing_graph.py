@@ -39,6 +39,13 @@ class RRNodeType(IntEnum):
     SINK = 5
 
 
+#: Hoisted plain-int values: ``RRNodeType.X`` goes through
+#: ``enum.__getattr__`` on every access, which is measurable when node
+#: kinds are tested millions of times in routing inner loops.
+_CHANX = int(RRNodeType.CHANX)
+_CHANY = int(RRNodeType.CHANY)
+
+
 @dataclass
 class RRGraph:
     """The routing-resource graph with CSR adjacency in both directions."""
@@ -96,11 +103,16 @@ class RRGraph:
 
     def is_wire(self, node: int) -> bool:
         t = self.ntype[node]
-        return t == RRNodeType.CHANX or t == RRNodeType.CHANY
+        return t == _CHANX or t == _CHANY
 
     def wirelength_nodes(self, nodes) -> int:
         """Number of channel-wire nodes among ``nodes`` (wirelength metric)."""
-        return sum(1 for n in nodes if self.is_wire(int(n)))
+        ntype = self.ntype
+        return sum(
+            1
+            for n in nodes
+            if ntype[n] == _CHANX or ntype[n] == _CHANY
+        )
 
 
 def _spread(n_choose: int, total: int, offset: int) -> list[int]:

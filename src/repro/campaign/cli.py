@@ -73,6 +73,16 @@ def _parser() -> argparse.ArgumentParser:
         help="online-phase worker processes (default 1 = serial)",
     )
     p.add_argument(
+        "--offline-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="offline-phase build processes: distinct cold designs "
+        "pack/place/route concurrently, artifacts landing under the same "
+        "content-addressed cache keys as serial builds (default 1 = "
+        "serial; outcomes are byte-identical either way)",
+    )
+    p.add_argument(
         "--lane-width",
         type=int,
         default=64,
@@ -262,6 +272,7 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     config = CampaignConfig(
         workers=args.workers,
+        offline_workers=args.offline_workers,
         with_physical=args.physical,
         max_turns=args.max_turns,
         lane_width=args.lane_width,

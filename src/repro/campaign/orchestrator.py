@@ -3,15 +3,26 @@
 :func:`run_campaign` drives a whole batch of (design, bug-scenario) pairs
 through the two-stage debug flow:
 
-* **Offline phase** (parent process, serial): every scenario's
-  design-under-debug is materialized and resolved through
-  :func:`~repro.campaign.cache.resolve_offline` — against a
-  whole-artifact :class:`~repro.campaign.cache.OfflineCache`, a
+* **Offline phase**: every scenario's design-under-debug is materialized
+  and resolved through :func:`~repro.campaign.cache.resolve_offline` —
+  against a whole-artifact :class:`~repro.campaign.cache.OfflineCache`, a
   stage-granular :class:`~repro.pipeline.ArtifactStore` (each compile
   stage reused independently under its content-addressed key), or cold.
   Structurally identical designs share artifacts, so a campaign of N
   stuck-at scenarios on one design pays the generic stage (and, with
   ``with_physical``, the full pack/place/route back-end) exactly once.
+  With ``offline_workers > 1``, *distinct* cold designs build
+  concurrently in a process pool: scenarios are grouped by offline cache
+  key, groups already warm in the cache resolve in-process, and each
+  remaining group becomes one worker task running the stage graph of
+  :mod:`repro.pipeline` — against an
+  :class:`~repro.pipeline.ArtifactStore` on the shared ``cache_dir``
+  when the campaign store is disk-backed (so every stage artifact lands
+  under its existing content-addressed key and warm restarts are
+  unchanged), or returned to the parent for backfill when the store is
+  memory-only.  Outcomes are byte-identical to serial offline builds —
+  the scheduler only changes *where* artifacts are built, never their
+  keys or content.
 * **Online phase**: scenarios are first grouped by **lane batch** — the
   finest key that lets them share one packed emulation: the offline
   artifact's cache key plus the golden design's identity and the horizon.
@@ -38,14 +49,18 @@ per-batch lane occupancy.
 from __future__ import annotations
 
 import time
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    as_completed,
+)
 from dataclasses import dataclass, field, replace
 from typing import Sequence
 
 from repro.campaign.cache import ArtifactStore, OfflineCache, resolve_offline
 from repro.campaign.results import CampaignReport, ScenarioResult
 from repro.campaign.runner import run_scenario, run_scenario_batch
-from repro.core.flow import DebugFlowConfig, OfflineStage
+from repro.core.flow import DebugFlowConfig, OfflineStage, offline_cache_key
 from repro.workloads.scenarios import DebugScenario
 
 __all__ = ["CampaignConfig", "run_campaign"]
@@ -60,6 +75,12 @@ class CampaignConfig:
     flow: DebugFlowConfig = field(default_factory=DebugFlowConfig)
     workers: int = 1
     """Online-phase parallelism; ``<= 1`` runs scenarios serially."""
+    offline_workers: int = 1
+    """Offline-phase parallelism: distinct cold designs (unique offline
+    cache keys) build concurrently in a process pool.  ``<= 1`` keeps the
+    historical serial build loop.  Artifacts land under the same
+    content-addressed keys either way, so outcomes and warm restarts are
+    byte-identical to serial builds."""
     with_physical: bool = False
     """Include the physical back-end (pack/place/route, bitstream) in the
     offline artifact — the paper's full §IV-A stage.  Currently limited to
@@ -190,6 +211,272 @@ def _group_payloads(
     return payloads
 
 
+#: One offline build task: the design network, the flow config, whether
+#: to run the physical back-end, and the disk directory of the shared
+#: stage store (``None`` builds against a throwaway in-process store and
+#: returns every artifact for parent-side backfill).
+OfflinePayload = tuple["object", DebugFlowConfig, bool, "str | None"]
+
+
+def _offline_build_worker(payload: OfflinePayload):
+    """Build one design's offline artifact in a worker process.
+
+    Runs the stage graph against an :class:`ArtifactStore` rooted at the
+    campaign's ``cache_dir`` when one is given — every stage artifact is
+    persisted under its existing content-addressed key, exactly as a
+    serial build would, so warm restarts can't tell the difference.
+    Returns ``("ok", stage, secs, entries, stage_s)`` where ``entries``
+    are the freshly built ``(stage name, key, value)`` triples (for
+    backfilling a memory-only parent store) and ``stage_s`` the per-stage
+    build seconds; or ``("err", message)`` — one bad design must not
+    kill the whole campaign.
+    """
+    net, flow, with_physical, cache_dir = payload
+    try:
+        from repro.pipeline import assemble_offline, compile_design
+
+        store = ArtifactStore(cache_dir=cache_dir) if cache_dir else None
+        t0 = time.perf_counter()
+        result = compile_design(
+            net, flow, store=store, with_physical=with_physical
+        )
+        stage = assemble_offline(result)
+        secs = time.perf_counter() - t0
+        entries = (
+            None
+            if cache_dir
+            else [
+                (name, a.key, a.value)
+                for name, a in result.artifacts.items()
+                if not a.hit
+            ]
+        )
+        return ("ok", stage, secs, entries, dict(result.timers.totals))
+    except Exception as exc:  # noqa: BLE001 — marshalled to a per-scenario error
+        return ("err", f"{type(exc).__name__}: {exc}")
+
+
+def _offline_group_key(net, flow: DebugFlowConfig, with_physical: bool) -> str:
+    """The identity under which scenarios share one offline build."""
+    extra = ("physical",) if with_physical else ()
+    return offline_cache_key(net, flow, extra=extra)
+
+
+def _store_is_warm(cache: CacheLike, net, flow, with_physical: bool) -> bool:
+    """Probe (without stats traffic) whether ``net`` resolves fully warm."""
+    if isinstance(cache, OfflineCache):
+        key = _offline_group_key(net, flow, with_physical)
+        return cache.store.contains("offline", key)
+    if isinstance(cache, ArtifactStore):
+        from repro.pipeline.stages import (
+            DEBUG_FLOW_GRAPH,
+            GENERIC_STAGES,
+            PHYSICAL_STAGES,
+        )
+
+        stages = (
+            GENERIC_STAGES + PHYSICAL_STAGES if with_physical else GENERIC_STAGES
+        )
+        keys = DEBUG_FLOW_GRAPH.stage_keys(net, flow, stages=stages)
+        return all(cache.contains(name, keys[name]) for name in stages)
+    return False
+
+
+def _offline_error(sc: DebugScenario, message: str) -> ScenarioResult:
+    return ScenarioResult(
+        scenario=sc.name,
+        design=sc.spec.name,
+        kind=sc.kind,
+        status="error",
+        offline_ok=False,
+        error=f"offline stage failed: {message}",
+    )
+
+
+def _accumulate_stage_s(into: dict[str, float], totals: dict) -> None:
+    for name, secs in totals.items():
+        into[name] = into.get(name, 0.0) + float(secs)
+
+
+def _offline_phase_parallel(
+    scenarios: Sequence[DebugScenario],
+    config: CampaignConfig,
+    cache: CacheLike,
+    notes: list[str],
+):
+    """Offline phase with cross-design parallel builds.
+
+    Scenarios are grouped by offline cache key; warm groups resolve
+    in-process (a cache lookup), cold groups fan out to a process pool —
+    one task per *distinct design*, the unit the paper amortizes over.
+    Falls back to the serial loop when the pool is unavailable.  Returns
+    the same ``(resolved, offline_s, hits, failed, stage_s, workers)``
+    shape the serial phase produces.
+    """
+    resolved: list[tuple[int, DebugScenario, OfflineStage]] = []
+    offline_s: dict[int, float] = {}
+    hits: dict[int, bool] = {}
+    failed: dict[int, ScenarioResult] = {}
+    stage_s: dict[str, float] = {}
+
+    # group scenarios by build identity
+    groups: dict[str, list[tuple[int, DebugScenario]]] = {}
+    group_net: dict[str, object] = {}
+    for idx, sc in enumerate(scenarios):
+        t0 = time.perf_counter()
+        try:
+            net = sc.debug_network()
+            key = _offline_group_key(net, config.flow, config.with_physical)
+        except Exception as exc:  # noqa: BLE001
+            failed[idx] = _offline_error(sc, f"{type(exc).__name__}: {exc}")
+            offline_s[idx] = time.perf_counter() - t0
+            hits[idx] = False
+            continue
+        offline_s[idx] = time.perf_counter() - t0
+        groups.setdefault(key, []).append((idx, sc))
+        group_net.setdefault(key, net)
+
+    # split warm from cold via a stats-free probe
+    cold: list[str] = []
+    artifact: dict[str, OfflineStage] = {}
+    group_hit: dict[str, bool] = {}
+    for key, items in groups.items():
+        if _store_is_warm(cache, group_net[key], config.flow, config.with_physical):
+            idx0, sc0 = items[0]
+            t0 = time.perf_counter()
+            try:
+                stage, hit = resolve_offline(
+                    group_net[key],
+                    config.flow,
+                    cache=cache,
+                    with_physical=config.with_physical,
+                )
+            except Exception as exc:  # noqa: BLE001
+                message = f"{type(exc).__name__}: {exc}"
+                for idx, sc in items:
+                    failed[idx] = _offline_error(sc, message)
+                    hits[idx] = False
+                offline_s[idx0] += time.perf_counter() - t0
+                continue
+            offline_s[idx0] += time.perf_counter() - t0
+            artifact[key] = stage
+            group_hit[key] = hit
+        else:
+            cold.append(key)
+
+    n_workers = min(max(1, config.offline_workers), max(1, len(cold)))
+    failed_keys: dict[str, str] = {}
+    if cold:
+        cache_dir = getattr(cache, "cache_dir", None)
+        shared_dir = cache_dir if isinstance(cache, ArtifactStore) else None
+        payloads = {
+            key: (group_net[key], config.flow, config.with_physical, shared_dir)
+            for key in cold
+        }
+        built: dict[str, tuple] = {}
+        if n_workers > 1:
+            try:
+                with ProcessPoolExecutor(max_workers=n_workers) as pool:
+                    futures = {
+                        pool.submit(_offline_build_worker, p): key
+                        for key, p in payloads.items()
+                    }
+                    for fut in as_completed(futures):
+                        built[futures[fut]] = fut.result()
+            except (OSError, PermissionError, BrokenExecutor) as exc:
+                # results collected before the pool broke are kept; only
+                # the designs still missing rebuild serially below
+                notes.append(
+                    f"offline build pool unavailable ({type(exc).__name__}); "
+                    f"building {len(cold) - len(built)} remaining cold "
+                    "design(s) serially"
+                )
+                n_workers = 1
+
+        for key in cold:
+            outcome = built.get(key)
+            if outcome is None:
+                # serial fallback (or pool-less run): build in-process
+                outcome = _offline_build_worker(payloads[key])
+            if outcome[0] == "err":
+                failed_keys[key] = outcome[1]
+                continue
+            _tag, stage, secs, entries, totals = outcome
+            idx0 = groups[key][0][0]
+            offline_s[idx0] += secs
+            _accumulate_stage_s(stage_s, totals)
+            # land the artifacts in the parent cache under their existing
+            # content-addressed keys, so duplicates and warm restarts
+            # behave exactly as after a serial build
+            if isinstance(cache, OfflineCache):
+                stage = cache.put(key, stage)
+            elif isinstance(cache, ArtifactStore) and entries:
+                from repro.pipeline.graph import source_key
+
+                group = source_key(group_net[key])
+                for name, skey, value in entries:
+                    cache.put(name, skey, value, group=group)
+            artifact[key] = stage
+            group_hit[key] = False
+
+    for key, items in groups.items():
+        if key in failed_keys:
+            for idx, sc in items:
+                failed[idx] = _offline_error(sc, failed_keys[key])
+                hits[idx] = False
+            continue
+        if key not in artifact:
+            continue  # warm probe group that failed to resolve
+        stage = artifact[key]
+        first_idx = items[0][0]
+        # duplicates of a built design ride the group's artifact: a cache
+        # hit when a cache holds it, plain build sharing when running
+        # cold (cold parallel campaigns dedupe per distinct design —
+        # outcomes are unaffected, only the redundant rebuilds go away)
+        dup_hit = cache is not None
+        for idx, sc in items:
+            hits[idx] = group_hit[key] if idx == first_idx else dup_hit
+            offline_s.setdefault(idx, 0.0)
+            resolved.append((idx, sc, stage))
+
+    resolved.sort(key=lambda t: t[0])
+    return resolved, offline_s, hits, failed, stage_s, n_workers
+
+
+def _offline_phase_serial(
+    scenarios: Sequence[DebugScenario],
+    config: CampaignConfig,
+    cache: CacheLike,
+):
+    """The historical serial offline loop (``offline_workers <= 1``)."""
+    resolved: list[tuple[int, DebugScenario, OfflineStage]] = []
+    offline_s: dict[int, float] = {}
+    hits: dict[int, bool] = {}
+    failed: dict[int, ScenarioResult] = {}
+    stage_s: dict[str, float] = {}
+    for idx, sc in enumerate(scenarios):
+        t0 = time.perf_counter()
+        try:
+            net = sc.debug_network()
+            stage, hit = resolve_offline(
+                net,
+                config.flow,
+                cache=cache,
+                with_physical=config.with_physical,
+            )
+        except Exception as exc:  # noqa: BLE001 — one bad design ≠ dead campaign
+            failed[idx] = _offline_error(sc, f"{type(exc).__name__}: {exc}")
+            offline_s[idx] = time.perf_counter() - t0
+            hits[idx] = False
+            continue
+        offline_s[idx] = time.perf_counter() - t0
+        hits[idx] = hit
+        if not hit:
+            _accumulate_stage_s(stage_s, stage.timers.totals)
+        resolved.append((idx, sc, stage))
+    return resolved, offline_s, hits, failed, stage_s, 1
+
+
 def run_campaign(
     scenarios: Sequence[DebugScenario],
     *,
@@ -224,35 +511,26 @@ def run_campaign(
     t_wall = time.perf_counter()
 
     # -- offline phase: one artifact per distinct design content ---------------
-    resolved: list[tuple[int, DebugScenario, OfflineStage]] = []
-    offline_s: list[float] = []
-    hits: list[bool] = []
-    failed: dict[int, ScenarioResult] = {}
-    for idx, sc in enumerate(scenarios):
-        t0 = time.perf_counter()
-        try:
-            net = sc.debug_network()
-            stage, hit = resolve_offline(
-                net,
-                config.flow,
-                cache=cache,
-                with_physical=config.with_physical,
-            )
-        except Exception as exc:  # noqa: BLE001 — one bad design ≠ dead campaign
-            failed[idx] = ScenarioResult(
-                scenario=sc.name,
-                design=sc.spec.name,
-                kind=sc.kind,
-                status="error",
-                offline_ok=False,
-                error=f"offline stage failed: {type(exc).__name__}: {exc}",
-            )
-            offline_s.append(time.perf_counter() - t0)
-            hits.append(False)
-            continue
-        offline_s.append(time.perf_counter() - t0)
-        hits.append(hit)
-        resolved.append((idx, sc, stage))
+    t_offline = time.perf_counter()
+    if config.offline_workers > 1:
+        (
+            resolved,
+            offline_s,
+            hits,
+            failed,
+            offline_stage_s,
+            offline_workers,
+        ) = _offline_phase_parallel(scenarios, config, cache, notes)
+    else:
+        (
+            resolved,
+            offline_s,
+            hits,
+            failed,
+            offline_stage_s,
+            offline_workers,
+        ) = _offline_phase_serial(scenarios, config, cache)
+    offline_wall_s = time.perf_counter() - t_offline
 
     # -- online phase: lane-batched debug loops, payloads deduped per key ------
     workers = max(1, config.workers)
@@ -266,7 +544,17 @@ def run_campaign(
     program_store = cache if isinstance(cache, ArtifactStore) else None
     indexed: list[tuple[int, ScenarioResult]] = []
     effective_workers = 1
-    if workers > 1 and payloads:
+    # a pool only pays for itself when there is more than one payload to
+    # spread: a single lane batch would ride one worker anyway, while the
+    # parent still paid pool startup plus artifact pickling — the
+    # "pooled slower than serial" regression BENCH_campaign.json recorded
+    use_pool = workers > 1 and len(payloads) > 1
+    if workers > 1 and payloads and not use_pool:
+        notes.append(
+            "worker pool skipped: 1 online payload (serial is cheaper than "
+            f"pool startup; requested {workers} workers)"
+        )
+    if use_pool:
         effective_workers = min(workers, len(payloads))
         try:
             with ProcessPoolExecutor(max_workers=effective_workers) as pool:
@@ -297,15 +585,18 @@ def run_campaign(
     for idx in range(len(scenarios)):
         results.append(failed[idx] if idx in failed else by_idx[idx])
 
-    for r, secs, hit in zip(results, offline_s, hits):
-        r.offline_s = secs
-        r.offline_cache_hit = hit
+    for idx, r in enumerate(results):
+        r.offline_s = offline_s.get(idx, 0.0)
+        r.offline_cache_hit = hits.get(idx, False)
 
     return CampaignReport(
         results=results,
         wall_s=time.perf_counter() - t_wall,
         workers=effective_workers,
-        offline_total_s=sum(offline_s),
+        offline_workers=offline_workers,
+        offline_total_s=sum(offline_s.values()),
+        offline_wall_s=offline_wall_s,
+        offline_stage_s=offline_stage_s,
         online_total_s=sum(r.online_s for r in results),
         cache_stats=cache.stats.as_dict() if cache is not None else None,
         lane_width=lane_width,

@@ -97,7 +97,17 @@ class CampaignReport:
     results: list[ScenarioResult]
     wall_s: float = 0.0
     workers: int = 1
+    offline_workers: int = 1
+    """Effective offline-build parallelism (1 = serial builds, or the
+    pool fell back / every design was warm)."""
     offline_total_s: float = 0.0
+    offline_wall_s: float = 0.0
+    """Wall-clock of the whole offline phase; less than
+    ``offline_total_s`` when cold designs built concurrently."""
+    offline_stage_s: dict[str, float] = field(default_factory=dict)
+    """Seconds spent *building* each offline stage this run (cache hits
+    excluded), summed across designs — the per-stage cost breakdown
+    behind ``offline_total_s``."""
     online_total_s: float = 0.0
     cache_stats: dict | None = None
     """Snapshot of the cache's stats ``as_dict()`` — whole-artifact
@@ -141,6 +151,9 @@ class CampaignReport:
             cache=self.cache_stats,
             lane_width=self.lane_width,
             lane_batches=self.lane_batches,
+            offline_workers=self.offline_workers,
+            offline_wall_s=self.offline_wall_s,
+            offline_stage_s=self.offline_stage_s,
             notes=self.notes,
         )
 

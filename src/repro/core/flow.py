@@ -55,7 +55,10 @@ __all__ = [
 #: new instrumentation, different tap selection...).  The version is folded
 #: into :func:`offline_cache_key`, so stale disk caches miss instead of
 #: returning artifacts from an older flow.
-FLOW_CACHE_VERSION = 1
+FLOW_CACHE_VERSION = 2
+"""v2: PR 5's vectorized placer/router — whole-artifact entries built by
+the v1 physical back-end carry a different placement/routing and must
+miss rather than be served alongside v2 builds."""
 
 
 @dataclass(frozen=True)

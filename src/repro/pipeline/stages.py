@@ -203,12 +203,18 @@ DEBUG_FLOW_GRAPH = StageGraph(
             _place,
             inputs=("pack",),
             param_fields=("seed", "effort"),
+            # v2: incremental-HPWL annealer (PR 5) — different move
+            # trajectory, so persisted v1 placements are unreachable
+            version=2,
         ),
         Stage(
             "route",
             _route,
             inputs=("place",),
             param_fields=("max_route_iterations",),
+            # v2: array-backed PathFinder (PR 5) — different tie-breaking,
+            # so persisted v1 routings are unreachable
+            version=2,
         ),
         Stage(
             "bitgen",

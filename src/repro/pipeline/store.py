@@ -233,6 +233,21 @@ class ArtifactStore:
         self._record_group(stage, key, group)
         return Artifact(stage, key, value, hit=False)
 
+    def contains(self, stage: str, key: str) -> bool:
+        """Whether ``(stage, key)`` is available (memory or disk), without
+        loading it and without touching the hit/miss stats.
+
+        The campaign's parallel offline scheduler uses this to decide
+        which distinct designs are already warm (resolved in-process,
+        cheap) and which are cold (dispatched to build workers) — a probe
+        must not distort the store's accounting.
+        """
+        if (stage, key) in self._memory:
+            return True
+        if self.cache_dir is None:
+            return False
+        return os.path.exists(self._path(stage, key))
+
     def get_or_run(
         self, stage: str, key: str, builder: Callable[[], Any]
     ) -> tuple[Any, bool]:

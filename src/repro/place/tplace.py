@@ -9,15 +9,25 @@ improvements dry up.
 Tunable (TCON) trees contribute placement nets spanning their leaf drivers
 and root readers, pulling the shared routing region together — placement's
 view of the paper's resource sharing.
+
+The anneal's inner loop is the offline flow's hottest code, so it runs on
+flat tables instead of the result dictionaries: block coordinates live in
+plain lists indexed by block, sites are integer ids with a ``block_at``
+occupancy table, randomness is drawn in one vectorized batch per
+temperature step, and every net carries an **incremental bounding box**
+(min/max per axis plus the count of members sitting on each boundary).  A
+trial move then updates each affected net in O(1) — a full member rescan
+happens only when a block leaves a boundary it alone occupied.  The
+reference implementation this was rewritten from (and is quality-gated
+against) is :func:`repro.place.ref.place_design_ref`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from math import exp
 
-import numpy as np
-
-from repro.arch.device import DeviceGrid, TileType
+from repro.arch.device import DeviceGrid
 from repro.errors import PlacementError
 from repro.pack.tpack import PackedDesign
 from repro.util.rng import RngHub
@@ -119,10 +129,58 @@ def _build_nets(packed: PackedDesign, blocks: list[_Block]) -> tuple[list[list[i
     return nets, net_signal
 
 
-def _net_hpwl(net: list[int], loc_of: dict[int, tuple[int, int, int]]) -> float:
-    xs = [loc_of[b][0] for b in net]
-    ys = [loc_of[b][1] for b in net]
-    return float(max(xs) - min(xs) + max(ys) - min(ys))
+def _bbox_scan(members: tuple[int, ...], bx: list[int], by: list[int]):
+    """Full bounding-box state of one net: boundaries plus boundary counts."""
+    b0 = members[0]
+    xmn = xmx = bx[b0]
+    ymn = ymx = by[b0]
+    nxmn = nxmx = nymn = nymx = 1
+    for m in members[1:]:
+        x = bx[m]
+        if x < xmn:
+            xmn, nxmn = x, 1
+        elif x == xmn:
+            nxmn += 1
+        if x > xmx:
+            xmx, nxmx = x, 1
+        elif x == xmx:
+            nxmx += 1
+        y = by[m]
+        if y < ymn:
+            ymn, nymn = y, 1
+        elif y == ymn:
+            nymn += 1
+        if y > ymx:
+            ymx, nymx = y, 1
+        elif y == ymx:
+            nymx += 1
+    return [xmn, nxmn, xmx, nxmx, ymn, nymn, ymx, nymx]
+
+
+def _axis_move(mn: int, nmn: int, mx: int, nmx: int, old: int, new: int):
+    """Incremental one-axis bbox update for one member moving old → new.
+
+    Returns the new ``(mn, nmn, mx, nmx)`` or ``None`` when the move
+    vacates a boundary the member alone occupied — the one case that
+    needs a member rescan to find the new boundary.
+    """
+    if new < mn:
+        mn, nmn = new, 1
+    elif new == mn:
+        nmn += 1
+    if new > mx:
+        mx, nmx = new, 1
+    elif new == mx:
+        nmx += 1
+    if old == mn:
+        nmn -= 1
+        if nmn == 0:
+            return None
+    if old == mx:
+        nmx -= 1
+        if nmx == 0:
+            return None
+    return mn, nmn, mx, nmx
 
 
 def place_design(
@@ -160,114 +218,235 @@ def place_design(
 
     rng = RngHub(seed).stream(f"place/{physical.network.name}")
 
+    # sites as integer ids: CLB sites first, then I/O subtiles
     clb_sites = [(x, y, 0) for (x, y) in grid.clb_positions()]
     io_sites = [
         (x, y, k)
         for (x, y) in grid.io_positions()
         for k in range(grid.spec.io_capacity)
     ]
+    sites = clb_sites + io_sites
+    n_clb_sites = len(clb_sites)
+    site_x = [s[0] for s in sites]
+    site_y = [s[1] for s in sites]
+    n_sites = len(sites)
 
     placement = Placement(packed=packed, grid=grid, blocks=blocks)
-    site_block: dict[tuple[int, int, int], int] = {}
+    n_blocks = len(blocks)
+    site_of = [-1] * n_blocks
+    block_at = [-1] * n_sites
+    bx = [0] * n_blocks
+    by = [0] * n_blocks
+    is_clb = [b.kind == "clb" for b in blocks]
+
+    def assign(block: int, site: int) -> None:
+        site_of[block] = site
+        block_at[site] = block
+        bx[block] = site_x[site]
+        by[block] = site_y[site]
 
     clb_blocks = [b for b in blocks if b.kind == "clb"]
     pad_blocks = [b for b in blocks if b.kind != "clb"]
-    for b, site in zip(clb_blocks, rng.permutation(len(clb_sites))[: len(clb_blocks)]):
-        placement.loc_of[b.index] = clb_sites[int(site)]
-        site_block[clb_sites[int(site)]] = b.index
+    for b, site in zip(clb_blocks, rng.permutation(n_clb_sites)[: len(clb_blocks)]):
+        assign(b.index, int(site))
     for b, site in zip(pad_blocks, rng.permutation(len(io_sites))[: len(pad_blocks)]):
-        placement.loc_of[b.index] = io_sites[int(site)]
-        site_block[io_sites[int(site)]] = b.index
+        assign(b.index, n_clb_sites + int(site))
+
+    def export() -> Placement:
+        placement.loc_of = {
+            b.index: sites[site_of[b.index]] for b in blocks
+        }
+        return placement
 
     nets, net_signal = _build_nets(packed, blocks)
     placement.nets = nets
     placement.net_signal = net_signal
+    members = [tuple(net) for net in nets]
+    n_nets = len(nets)
 
-    nets_of_block: dict[int, list[int]] = {}
-    for ni, net in enumerate(nets):
+    nets_of_block: list[list[int]] = [[] for _ in range(n_blocks)]
+    for ni, net in enumerate(members):
         for b in net:
-            nets_of_block.setdefault(b, []).append(ni)
+            nets_of_block[b].append(ni)
 
-    net_cost = np.array(
-        [_net_hpwl(net, placement.loc_of) for net in nets], dtype=np.float64
-    )
-    total = float(net_cost.sum())
+    # nets below the threshold are cheaper to rescan outright (a handful of
+    # list reads) than to keep boundary counts for: a mover on a tiny net
+    # is nearly always alone on a boundary, forcing the rescan fallback
+    # anyway.  Large nets (TCON trees spanning many leaf drivers) keep the
+    # incremental state.
+    SMALL_NET = 10
+    big = [len(m) > SMALL_NET for m in members]
+    state: list = [
+        _bbox_scan(m, bx, by) if b else None for m, b in zip(members, big)
+    ]
+    net_cost = [0.0] * n_nets
+    for ni, m in enumerate(members):
+        s = state[ni] or _bbox_scan(m, bx, by)
+        net_cost[ni] = float(s[2] - s[0] + s[6] - s[4])
+    total = sum(net_cost)
 
-    def delta_for_move(moved: list[int]) -> tuple[float, dict[int, float]]:
-        affected: set[int] = set()
-        for b in moved:
-            affected.update(nets_of_block.get(b, ()))
-        updates: dict[int, float] = {}
-        d = 0.0
-        for ni in affected:
-            new = _net_hpwl(nets[ni], placement.loc_of)
-            d += new - net_cost[ni]
-            updates[ni] = new
-        return d, updates
-
-    sites_by_kind = {"clb": clb_sites, "io": io_sites}
-    movable = [b for b in blocks if nets_of_block.get(b.index)]
+    movable = [b.index for b in blocks if nets_of_block[b.index]]
     if not movable:
         placement.cost = total
-        return placement
+        return export()
+    n_movable = len(movable)
+    n_io_sites = len(io_sites)
 
-    n_moves = max(64, int(effort * len(blocks) ** (4.0 / 3.0)))
+    # scratch for one trial move: affected nets, their candidate states
+    net_stamp = [0] * n_nets
+    move_id = 0
+    ups: list[tuple] = []
 
-    # initial temperature: std of random move deltas
+    def try_move(
+        moved,
+        # bind the hot lookups once; the loop below runs ~300k times/anneal
+        nets_of_block=nets_of_block,
+        members=members,
+        state=state,
+        net_cost=net_cost,
+        net_stamp=net_stamp,
+        big=big,
+        bx=bx,
+        by=by,
+        ups=ups,
+    ) -> float:
+        """Delta HPWL of a tentative move (coords already updated in
+        ``bx``/``by``); fills ``ups`` with per-net replacement states."""
+        nonlocal move_id
+        move_id += 1
+        mid = move_id
+        ups.clear()
+        d = 0.0
+        for entry in moved:
+            b0 = entry[0]
+            for ni in nets_of_block[b0]:
+                if net_stamp[ni] == mid:
+                    continue
+                net_stamp[ni] = mid
+                m = members[ni]
+                if not big[ni]:
+                    # small net: direct bounding-box rescan, no counts
+                    xmn = ymn = 1 << 30
+                    xmx = ymx = -1
+                    for mb in m:
+                        v = bx[mb]
+                        if v < xmn:
+                            xmn = v
+                        if v > xmx:
+                            xmx = v
+                        v = by[mb]
+                        if v < ymn:
+                            ymn = v
+                        if v > ymx:
+                            ymx = v
+                    new_cost = float(xmx - xmn + ymx - ymn)
+                    ups.append((ni, None, new_cost))
+                    d += new_cost - net_cost[ni]
+                    continue
+                xmn, nxmn, xmx, nxmx, ymn, nymn, ymx, nymx = state[ni]
+                ok = True
+                for b, ox, oy, nx, ny in moved:
+                    if b != b0 and ni not in nets_of_block[b]:
+                        continue
+                    r = _axis_move(xmn, nxmn, xmx, nxmx, ox, nx)
+                    if r is None:
+                        ok = False
+                        break
+                    xmn, nxmn, xmx, nxmx = r
+                    r = _axis_move(ymn, nymn, ymx, nymx, oy, ny)
+                    if r is None:
+                        ok = False
+                        break
+                    ymn, nymn, ymx, nymx = r
+                if ok:
+                    new_state = [xmn, nxmn, xmx, nxmx, ymn, nymn, ymx, nymx]
+                else:
+                    new_state = _bbox_scan(m, bx, by)
+                    xmn, _n1, xmx, _n2, ymn, _n3, ymx, _n4 = new_state
+                new_cost = float(xmx - xmn + ymx - ymn)
+                d += new_cost - net_cost[ni]
+                ups.append((ni, new_state, new_cost))
+        return d
+
+    n_moves = max(64, int(effort * n_blocks ** (4.0 / 3.0)))
+
+    # initial temperature: std of random move deltas (trials reverted)
     deltas = []
-    for _ in range(min(100, 10 * len(movable))):
-        b = movable[int(rng.integers(0, len(movable)))]
-        pool = sites_by_kind["clb" if b.kind == "clb" else "io"]
-        target = pool[int(rng.integers(0, len(pool)))]
-        old = placement.loc_of[b.index]
-        if target == old:
+    n_est = min(100, 10 * n_movable)
+    est_blocks = rng.integers(0, n_movable, size=n_est).tolist()
+    est_clb = rng.integers(0, n_clb_sites, size=n_est).tolist()
+    est_io = rng.integers(0, n_io_sites, size=n_est).tolist()
+    for i in range(n_est):
+        bi = movable[est_blocks[i]]
+        s = est_clb[i] if is_clb[bi] else n_clb_sites + est_io[i]
+        old_s = site_of[bi]
+        if s == old_s:
             continue
-        other = site_block.get(target)
-        placement.loc_of[b.index] = target
-        if other is not None:
-            placement.loc_of[other] = old
-        d, _ = delta_for_move([b.index] + ([other] if other is not None else []))
-        placement.loc_of[b.index] = old
-        if other is not None:
-            placement.loc_of[other] = target
-        deltas.append(d)
-    temp = 20.0 * (float(np.std(deltas)) if deltas else 1.0) or 1.0
+        other = block_at[s]
+        ox, oy = bx[bi], by[bi]
+        nx, ny = site_x[s], site_y[s]
+        bx[bi], by[bi] = nx, ny
+        if other >= 0:
+            bx[other], by[other] = ox, oy
+            moved = ((bi, ox, oy, nx, ny), (other, nx, ny, ox, oy))
+        else:
+            moved = ((bi, ox, oy, nx, ny),)
+        deltas.append(try_move(moved))
+        bx[bi], by[bi] = ox, oy
+        if other >= 0:
+            bx[other], by[other] = nx, ny
+    if deltas:
+        mean = sum(deltas) / len(deltas)
+        std = (sum((v - mean) ** 2 for v in deltas) / len(deltas)) ** 0.5
+    else:
+        std = 1.0
+    temp = 20.0 * std or 1.0
 
-    min_temp = 0.005 * max(1.0, total) / max(1, len(nets))
+    tried = 0
+    accepted_total = 0
+    min_temp = 0.005 * max(1.0, total) / max(1, n_nets)
     while temp > min_temp:
         accepted = 0
-        for _ in range(n_moves):
-            b = movable[int(rng.integers(0, len(movable)))]
-            pool = sites_by_kind["clb" if b.kind == "clb" else "io"]
-            target = pool[int(rng.integers(0, len(pool)))]
-            old = placement.loc_of[b.index]
-            if target == old:
+        pick_b = rng.integers(0, n_movable, size=n_moves).tolist()
+        pick_clb = rng.integers(0, n_clb_sites, size=n_moves).tolist()
+        pick_io = rng.integers(0, n_io_sites, size=n_moves).tolist()
+        accept_u = rng.random(n_moves).tolist()
+        inv_temp = -1.0 / temp
+        for i in range(n_moves):
+            bi = movable[pick_b[i]]
+            s = pick_clb[i] if is_clb[bi] else n_clb_sites + pick_io[i]
+            old_s = site_of[bi]
+            if s == old_s:
                 continue
-            other = site_block.get(target)
-            if other == b.index:
-                continue
-            # tentatively apply
-            placement.loc_of[b.index] = target
-            if other is not None:
-                placement.loc_of[other] = old
-            moved = [b.index] + ([other] if other is not None else [])
-            d, updates = delta_for_move(moved)
-            placement.moves_tried += 1
-            if d <= 0 or rng.random() < np.exp(-d / temp):
-                site_block[target] = b.index
-                if other is not None:
-                    site_block[old] = other
-                else:
-                    site_block.pop(old, None)
-                for ni, v in updates.items():
-                    net_cost[ni] = v
+            other = block_at[s]
+            ox, oy = bx[bi], by[bi]
+            nx, ny = site_x[s], site_y[s]
+            # tentatively apply coordinates, then score
+            bx[bi], by[bi] = nx, ny
+            if other >= 0:
+                bx[other], by[other] = ox, oy
+                moved = ((bi, ox, oy, nx, ny), (other, nx, ny, ox, oy))
+            else:
+                moved = ((bi, ox, oy, nx, ny),)
+            d = try_move(moved)
+            tried += 1
+            if d <= 0.0 or accept_u[i] < exp(d * inv_temp):
+                block_at[s] = bi
+                block_at[old_s] = other if other >= 0 else -1
+                site_of[bi] = s
+                if other >= 0:
+                    site_of[other] = old_s
+                for ni, new_state, new_cost in ups:
+                    if new_state is not None:
+                        state[ni] = new_state
+                    net_cost[ni] = new_cost
                 total += d
                 accepted += 1
-                placement.moves_accepted += 1
+                accepted_total += 1
             else:
-                placement.loc_of[b.index] = old
-                if other is not None:
-                    placement.loc_of[other] = target
+                bx[bi], by[bi] = ox, oy
+                if other >= 0:
+                    bx[other], by[other] = nx, ny
         rate = accepted / max(1, n_moves)
         # VPR-style adaptive cooling: cool slowly in the productive window
         if rate > 0.96:
@@ -279,5 +458,7 @@ def place_design(
         else:
             temp *= 0.8
 
-    placement.cost = float(net_cost.sum())
-    return placement
+    placement.moves_tried = tried
+    placement.moves_accepted = accepted_total
+    placement.cost = float(sum(net_cost))
+    return export()

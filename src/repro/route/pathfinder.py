@@ -10,19 +10,48 @@ through the ``key`` of each :class:`ConnectionRequest`: occupancy counts
 *distinct keys* per node.  All alternative branches of one TCON tree carry
 the same key (they are mutually exclusive under the parameter values), so
 their overlapping wires count once; ordinary nets use their own key.
+
+The expansion loop is the single hottest path of the offline flow, so the
+router works on flat array state instead of per-node dictionaries:
+
+* the CSR adjacency, coordinates, capacities and node kinds are mirrored
+  into plain Python lists once per :class:`PathFinder` (C-speed indexed
+  loads, no numpy scalar boxing);
+* the congestion-inflated cost of every node is kept in one flat table,
+  rebuilt vectorized when ``pres_fac`` changes at an iteration boundary
+  and patched in O(1) whenever a node's occupancy changes — so a
+  relaxation reads exactly one list entry (the same-key self-sharing
+  discount is applied to the table before a connection routes and
+  restored after);
+* per-search state (g-cost, backtrack, visited) lives in preallocated
+  arrays validated by a search-id stamp — no clearing, no dictionaries;
+* the priority queue is :mod:`heapq` with lazy deletion (stale entries
+  are skipped via the visited stamp) instead of a pure-Python
+  decrease-key heap.
+
+The dictionary-based implementation this was rewritten from (and is
+quality-gated against) is :class:`repro.route.ref.PathFinderRef`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
 
 import numpy as np
 
 from repro.arch.routing_graph import RRGraph, RRNodeType
 from repro.errors import RoutingError, UnroutableError
-from repro.util.pq import IndexedMinHeap
 
 __all__ = ["ConnectionRequest", "RouteTree", "PathFinder"]
+
+#: Enum members hoisted to plain ints — the expansion loop compares node
+#: kinds millions of times per route and ``IntEnum.__getattr__`` was a
+#: measurable fraction of total routing time.
+_SOURCE = int(RRNodeType.SOURCE)
+_OPIN = int(RRNodeType.OPIN)
+_IPIN = int(RRNodeType.IPIN)
+_SINK = int(RRNodeType.SINK)
 
 
 @dataclass(frozen=True)
@@ -74,17 +103,52 @@ class PathFinder:
         n = rr.n_nodes
         t = rr.ntype
         self.base_cost = np.ones(n, dtype=np.float64)
-        self.base_cost[t == RRNodeType.OPIN] = 0.6
-        self.base_cost[t == RRNodeType.IPIN] = 0.6
-        self.base_cost[t == RRNodeType.SOURCE] = 0.2
-        self.base_cost[t == RRNodeType.SINK] = 0.2
+        self.base_cost[t == _OPIN] = 0.6
+        self.base_cost[t == _IPIN] = 0.6
+        self.base_cost[t == _SOURCE] = 0.2
+        self.base_cost[t == _SINK] = 0.2
         self.acc_cost = np.zeros(n, dtype=np.float64)
-        # occupancy bookkeeping: per node, the set of sharing keys using it
+        # occupancy bookkeeping: per node the sharing keys using it, and
+        # per key the nodes it uses (for the self-sharing discount)
         self._users: dict[int, dict[int, int]] = {}
+        self._key_nodes: dict[int, dict[int, int]] = {}
         self.occ = np.zeros(n, dtype=np.int32)
         self.iterations_run = 0
 
+        # flat list mirrors of the static RR graph (C-speed scalar access)
+        self._off: list[int] = rr.edge_offsets.tolist()
+        self._dst: list[int] = rr.edge_dst.tolist()
+        self._xs: list[int] = rr.xs.tolist()
+        self._ys: list[int] = rr.ys.tolist()
+        self._cap: list[int] = rr.capacity.tolist()
+        self._is_sink: list[bool] = (t == _SINK).tolist()
+        self._base: list[float] = self.base_cost.tolist()
+        self._acc: list[float] = self.acc_cost.tolist()
+        self._occ: list[int] = [0] * n
+        #: congestion-inflated cost per node under the current ``pres_fac``
+        #: (no self-sharing discount); kept in sync incrementally
+        self._cost: list[float] = self._base[:]
+        self._pres_fac = pres_fac_first
+
+        # per-search scratch, validated by the search-id stamp
+        self._gcost = [0.0] * n
+        self._gstamp = [0] * n
+        self._vstamp = [0] * n
+        self._back_node = [0] * n
+        self._back_edge = [0] * n
+        self._sid = 0
+
     # -- occupancy ---------------------------------------------------------
+
+    def _cost_value(self, node: int) -> float:
+        """Congestion cost of ``node`` under the current ``pres_fac``."""
+        over = self._occ[node] + 1 - self._cap[node]
+        if over > 0:
+            return (
+                self._base[node] * (1.0 + self._pres_fac * over)
+                + self._acc[node]
+            )
+        return self._base[node] + self._acc[node]
 
     def _add_usage(self, node: int, key: int) -> None:
         users = self._users.setdefault(node, {})
@@ -92,7 +156,10 @@ class PathFinder:
             users[key] += 1
         else:
             users[key] = 1
-            self.occ[node] += 1
+            self._occ[node] += 1
+            self._cost[node] = self._cost_value(node)
+        kn = self._key_nodes.setdefault(key, {})
+        kn[node] = kn.get(node, 0) + 1
 
     def _remove_usage(self, node: int, key: int) -> None:
         users = self._users.get(node)
@@ -101,89 +168,113 @@ class PathFinder:
         users[key] -= 1
         if users[key] == 0:
             del users[key]
-            self.occ[node] -= 1
+            self._occ[node] -= 1
+            self._cost[node] = self._cost_value(node)
+        kn = self._key_nodes[key]
+        kn[node] -= 1
+        if kn[node] == 0:
+            del kn[node]
+            if not kn:
+                del self._key_nodes[key]
 
     def _node_cost(self, node: int, key: int, pres_fac: float) -> float:
-        cap = int(self.rr.capacity[node])
-        occ = int(self.occ[node])
+        """Cost of ``node`` for a connection carrying ``key`` (kept for
+        introspection/tests; the routing loop reads ``_cost`` directly)."""
+        occ = self._occ[node]
         users = self._users.get(node)
         if users and key in users:
             occ -= 1  # sharing with ourselves (same key) is free
-        over = occ + 1 - cap
+        over = occ + 1 - self._cap[node]
         pres = 1.0 + pres_fac * over if over > 0 else 1.0
-        return float(self.base_cost[node]) * pres + float(self.acc_cost[node])
+        return self._base[node] * pres + self._acc[node]
+
+    def _rebuild_cost(self) -> None:
+        """Vectorized recompute of the cost table (pres_fac/acc changed)."""
+        occ = np.asarray(self._occ, dtype=np.int64)
+        cap = np.asarray(self._cap, dtype=np.int64)
+        over = occ + 1 - cap
+        pres = np.where(over > 0, 1.0 + self._pres_fac * over, 1.0)
+        self._acc = self.acc_cost.tolist()
+        self._cost = (self.base_cost * pres + self.acc_cost).tolist()
 
     # -- search -------------------------------------------------------------
 
-    def _route_connection(
-        self, req: ConnectionRequest, pres_fac: float
-    ) -> RouteTree:
-        rr = self.rr
+    def _route_connection(self, req: ConnectionRequest) -> RouteTree:
+        off = self._off
+        dst = self._dst
+        xs = self._xs
+        ys = self._ys
+        cost = self._cost
+        is_sink = self._is_sink
+        gcost = self._gcost
+        gstamp = self._gstamp
+        vstamp = self._vstamp
+        back_node = self._back_node
+        back_edge = self._back_edge
+        astar = self.astar_fac
+
         tree = RouteTree(conn_id=req.conn_id)
-        tree_nodes: set[int] = {req.source}
-        tree.nodes.append(req.source)
+        src = req.source
+        tree_nodes: set[int] = {src}
+        tree.nodes.append(src)
 
-        remaining = list(req.sinks)
-        xs, ys = rr.xs, rr.ys
-        while remaining:
-            # nearest sink first (manhattan from any tree node — cheap proxy:
-            # from the source)
-            remaining.sort(
-                key=lambda s: abs(int(xs[s]) - int(xs[req.source]))
-                + abs(int(ys[s]) - int(ys[req.source]))
-            )
-            target = remaining.pop(0)
-            tx, ty = int(xs[target]), int(ys[target])
-
-            heap = IndexedMinHeap()
-            back_node: dict[int, int] = {}
-            back_edge: dict[int, int] = {}
-            gcost: dict[int, float] = {}
+        # nearest sink first (manhattan from the source — cheap proxy)
+        sx, sy = xs[src], ys[src]
+        remaining = sorted(
+            req.sinks, key=lambda s: abs(xs[s] - sx) + abs(ys[s] - sy)
+        )
+        for target in remaining:
+            tx, ty = xs[target], ys[target]
+            self._sid += 1
+            sid = self._sid
+            heap: list[tuple[float, int]] = []
             for n in tree_nodes:
+                gstamp[n] = sid
                 gcost[n] = 0.0
-                h = self.astar_fac * (abs(int(xs[n]) - tx) + abs(int(ys[n]) - ty))
-                heap.push(n, h)
+                heappush(
+                    heap, (astar * (abs(xs[n] - tx) + abs(ys[n] - ty)), n)
+                )
             found = False
-            visited: set[int] = set()
             while heap:
-                node, _prio = heap.pop()
-                if node in visited:
+                _prio, node = heappop(heap)
+                if vstamp[node] == sid:
                     continue
-                visited.add(node)
+                vstamp[node] = sid
                 if node == target:
                     found = True
                     break
-                eidx, dsts = rr.out_edges(node)
                 g_here = gcost[node]
-                for k in range(len(dsts)):
-                    nxt = int(dsts[k])
-                    if nxt in visited:
+                for e in range(off[node], off[node + 1]):
+                    nxt = dst[e]
+                    if vstamp[nxt] == sid:
                         continue
                     # sinks other than the target are dead ends
-                    if rr.ntype[nxt] == RRNodeType.SINK and nxt != target:
+                    if is_sink[nxt] and nxt != target:
                         continue
-                    c = g_here + self._node_cost(nxt, req.key, pres_fac)
-                    if c < gcost.get(nxt, float("inf")):
-                        gcost[nxt] = c
-                        back_node[nxt] = node
-                        back_edge[nxt] = int(eidx[k])
-                        h = self.astar_fac * (
-                            abs(int(xs[nxt]) - tx) + abs(int(ys[nxt]) - ty)
-                        )
-                        heap.push(nxt, c + h)
+                    c = g_here + cost[nxt]
+                    if gstamp[nxt] != sid:
+                        gstamp[nxt] = sid
+                    elif c >= gcost[nxt]:
+                        continue
+                    gcost[nxt] = c
+                    back_node[nxt] = node
+                    back_edge[nxt] = e
+                    heappush(
+                        heap,
+                        (c + astar * (abs(xs[nxt] - tx) + abs(ys[nxt] - ty)), nxt),
+                    )
             if not found:
                 raise UnroutableError(
                     f"connection {req.label or req.conn_id}: no path to "
-                    f"{rr.node_str(target)}"
+                    f"{self.rr.node_str(target)}"
                 )
             # unwind path into the tree
             path = [target]
             node = target
             while node not in tree_nodes:
-                prev = back_node[node]
                 tree.edges.append(back_edge[node])
-                path.append(prev)
-                node = prev
+                node = back_node[node]
+                path.append(node)
             path.reverse()
             for n in path:
                 if n not in tree_nodes:
@@ -205,24 +296,43 @@ class PathFinder:
         if not requests:
             return {}
         trees: dict[int, RouteTree] = {}
-        pres_fac = self.pres_fac_first
+        self._pres_fac = self.pres_fac_first
+        n_over = 0
         for iteration in range(1, self.max_iterations + 1):
             self.iterations_run = iteration
+            self._rebuild_cost()
             for req in requests:
                 old = trees.get(req.conn_id)
                 if old is not None:
                     for n in old.nodes:
                         self._remove_usage(n, req.key)
-                tree = self._route_connection(req, pres_fac)
+                # same-key sharing is free: discount nodes this key
+                # already uses for the duration of the search
+                kn = self._key_nodes.get(req.key)
+                saved: list[tuple[int, float]] = []
+                if kn:
+                    cost = self._cost
+                    for node in kn:
+                        saved.append((node, cost[node]))
+                        self._occ[node] -= 1
+                        cost[node] = self._cost_value(node)
+                        self._occ[node] += 1
+                tree = self._route_connection(req)
+                if saved:
+                    cost = self._cost
+                    for node, c in saved:
+                        cost[node] = c
                 for n in tree.nodes:
                     self._add_usage(n, req.key)
                 trees[req.conn_id] = tree
 
+            self.occ = np.asarray(self._occ, dtype=np.int32)
             over = np.nonzero(self.occ > self.rr.capacity)[0]
             if over.size == 0:
                 return trees
+            n_over = int(over.size)
             self.acc_cost[over] += self.acc_fac
-            pres_fac *= self.pres_fac_mult
+            self._pres_fac *= self.pres_fac_mult
         raise UnroutableError(
-            f"{over.size} overused nodes after {self.max_iterations} iterations"
+            f"{n_over} overused nodes after {self.max_iterations} iterations"
         )

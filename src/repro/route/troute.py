@@ -109,8 +109,15 @@ def route_design(
     rr: RRGraph | None = None,
     *,
     max_iterations: int = 40,
+    pathfinder: type = PathFinder,
 ) -> RoutingResult:
-    """Route a placed design; returns the full routing result."""
+    """Route a placed design; returns the full routing result.
+
+    ``pathfinder`` selects the router class — the default array-backed
+    :class:`~repro.route.pathfinder.PathFinder`, or
+    :class:`~repro.route.ref.PathFinderRef` when benchmarks/tests need
+    the pre-optimization baseline on identical requests.
+    """
     packed = placement.packed
     physical = packed.physical
     grid = placement.grid
@@ -171,7 +178,7 @@ def route_design(
         meta[conn_id] = (true_expr, sig, None)
         conn_id += 1
 
-    pf = PathFinder(rr, max_iterations=max_iterations)
+    pf = pathfinder(rr, max_iterations=max_iterations)
     t0 = time.perf_counter()
     trees = pf.route(requests)
     runtime = time.perf_counter() - t0

@@ -1,10 +1,12 @@
 """Indexed binary min-heap.
 
-The PathFinder router (:mod:`repro.route.pathfinder`) needs a priority queue
-with *decrease-key*: when a shorter path to a routing-resource node is found
-mid-search, its queue priority must drop without leaving stale entries
+A priority queue with *decrease-key*: when a shorter path to a node is
+found mid-search, its queue priority drops without leaving stale entries
 behind.  Python's :mod:`heapq` has no decrease-key, so we keep an explicit
-position index per key.
+position index per key.  The reference PathFinder
+(:mod:`repro.route.ref`) searches through it; the production router
+(:mod:`repro.route.pathfinder`) switched to C-level :mod:`heapq` with
+lazy deletion, which benchmarked faster despite the stale entries.
 
 Keys are non-negative integers (routing-resource node ids), priorities are
 floats.  All operations are O(log n); :meth:`contains` and priority lookup

@@ -1,0 +1,265 @@
+"""PR 5's fast offline physical pipeline: determinism, quality, parity.
+
+Three families of guarantees around the vectorized placer/router rewrite
+and the parallel offline build scheduler:
+
+* **seed determinism** — the rewritten annealer and PathFinder produce
+  bit-identical results for a fixed seed (and different placements for
+  different seeds), including the incremental-HPWL bookkeeping matching
+  a from-scratch recomputation;
+* **quality gates** — on the paper-suite design, the rewritten placer's
+  final HPWL and the rewritten router's wirelength/overuse are
+  equal-or-better than the reference implementations they replaced
+  (:mod:`repro.place.ref`, :mod:`repro.route.ref`);
+* **offline-workers parity** — a campaign run with ``offline_workers=4``
+  produces byte-identical outcomes JSON to serial offline builds, for
+  memory-only and disk-backed stores, cold and warm.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.arch import ArchSpec
+from repro.arch.routing_graph import build_rr_graph
+from repro.campaign import CampaignConfig, run_campaign
+from repro.campaign.cache import ArtifactStore, OfflineCache
+from repro.core.muxnet import build_trace_network
+from repro.mapping import TconMap
+from repro.pack import build_atoms, pack_design
+from repro.place import place_design
+from repro.place.ref import _net_hpwl, place_design_ref
+from repro.route import route_design
+from repro.route.ref import PathFinderRef
+from repro.workloads import campaign_spec, generate_circuit, mutation_scenarios
+
+ARCH = ArchSpec(k=6, n_ble=4, n_cluster_inputs=14, channel_width=24, io_capacity=4)
+
+
+def _pack(net):
+    instr = build_trace_network(net, n_buffer_inputs=2)
+    mapping = TconMap(params=instr.param_ids, taps=set(instr.taps)).map(
+        instr.network
+    )
+    return pack_design(build_atoms(mapping, instr), ARCH)
+
+
+@pytest.fixture(scope="module")
+def packed_small():
+    spec = campaign_spec("perf-small", n_gates=70, depth=6, n_pis=12, n_pos=6)
+    return _pack(generate_circuit(spec))
+
+
+class TestPlacerRewrite:
+    def test_seed_deterministic(self, packed_small):
+        a = place_design(packed_small, seed=11)
+        b = place_design(packed_small, seed=11)
+        assert a.loc_of == b.loc_of
+        assert a.cost == b.cost
+        assert a.moves_tried == b.moves_tried
+
+    def test_seed_changes_placement(self, packed_small):
+        a = place_design(packed_small, seed=11)
+        b = place_design(packed_small, seed=12)
+        assert a.loc_of != b.loc_of
+
+    @pytest.mark.parametrize("seed", [1, 7, 42])
+    def test_incremental_cost_matches_recompute(self, packed_small, seed):
+        """The incremental bounding-box ledger must land on exactly the
+        HPWL a from-scratch recomputation gives — any drift means a bad
+        boundary-count update."""
+        p = place_design(packed_small, seed=seed)
+        recomputed = sum(_net_hpwl(net, p.loc_of) for net in p.nets)
+        assert p.cost == pytest.approx(recomputed, abs=1e-9)
+
+    def test_blocks_on_distinct_valid_sites(self, packed_small):
+        p = place_design(packed_small, seed=3)
+        seen = set()
+        for b in p.blocks:
+            loc = p.loc_of[b.index]
+            assert loc not in seen
+            seen.add(loc)
+            tt = p.grid.tile_type(loc[0], loc[1])
+            assert tt.name == ("CLB" if b.kind == "clb" else "IO")
+
+
+class TestRouterRewrite:
+    def test_seed_deterministic(self, packed_small):
+        p = place_design(packed_small, seed=5)
+        a = route_design(p, build_rr_graph(p.grid))
+        b = route_design(p, build_rr_graph(p.grid))
+        assert [c.tree.nodes for c in a.connections] == [
+            c.tree.nodes for c in b.connections
+        ]
+        assert [c.tree.edges for c in a.connections] == [
+            c.tree.edges for c in b.connections
+        ]
+
+    def test_no_overuse_and_sinks_reached(self, packed_small):
+        p = place_design(packed_small, seed=5)
+        routing = route_design(p, build_rr_graph(p.grid))
+        rr = routing.rr
+        users: dict[int, set[int]] = {}
+        for c in routing.connections:
+            assert set(c.request.sinks) == set(c.tree.sink_paths)
+            for n in c.tree.nodes:
+                users.setdefault(n, set()).add(c.request.key)
+        for n, keys in users.items():
+            assert len(keys) <= int(rr.capacity[n]), rr.node_str(n)
+
+
+@pytest.mark.slow
+class TestQualityGates:
+    """Rewritten vs reference on the paper-suite design (stereov.)."""
+
+    @pytest.fixture(scope="class")
+    def packed_paper(self):
+        from repro.workloads import get_spec
+
+        return _pack(generate_circuit(get_spec("stereov.")))
+
+    def test_placer_hpwl_equal_or_better(self, packed_paper):
+        new = place_design(packed_paper, seed=2016, effort=2.0)
+        ref = place_design_ref(packed_paper, seed=2016, effort=2.0)
+        assert new.cost <= ref.cost, (
+            f"rewritten placer HPWL {new.cost} worse than reference "
+            f"{ref.cost}"
+        )
+
+    def test_router_equal_or_better(self, packed_paper):
+        new_p = place_design(packed_paper, seed=2016, effort=2.0)
+        ref_p = place_design_ref(packed_paper, seed=2016, effort=2.0)
+        new = route_design(new_p, build_rr_graph(new_p.grid))
+        ref = route_design(
+            ref_p, build_rr_graph(ref_p.grid), pathfinder=PathFinderRef
+        )
+        # both routers must reach legality (zero overuse, by construction
+        # of route(); reaching here without UnroutableError proves it) and
+        # the rewrite must not pay more wires than the reference flow
+        assert new.total_wires_used() <= ref.total_wires_used()
+        assert new.iterations <= ref.iterations
+
+
+def _outcomes_json(report) -> str:
+    """The campaign CLI's outcomes serialization (byte-comparable)."""
+    return json.dumps(report.outcomes(), indent=2, default=str)
+
+
+class TestOfflineWorkersParity:
+    @pytest.fixture(scope="class")
+    def scenarios(self):
+        spec = campaign_spec(
+            "perf-parity", n_gates=60, depth=6, n_pis=12, n_pos=6
+        )
+        # mutations: each scenario is its own design → 5 distinct builds
+        return mutation_scenarios(spec, 5, seed=3, horizon=32)
+
+    def test_memory_store_parity(self, scenarios):
+        serial = run_campaign(
+            scenarios,
+            config=CampaignConfig(offline_workers=1),
+            cache=ArtifactStore(),
+        )
+        parallel = run_campaign(
+            scenarios,
+            config=CampaignConfig(offline_workers=4),
+            cache=ArtifactStore(),
+        )
+        assert _outcomes_json(parallel) == _outcomes_json(serial)
+        assert parallel.offline_workers >= 1
+
+    def test_disk_store_parity_and_warm_restart(self, scenarios, tmp_path):
+        serial = run_campaign(
+            scenarios,
+            config=CampaignConfig(offline_workers=1),
+            cache=ArtifactStore(cache_dir=str(tmp_path / "serial")),
+        )
+        par_store = ArtifactStore(cache_dir=str(tmp_path / "par"))
+        parallel = run_campaign(
+            scenarios,
+            config=CampaignConfig(offline_workers=4),
+            cache=par_store,
+        )
+        assert _outcomes_json(parallel) == _outcomes_json(serial)
+        # artifacts landed under the same content-addressed keys: a serial
+        # run over the parallel-built store must be fully warm
+        warm = run_campaign(
+            scenarios,
+            config=CampaignConfig(offline_workers=1),
+            cache=ArtifactStore(cache_dir=str(tmp_path / "par")),
+        )
+        assert _outcomes_json(warm) == _outcomes_json(serial)
+        assert warm.cache_stats["misses"] == 0
+        assert all(r.offline_cache_hit for r in warm.results)
+
+    def test_whole_artifact_cache_parity(self, scenarios):
+        serial = run_campaign(
+            scenarios,
+            config=CampaignConfig(offline_workers=1),
+            cache=OfflineCache(),
+        )
+        parallel = run_campaign(
+            scenarios,
+            config=CampaignConfig(offline_workers=4),
+            cache=OfflineCache(),
+        )
+        assert _outcomes_json(parallel) == _outcomes_json(serial)
+
+    def test_cold_parity_no_cache(self, scenarios):
+        serial = run_campaign(
+            scenarios, config=CampaignConfig(offline_workers=1), cache=None
+        )
+        parallel = run_campaign(
+            scenarios, config=CampaignConfig(offline_workers=4), cache=None
+        )
+        assert _outcomes_json(parallel) == _outcomes_json(serial)
+
+    def test_warm_groups_resolve_in_process(self, scenarios):
+        """A fully warm store dispatches no build workers."""
+        store = ArtifactStore()
+        run_campaign(
+            scenarios, config=CampaignConfig(offline_workers=1), cache=store
+        )
+        warm = run_campaign(
+            scenarios, config=CampaignConfig(offline_workers=4), cache=store
+        )
+        assert warm.offline_workers == 1  # nothing cold to parallelize
+        assert warm.offline_stage_s == {}  # nothing was built
+        assert all(r.offline_cache_hit for r in warm.results)
+
+    def test_single_design_campaign_groups_once(self):
+        """Stuck-at scenarios share one design: one build group, and the
+        duplicates ride the first build as cache hits."""
+        from repro.workloads import stuck_at_scenarios
+
+        spec = campaign_spec(
+            "perf-single", n_gates=60, depth=6, n_pis=12, n_pos=6
+        )
+        scenarios = stuck_at_scenarios(spec, 4, seed=5, horizon=32)
+        serial = run_campaign(
+            scenarios,
+            config=CampaignConfig(offline_workers=1),
+            cache=ArtifactStore(),
+        )
+        parallel = run_campaign(
+            scenarios,
+            config=CampaignConfig(offline_workers=4),
+            cache=ArtifactStore(),
+        )
+        assert _outcomes_json(parallel) == _outcomes_json(serial)
+        hits = [r.offline_cache_hit for r in parallel.results]
+        assert hits == [False, True, True, True]
+
+    def test_per_stage_offline_timings_recorded(self, scenarios):
+        report = run_campaign(
+            scenarios,
+            config=CampaignConfig(offline_workers=2),
+            cache=ArtifactStore(),
+        )
+        assert "tcon-map" in report.offline_stage_s
+        assert report.offline_wall_s > 0.0
+        assert sum(report.offline_stage_s.values()) > 0.0
+        # and the renderer surfaces them
+        assert "offline stages built:" in report.render()

@@ -453,11 +453,32 @@ class TestOrchestratorPolish:
                 raise OSError("no process pools here")
 
         monkeypatch.setattr(orch, "ProcessPoolExecutor", BrokenPool)
+        # lane_width=1 with several workers yields multiple payloads, so
+        # the pool is genuinely attempted — and its failure reported
+        report = run_campaign(
+            scenarios,
+            config=CampaignConfig(workers=4, lane_width=1),
+            cache=OfflineCache(),
+        )
+        assert report.workers == 1
+        assert any("effective workers: 1" in n for n in report.notes)
+        assert {r.status for r in report.results} == {"localized"}
+
+    def test_pool_skipped_for_single_payload(self, scenarios, monkeypatch):
+        """One lane batch can't be spread over a pool: the orchestrator
+        must not pay pool startup for it (the BENCH_campaign pool_speedup
+        < 1 regression) and must record the true effective workers."""
+        import repro.campaign.orchestrator as orch
+
+        def explode(*a, **kw):  # the pool must not even be constructed
+            raise AssertionError("pool should have been skipped")
+
+        monkeypatch.setattr(orch, "ProcessPoolExecutor", explode)
         report = run_campaign(
             scenarios, config=CampaignConfig(workers=4), cache=OfflineCache()
         )
         assert report.workers == 1
-        assert any("effective workers: 1" in n for n in report.notes)
+        assert any("worker pool skipped" in n for n in report.notes)
         assert {r.status for r in report.results} == {"localized"}
 
 
