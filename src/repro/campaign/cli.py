@@ -29,7 +29,12 @@ import json
 import sys
 
 from repro.campaign.cache import ArtifactStore, OfflineCache, resolve_offline
-from repro.campaign.orchestrator import CampaignConfig, run_campaign
+from repro.campaign.orchestrator import (
+    CampaignConfig,
+    prebuild_offline,
+    run_campaign,
+)
+from repro.netlist.compiled import BACKENDS, numpy_available
 from repro.errors import WorkloadError
 from repro.workloads.scenarios import (
     DebugScenario,
@@ -92,6 +97,17 @@ def _parser() -> argparse.ArgumentParser:
         "historical one-session-per-scenario path — outcomes are "
         "byte-identical at every width (the CI lane-equivalence job "
         "diffs them)",
+    )
+    p.add_argument(
+        "--sim-backend",
+        choices=("auto",) + BACKENDS,
+        default="auto",
+        help="compiled simulation kernel backend: 'python' (big-int "
+        "kernels), 'numpy' (vectorized whole-array kernels — the wide-"
+        "lane fast path), or 'auto' (default: numpy at lane widths >= "
+        "256 when numpy is installed, python otherwise; the "
+        "REPRO_SIM_BACKEND environment variable overrides auto). "
+        "Outcomes are byte-identical across backends",
     )
     p.add_argument(
         "--interpreted",
@@ -187,17 +203,36 @@ def _build_scenarios(
             )
         ]
 
+    # Stuck-at screening needs each design's offline artifact (its tap
+    # directory picks the fault sites) before any scenario exists.  Warm
+    # the cache for every distinct design in one pass through the same
+    # warm-probe + worker-pool path the campaign's --offline-workers
+    # phase uses, instead of building the first design serially inside
+    # scenario generation (mutation-only runs never need it: each
+    # mutation is its own design content).
+    if args.kind != "mutation" and cache is not None:
+        nets = []
+        for design in designs:
+            spec = get_spec(design) if isinstance(design, str) else design
+            nets.append(generate_circuit(spec))
+        prebuild_offline(
+            nets,
+            cache=cache,
+            with_physical=args.physical,
+            workers=args.offline_workers,
+        )
+
     scenarios: list[DebugScenario] = []
     for design in designs:
         n = args.per_design
         kw = dict(seed=args.seed, horizon=args.horizon)
 
         def screening_offline():
-            # route the stuck-at screening pass through the campaign cache
-            # — under the same key(s) the campaign will look up — so
-            # generation and the campaign share one offline build
-            # (mutation-only runs never need it: each mutation is its own
-            # design content)
+            # resolve the stuck-at screening artifact through the campaign
+            # cache — under the same key(s) the campaign will look up.
+            # prebuild_offline above already built it, so this is a pure
+            # cache hit; only a failed prebuild (e.g. physical back-end
+            # rejection) falls through to the generic retry below
             if cache is None:
                 return None
             spec = get_spec(design) if isinstance(design, str) else design
@@ -270,6 +305,20 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.interpreted and args.sim_backend != "auto":
+        print(
+            "error: --interpreted bypasses the compiled kernels; drop "
+            "--sim-backend or drop --interpreted",
+            file=sys.stderr,
+        )
+        return 2
+    if args.sim_backend == "numpy" and not numpy_available():
+        print(
+            "error: --sim-backend numpy requires numpy, which is not "
+            "importable in this environment",
+            file=sys.stderr,
+        )
+        return 2
     config = CampaignConfig(
         workers=args.workers,
         offline_workers=args.offline_workers,
@@ -277,6 +326,7 @@ def main(argv: list[str] | None = None) -> int:
         max_turns=args.max_turns,
         lane_width=args.lane_width,
         interpreted=args.interpreted,
+        backend=None if args.sim_backend == "auto" else args.sim_backend,
     )
     report = run_campaign(scenarios, config=config, cache=cache)
     print()

@@ -63,7 +63,7 @@ from repro.campaign.runner import run_scenario, run_scenario_batch
 from repro.core.flow import DebugFlowConfig, OfflineStage, offline_cache_key
 from repro.workloads.scenarios import DebugScenario
 
-__all__ = ["CampaignConfig", "run_campaign"]
+__all__ = ["CampaignConfig", "prebuild_offline", "run_campaign"]
 
 CacheLike = OfflineCache | ArtifactStore | None
 
@@ -99,21 +99,29 @@ class CampaignConfig:
     of the compiled simulation kernels — the escape hatch, and the
     baseline ``benchmarks/bench_kernels.py`` measures the compiled path
     against.  Outcomes are bit-identical either way."""
+    backend: str | None = None
+    """Compiled-kernel backend for the online phase: ``"python"`` (big-int
+    kernels), ``"numpy"`` (vectorized whole-array kernels, the wide-lane
+    fast path) or ``None``/``"auto"`` to pick by lane width — see
+    :func:`repro.netlist.compiled.resolve_backend`.  Outcomes are
+    byte-identical across backends (``tests/test_backend_parity.py``);
+    only throughput changes.  Ignored when ``interpreted`` is set."""
 
 
 #: One pool task: a stripped offline artifact, the scenarios of one lane
-#: batch (or serial chunk), the turn budget, the lane width and the
-#: interpreted-simulator flag.  Each distinct artifact is pickled once
-#: per payload instead of once per scenario.
+#: batch (or serial chunk), the turn budget, the lane width, the
+#: interpreted-simulator flag and the kernel backend.  Each distinct
+#: artifact is pickled once per payload instead of once per scenario.
 GroupPayload = tuple[
-    OfflineStage, "list[tuple[int, DebugScenario]]", int, int, bool
+    OfflineStage, "list[tuple[int, DebugScenario]]", int, int, bool,
+    "str | None",
 ]
 
 
 def _online_group_worker(
     payload: GroupPayload, store=None
 ) -> list[tuple[int, ScenarioResult]]:
-    offline, items, max_turns, lane_width, interpreted = payload
+    offline, items, max_turns, lane_width, interpreted, backend = payload
     if lane_width > 1:
         batch_results = run_scenario_batch(
             [sc for _idx, sc in items],
@@ -121,6 +129,7 @@ def _online_group_worker(
             max_turns=max_turns,
             interpreted=interpreted,
             store=store,
+            backend=backend,
         )
         return [
             (idx, result)
@@ -135,6 +144,7 @@ def _online_group_worker(
                 max_turns=max_turns,
                 interpreted=interpreted,
                 store=store,
+                backend=backend,
             ),
         )
         for idx, sc in items
@@ -158,6 +168,7 @@ def _group_payloads(
     workers: int,
     lane_width: int,
     interpreted: bool = False,
+    backend: "str | None" = None,
 ) -> list[GroupPayload]:
     """Group scenarios into lane batches (or serial chunks) per payload.
 
@@ -193,6 +204,7 @@ def _group_payloads(
                         max_turns,
                         lane_width,
                         interpreted,
+                        backend,
                     )
                 )
         else:
@@ -206,6 +218,7 @@ def _group_payloads(
                         max_turns,
                         1,
                         interpreted,
+                        backend,
                     )
                 )
     return payloads
@@ -296,6 +309,94 @@ def _offline_error(sc: DebugScenario, message: str) -> ScenarioResult:
 def _accumulate_stage_s(into: dict[str, float], totals: dict) -> None:
     for name, secs in totals.items():
         into[name] = into.get(name, 0.0) + float(secs)
+
+
+def prebuild_offline(
+    nets: "Sequence[object]",
+    *,
+    flow: DebugFlowConfig | None = None,
+    cache: CacheLike = None,
+    with_physical: bool = False,
+    workers: int = 1,
+    notes: "list[str] | None" = None,
+) -> "dict[str, OfflineStage]":
+    """Warm the cache with offline artifacts for ``nets``, concurrently.
+
+    The same warm-probe → pool → cache-landing path the campaign's
+    ``offline_workers`` phase uses, exposed for callers that need
+    artifacts *before* a campaign exists — e.g. stuck-at scenario
+    screening, which needs each design's tap directory to pick fault
+    sites.  Designs are deduped by offline cache key; warm keys resolve
+    in-process, cold keys build in a process pool of up to ``workers``
+    (serially when ``workers <= 1`` or the pool is unavailable), and
+    every artifact lands in ``cache`` under the same content-addressed
+    keys a serial :func:`~repro.campaign.cache.resolve_offline` call
+    would use — later resolutions of the same design are pure hits.
+
+    Returns ``{offline cache key: artifact}`` for every design that
+    built (or resolved warm); failed designs are simply absent — callers
+    decide whether to retry without the physical stage or surface the
+    error.  ``notes``, when given, collects human-readable fallback
+    messages (pool unavailable etc.).
+    """
+    flow = flow or DebugFlowConfig()
+    if notes is None:
+        notes = []
+    keyed: "dict[str, object]" = {}
+    for net in nets:
+        keyed.setdefault(_offline_group_key(net, flow, with_physical), net)
+    out: "dict[str, OfflineStage]" = {}
+    cold: list[str] = []
+    for key, net in keyed.items():
+        if _store_is_warm(cache, net, flow, with_physical):
+            try:
+                out[key], _hit = resolve_offline(
+                    net, flow, cache=cache, with_physical=with_physical
+                )
+            except Exception:  # noqa: BLE001 — treated as a failed design
+                pass
+        else:
+            cold.append(key)
+    if not cold:
+        return out
+    cache_dir = getattr(cache, "cache_dir", None)
+    shared_dir = cache_dir if isinstance(cache, ArtifactStore) else None
+    payloads = {
+        key: (keyed[key], flow, with_physical, shared_dir) for key in cold
+    }
+    built: dict[str, tuple] = {}
+    n_workers = min(max(1, workers), len(cold))
+    if n_workers > 1:
+        try:
+            with ProcessPoolExecutor(max_workers=n_workers) as pool:
+                futures = {
+                    pool.submit(_offline_build_worker, p): key
+                    for key, p in payloads.items()
+                }
+                for fut in as_completed(futures):
+                    built[futures[fut]] = fut.result()
+        except (OSError, PermissionError, BrokenExecutor) as exc:
+            notes.append(
+                f"offline prebuild pool unavailable ({type(exc).__name__}); "
+                f"building {len(cold) - len(built)} design(s) serially"
+            )
+    for key in cold:
+        outcome = built.get(key)
+        if outcome is None:
+            outcome = _offline_build_worker(payloads[key])
+        if outcome[0] == "err":
+            continue
+        _tag, stage, _secs, entries, _totals = outcome
+        if isinstance(cache, OfflineCache):
+            stage = cache.put(key, stage)
+        elif isinstance(cache, ArtifactStore) and entries:
+            from repro.pipeline.graph import source_key
+
+            group = source_key(keyed[key])
+            for name, skey, value in entries:
+                cache.put(name, skey, value, group=group)
+        out[key] = stage
+    return out
 
 
 def _offline_phase_parallel(
@@ -536,7 +637,12 @@ def run_campaign(
     workers = max(1, config.workers)
     lane_width = max(1, config.lane_width)
     payloads = _group_payloads(
-        resolved, config.max_turns, workers, lane_width, config.interpreted
+        resolved,
+        config.max_turns,
+        workers,
+        lane_width,
+        config.interpreted,
+        config.backend,
     )
     # compiled programs persist in the stage store when one is in play —
     # worker processes compile their own (the store isn't shipped), but

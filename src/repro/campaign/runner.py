@@ -49,6 +49,7 @@ def run_scenario(
     max_turns: int = 48,
     interpreted: bool = False,
     store=None,
+    backend: str | None = None,
 ) -> ScenarioResult:
     """Run one scenario's online debug loop against its offline artifact.
 
@@ -93,6 +94,7 @@ def run_scenario(
                 ),
                 interpreted=interpreted,
                 program_store=store,
+                backend=backend,
             )
             if scenario.kind == "stuck_at":
                 assert scenario.fault_signal is not None
@@ -193,6 +195,7 @@ def run_scenario_batch(
     max_turns: int = 48,
     interpreted: bool = False,
     store=None,
+    backend: str | None = None,
 ) -> list[ScenarioResult]:
     """Run many scenarios' online loops as lanes of one packed engine.
 
@@ -223,7 +226,10 @@ def run_scenario_batch(
     campaign-level ``online_total_s`` equal to wall clock spent.  The
     deterministic outcome fields are byte-identical to the serial path's.
     ``interpreted`` runs the whole batch on the reference interpreter
-    (benchmark baseline); ``store`` persists compiled programs.  Never
+    (benchmark baseline); ``store`` persists compiled programs;
+    ``backend`` selects the compiled kernel implementation
+    (:func:`repro.netlist.compiled.resolve_backend` — ``None`` auto-picks
+    numpy for wide batches when it is available).  Never
     raises: per-lane failures degrade to ``status="error"`` results for
     their lane only.
     """
@@ -262,6 +268,7 @@ def run_scenario_batch(
                 trace_depth=max(horizon, offline.config.trace_depth),
                 interpreted=interpreted,
                 program_store=store,
+                backend=backend,
             )
             stims = [
                 stimulus_script(goldens[lane], horizon, sc.stimulus_seed)

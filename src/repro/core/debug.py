@@ -67,6 +67,7 @@ class DebugSession:
         trace_depth: int | None = None,
         interpreted: bool = False,
         program_store=None,
+        backend: str | None = None,
     ) -> None:
         self._engine = LaneEngine(
             offline,
@@ -75,6 +76,7 @@ class DebugSession:
             trace_depth=trace_depth,
             interpreted=interpreted,
             program_store=program_store,
+            backend=backend,
         )
         self.trace = LaneView(self._engine.trace, lane=0)
 

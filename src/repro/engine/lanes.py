@@ -93,6 +93,7 @@ class LaneEngine:
         trace_depth: int | None = None,
         interpreted: bool = False,
         program_store=None,
+        backend: str | None = None,
     ) -> None:
         if n_lanes < 1:
             raise DebugFlowError("lane count must be at least 1")
@@ -112,8 +113,10 @@ class LaneEngine:
             n_words=self.n_words,
             interpreted=interpreted,
             store=program_store,
+            backend=backend,
         )
         self._csim = self.sim.compiled  # None on the interpreted path
+        self.backend = self.sim.backend  # resolved name; None if interpreted
         self.pconf = build_virtual_pconf(offline.mapping, self.design)
         depth = trace_depth or offline.config.trace_depth
         self.trace = LaneTraceBuffer(
@@ -162,6 +165,10 @@ class LaneEngine:
         self._sample_view = np.frombuffer(
             self._sample_buf, dtype=np.uint64
         ).reshape(len(self._tb_nodes), self.n_words)
+        # cycle-batched gather buffers (numpy backend, combinational
+        # programs): allocated on first blocked run
+        self._blk_tb: np.ndarray | None = None
+        self._blk_po: np.ndarray | None = None
 
         # -- per-lane state -------------------------------------------------
         zeros = self.design.param_space.zeros()
@@ -317,12 +324,10 @@ class LaneEngine:
         self._check_lane(lane)
         return list(self._forces[lane])
 
-    def _cycle_overrides_ints(self):
-        """Word-packed blended overrides for all lanes' faults, this cycle."""
+    def _cycle_overrides_ints(self, cycle: int):
+        """Word-packed blended overrides for all lanes' faults, one cycle."""
         flat = [f for lane_faults in self._forces for f in lane_faults]
-        return active_override_ints(
-            flat, self.sim.cycle, n_words=self.n_words
-        )
+        return active_override_ints(flat, cycle, n_words=self.n_words)
 
     # -- execution ----------------------------------------------------------------
 
@@ -377,9 +382,10 @@ class LaneEngine:
 
     def _step_compiled(self) -> None:
         """One packed cycle on the compiled kernel (no array traffic)."""
+        cycle = self._csim.cycle
         self._csim.step(
-            self._pi_values_ints(self._csim.cycle),
-            overrides=self._cycle_overrides_ints(),
+            self._pi_values_ints(cycle),
+            overrides=self._cycle_overrides_ints(cycle),
         )
 
     def _step_interpreted(self) -> dict[int, np.ndarray]:
@@ -449,6 +455,10 @@ class LaneEngine:
         tb_nodes = self._tb_nodes
         csim = self._csim
         if csim is not None:
+            if csim.block_cycles > 1:
+                self._run_blocked(n_cycles, triggers)
+                self._account_cycles(n_cycles, lanes)
+                return
             vals = csim.values
             for _ in range(n_cycles):
                 self._step_compiled()
@@ -480,6 +490,49 @@ class LaneEngine:
             )
             self.trace.capture(sample, trigger_mask=trigger_mask)
         self._account_cycles(n_cycles, lanes)
+
+    def _run_blocked(
+        self, n_cycles: int, triggers
+    ) -> None:
+        """Cycle-batched body of :meth:`run` (numpy backend, combinational
+        program): each batch of up to ``block_cycles`` cycles settles in
+        one vectorized pass; trace captures then replay per cycle out of
+        the batch's gathered trace-buffer rows."""
+        csim = self._csim
+        tb_nodes = self._tb_nodes
+        n_tb = len(tb_nodes)
+        blk = csim.block_cycles
+        nw = self.n_words
+        if self._blk_tb is None:
+            self._blk_tb = np.empty((n_tb, blk * nw), dtype=np.uint64)
+        v3 = self._blk_tb.reshape(n_tb, blk, nw)
+        done = 0
+        base = csim.cycle
+        while done < n_cycles:
+            n_batch = min(blk, n_cycles - done)
+            cycles = range(base + done, base + done + n_batch)
+            rows = [self._pi_values_ints(cy) for cy in cycles]
+            ovs = [self._cycle_overrides_ints(cy) for cy in cycles]
+            if n_batch == 1:
+                csim.step(rows[0], overrides=ovs[0])
+                csim.export_words(tb_nodes, self._sample_buf)
+                sample = self._sample_view
+            else:
+                csim.run_block(rows, ovs)
+                csim.block_export(tb_nodes, self._blk_tb)
+            for c in range(n_batch):
+                if n_batch > 1:
+                    sample = v3[:, c, :]
+                trigger_mask = self._trigger_mask(
+                    triggers,
+                    base + done + c,
+                    lambda i, lane, s=sample: int(
+                        s[i, lane >> 6] >> np.uint64(lane & 63)
+                    )
+                    & 1,
+                )
+                self.trace.capture(sample, trigger_mask=trigger_mask)
+            done += n_batch
 
     @property
     def user_po_names(self) -> list[str]:
@@ -516,6 +569,10 @@ class LaneEngine:
         out = np.zeros((n_cycles, len(po_ids), self.n_words), dtype=np.uint64)
         csim = self._csim
         ran = 0
+        if csim is not None and csim.block_cycles > 1:
+            ran = self._run_outputs_blocked(n_cycles, out, stop)
+            self._account_cycles(ran, lanes)
+            return out[:ran]
         for c in range(n_cycles):
             if csim is not None:
                 self._step_compiled()
@@ -535,6 +592,58 @@ class LaneEngine:
                 break
         self._account_cycles(ran, lanes)
         return out[:ran]
+
+    def _run_outputs_blocked(self, n_cycles: int, out: np.ndarray, stop) -> int:
+        """Cycle-batched body of :meth:`run_outputs`: batches settle in
+        one vectorized pass, PO rows gather once per batch, and the stop
+        predicate replays per cycle — an early stop rewinds the batch's
+        overshoot (:meth:`~repro.netlist.compiled.CompiledSimulator.rewind_block`)
+        so cycle accounting and final state match the per-cycle path."""
+        csim = self._csim
+        po_ids = self._user_po_ids
+        n_po = len(po_ids)
+        blk = csim.block_cycles
+        nw = self.n_words
+        if self._blk_po is None:
+            self._blk_po = np.empty((n_po, blk * nw), dtype=np.uint64)
+        v3 = self._blk_po.reshape(n_po, blk, nw)
+        ran = 0
+        base = csim.cycle
+        while ran < n_cycles:
+            n_batch = min(blk, n_cycles - ran)
+            cycles = range(base + ran, base + ran + n_batch)
+            rows = [self._pi_values_ints(cy) for cy in cycles]
+            ovs = [self._cycle_overrides_ints(cy) for cy in cycles]
+            if n_batch == 1:
+                csim.step(rows[0], overrides=ovs[0])
+                row_ints = csim.node_ints(po_ids)
+                for j, x in enumerate(row_ints):
+                    out[ran, j] = int_to_words(x, nw)
+                ran += 1
+                if stop is not None and stop(ran - 1, row_ints):
+                    return ran
+                continue
+            csim.run_block(rows, ovs)
+            csim.block_export(po_ids, self._blk_po)
+            consumed = n_batch
+            stopped = False
+            for c in range(n_batch):
+                out[ran + c] = v3[:, c, :]
+                if stop is not None:
+                    row_ints = [
+                        int.from_bytes(v3[j, c].tobytes(), "little")
+                        for j in range(n_po)
+                    ]
+                    if stop(ran + c, row_ints):
+                        consumed = c + 1
+                        stopped = True
+                        break
+            if stopped:
+                if consumed < n_batch:
+                    csim.rewind_block(consumed)
+                return ran + consumed
+            ran += n_batch
+        return ran
 
     # -- results --------------------------------------------------------------------
 

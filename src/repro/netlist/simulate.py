@@ -24,7 +24,12 @@ from __future__ import annotations
 
 from typing import Mapping
 
-import numpy as np
+try:  # optional at import time: the pure-python compiled backend (and the
+    # no-numpy CI parity job) must be importable without numpy; every
+    # array-producing entry point here still requires it at call time
+    import numpy as np
+except ImportError:  # pragma: no cover — exercised by the no-numpy CI job
+    np = None
 
 from repro.errors import SimulationError
 from repro.netlist.compiled import (
@@ -161,6 +166,7 @@ def simulate_combinational(
     *,
     overrides: Mapping[int, np.ndarray] | None = None,
     interpreted: bool = False,
+    backend: str | None = None,
 ) -> dict[int, np.ndarray]:
     """Evaluate all nodes given values for every combinational source.
 
@@ -178,12 +184,16 @@ def simulate_combinational(
         ``False`` (default) runs the compiled per-network kernel of
         :mod:`repro.netlist.compiled`; ``True`` runs the reference
         per-gate interpreter.  Results are bit-identical.
+    backend:
+        Compiled kernel backend (``"python"`` / ``"numpy"`` / ``None``
+        for auto — see :func:`repro.netlist.compiled.resolve_backend`).
+        Ignored when ``interpreted=True``.
 
     Returns a dict mapping *every* node id to its packed value array.
     """
     if not interpreted:
         return _simulate_combinational_compiled(
-            net, source_values, overrides=overrides
+            net, source_values, overrides=overrides, backend=backend
         )
     values: dict[int, np.ndarray] = {}
     overrides = overrides or {}
@@ -241,6 +251,7 @@ def _simulate_combinational_compiled(
     source_values: Mapping[int, np.ndarray],
     *,
     overrides=None,
+    backend: str | None = None,
 ) -> dict[int, np.ndarray]:
     ints: dict[int, int] = {}
     n_words: int | None = None
@@ -257,7 +268,7 @@ def _simulate_combinational_compiled(
         ints[nid] = words_to_int(arr)
     if n_words is None:
         raise SimulationError("network has no sources")
-    csim = CompiledSimulator(program_for(net), n_words=n_words)
+    csim = CompiledSimulator(program_for(net), n_words=n_words, backend=backend)
     csim.eval_combinational(
         ints, overrides=_overrides_to_ints(overrides, n_words)
     )
@@ -310,17 +321,21 @@ class SequentialSimulator:
         interpreted: bool = False,
         program=None,
         store=None,
+        backend: str | None = None,
     ) -> None:
         self.net = net
         self.n_words = int(n_words)
         self.interpreted = bool(interpreted)
         if self.interpreted:
             self.compiled: CompiledSimulator | None = None
+            self.backend: str | None = None
         else:
             self.compiled = CompiledSimulator(
                 program if program is not None else program_for(net, store=store),
                 n_words=self.n_words,
+                backend=backend,
             )
+            self.backend = self.compiled.backend
         self._cycle = 0
         self._state: dict[int, np.ndarray] = {}
         self.reset()

@@ -1,0 +1,10 @@
+"""Import shim that masks numpy out of the interpreter.
+
+The CI backend-parity matrix prepends this directory to ``PYTHONPATH``
+so ``import numpy`` raises ImportError, proving the pure-python
+simulation path (and the differential parity harness's python leg)
+never quietly grows a numpy dependency.  Not importable as numpy by
+accident: any real use fails immediately.
+"""
+
+raise ImportError("numpy masked out by tests/no_numpy_shim (backend-parity CI job)")

@@ -176,6 +176,42 @@ class TestProgramCache:
         net1.rewire(gate, net1.fanins(gate), ~net1.func(gate))
         assert program_for(net1) is not p1
 
+    def test_rewire_revalidates_across_backends(self):
+        """An in-place rewire queried under a *different* backend must
+        recompile and re-lower — the numpy vector plan hangs off the
+        program object, so a stale program would mean a stale plan."""
+        from repro.netlist.vector import plan_for
+
+        spec = campaign_spec("cache-b", n_gates=40, depth=5, n_pis=8, n_pos=4)
+        net = generate_circuit(spec, 2)
+        p1 = program_for(net)
+        # warm both backends on the original program: python kernels and
+        # the vector plan are both cached on the program instance
+        py1 = CompiledSimulator(p1, 2, backend="python")
+        np1 = CompiledSimulator(p1, 2, backend="numpy")
+        stim = {p: 0x5A5A_5A5A_5A5A_5A5A for p in net.pis}
+        py1.step(stim)
+        np1.step(stim)
+        plan1 = plan_for(p1)
+        assert p1._vector_plan is plan1
+
+        gate = next(net.gates())
+        net.rewire(gate, net.fanins(gate), ~net.func(gate))
+        # first post-rewire query arrives from the numpy side
+        p2 = program_for(net)
+        assert p2 is not p1
+        assert plan_for(p2) is not plan1  # fresh lowering, not the stale plan
+        py2 = CompiledSimulator(p2, 2, backend="python")
+        np2 = CompiledSimulator(p2, 2, backend="numpy")
+        py2.step(stim)
+        np2.step(stim)
+        nodes = list(net.nodes())
+        assert py2.node_ints(nodes) == np2.node_ints(nodes)
+        # the inverted gate actually changed value — a stale program or
+        # plan would have kept serving the old function
+        assert py2.value(gate) == py1.value(gate) ^ py1.full_mask
+        assert np2.value(gate) == np1.value(gate) ^ np1.full_mask
+
     def test_store_persistence_round_trip(self, tmp_path):
         spec = campaign_spec("cache-d", n_gates=40, depth=5, n_pis=8, n_pos=4)
         net = generate_circuit(spec, 3)
@@ -209,6 +245,112 @@ class TestProgramCache:
         sim = CompiledSimulator(clone)
         sim.step({net.pis[0]: 0b1100, net.pis[1]: 0b1010})
         assert sim.value(net.require("y")) == 0b0110
+
+
+class TestBlockEvaluation:
+    """Direct coverage for the numpy backend's cycle-batched entry
+    points (the lane engine and the kernel bench consume them)."""
+
+    def _program(self, seed=9):
+        spec = campaign_spec("blk-t", n_gates=60, depth=6, n_pis=10, n_pos=5)
+        net = generate_circuit(spec, seed)
+        return net, program_for(net)
+
+    def test_run_block_matches_stepwise(self):
+        net, program = self._program()
+        rng = np.random.default_rng(9)
+        nw = 4
+        stepper = CompiledSimulator(program, nw, backend="numpy")
+        blocker = CompiledSimulator(program, nw, backend="numpy")
+        gate = int(next(net.gates()))
+        full = stepper.full_mask
+        rows, ovr = [], []
+        for c in range(blocker.block_cycles):
+            rows.append(
+                {
+                    p: int.from_bytes(rng.bytes(8 * nw), "little")
+                    for p in net.pis
+                }
+            )
+            ovr.append(
+                {gate: (int(rng.integers(0, 2)) * full, 0xFF << (64 * (c % nw)))}
+                if c % 2
+                else None
+            )
+        nodes = list(net.nodes())
+        expected = []
+        for row, ov in zip(rows, ovr):
+            stepper.step(row, overrides=ov)
+            expected.append(stepper.node_ints(nodes))
+        blocker.run_block(rows, ovr)
+        assert blocker.cycle == stepper.cycle
+        assert blocker.node_ints(nodes) == expected[-1]
+        out = np.empty(
+            (len(nodes), blocker.block_cycles * nw), dtype=np.uint64
+        )
+        blocker.block_export(nodes, out)
+        for c in range(len(rows)):
+            got = [
+                int.from_bytes(
+                    out[i, c * nw : (c + 1) * nw].tobytes(), "little"
+                )
+                for i in range(len(nodes))
+            ]
+            assert got == expected[c], f"cycle {c}"
+
+    def test_run_block_array_matches_run_block(self):
+        net, program = self._program(10)
+        rng = np.random.default_rng(10)
+        nw = 4
+        a = CompiledSimulator(program, nw, backend="numpy")
+        b = CompiledSimulator(program, nw, backend="numpy")
+        n_cycles = a.block_cycles
+        stim = rng.integers(
+            0,
+            U64MAX,
+            size=(len(program.pi_nodes), n_cycles * nw),
+            dtype=np.uint64,
+            endpoint=True,
+        )
+        rows = [
+            {
+                int(p): int.from_bytes(
+                    stim[i, c * nw : (c + 1) * nw].tobytes(), "little"
+                )
+                for i, p in enumerate(program.pi_nodes)
+            }
+            for c in range(n_cycles)
+        ]
+        a.run_block(rows)
+        b.run_block_array(stim)
+        assert a.cycle == b.cycle
+        nodes = list(net.nodes())
+        assert a.node_ints(nodes) == b.node_ints(nodes)
+        outa = np.empty((len(nodes), n_cycles * nw), dtype=np.uint64)
+        outb = np.empty_like(outa)
+        a.block_export(nodes, outa)
+        b.block_export(nodes, outb)
+        assert np.array_equal(outa, outb)
+
+    def test_run_block_array_rejects_bad_inputs(self):
+        _net, program = self._program(11)
+        n_pis = len(program.pi_nodes)
+        py = CompiledSimulator(program, 4, backend="python")
+        with pytest.raises(SimulationError, match="numpy backend"):
+            py.run_block_array(np.zeros((n_pis, 4), dtype=np.uint64))
+        vec = CompiledSimulator(program, 4, backend="numpy")
+        with pytest.raises(SimulationError, match="shape"):
+            vec.run_block_array(np.zeros((n_pis + 1, 4), dtype=np.uint64))
+        with pytest.raises(SimulationError, match="shape"):
+            vec.run_block_array(np.zeros((n_pis, 3), dtype=np.uint64))
+        with pytest.raises(SimulationError, match="shape"):
+            vec.run_block_array(np.zeros((n_pis, 4), dtype=np.int64))
+        with pytest.raises(SimulationError):
+            vec.run_block_array(
+                np.zeros(
+                    (n_pis, 4 * (vec.block_cycles + 1)), dtype=np.uint64
+                )
+            )
 
 
 class TestMultiWordLanes:

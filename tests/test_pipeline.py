@@ -426,9 +426,9 @@ class TestOrchestratorPolish:
         # serial (lane_width=1): one payload for the shared-artifact group
         serial = _group_payloads(resolved, 48, workers=1, lane_width=1)
         assert len(serial) == 1
-        stage, items, max_turns, lane_width, interpreted = serial[0]
+        stage, items, max_turns, lane_width, interpreted, backend = serial[0]
         assert stage.physical is None and max_turns == 48 and lane_width == 1
-        assert interpreted is False
+        assert interpreted is False and backend is None
         assert sorted(idx for idx, _ in items) == [0, 1, 2]
         # pooled: split into at most `workers` chunks, artifact shipped
         # once per chunk instead of once per scenario

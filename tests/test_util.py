@@ -2,10 +2,14 @@
 
 from __future__ import annotations
 
+import random
+
 import numpy as np
 import pytest
-from hypothesis import given, strategies as st
+from hypothesis import given, settings, strategies as st
 
+from repro.core.tracebuffer import LaneTraceBuffer, TraceBuffer
+from repro.emu.fault import ALL_LANES, ForcedFault, active_override_ints
 from repro.util import (
     DisjointSet,
     IndexedMinHeap,
@@ -199,3 +203,117 @@ class TestBitops:
     def test_xor_popcount_shape_mismatch(self):
         with pytest.raises(ValueError):
             xor_popcount(np.zeros(1, np.uint64), np.zeros(2, np.uint64))
+
+
+class TestLaneMaskAlgebra:
+    """Property tests for the word-packed lane-mask accumulation that
+    both simulation backends consume (``active_override_ints``)."""
+
+    @given(
+        n_words=st.integers(1, 3),
+        raw=st.lists(
+            st.tuples(
+                st.integers(0, 2),  # node
+                st.integers(0, 1),  # forced value
+                st.one_of(  # absolute lane-index mask, or the sentinel
+                    st.just(ALL_LANES), st.integers(0, (1 << 192) - 1)
+                ),
+                st.integers(0, 3),  # first_cycle
+                st.integers(0, 3),  # last_cycle (clamped >= first)
+            ),
+            max_size=8,
+        ),
+        cycle=st.integers(0, 3),
+    )
+    def test_accumulation_matches_per_lane_reference(self, n_words, raw, cycle):
+        faults = [
+            ForcedFault(
+                node=n,
+                value=v,
+                first_cycle=fc,
+                last_cycle=max(fc, lc),
+                lane_mask=lm,
+            )
+            for n, v, lm, fc, lc in raw
+        ]
+        got = active_override_ints(faults, cycle, n_words=n_words)
+
+        # naive reference: walk every lane of every in-window fault in
+        # order; the last fault covering a lane decides its forced bit
+        full = (1 << (64 * n_words)) - 1
+        ref: dict[int, tuple[int, int]] = {}
+        for f in faults:
+            if not f.first_cycle <= cycle <= f.last_cycle:
+                continue
+            lm = full if f.lane_mask == ALL_LANES else f.lane_mask & full
+            forced, mask = ref.get(f.node, (0, 0))
+            for lane in range(64 * n_words):
+                if (lm >> lane) & 1:
+                    mask |= 1 << lane
+                    if f.value:
+                        forced |= 1 << lane
+                    else:
+                        forced &= ~(1 << lane)
+            ref[f.node] = (forced, mask)
+        assert got == (ref or None)
+
+    @given(lane=st.integers(0, 191))
+    def test_absolute_lane_index_addresses_word_and_bit(self, lane):
+        n_words = (lane >> 6) + 1
+        ov = active_override_ints(
+            [ForcedFault(node=0, value=1, lane_mask=1 << lane)],
+            0,
+            n_words=n_words,
+        )
+        forced, mask = ov[0]
+        words = [(mask >> (64 * w)) & ALL_LANES for w in range(n_words)]
+        assert words[lane >> 6] == 1 << (lane & 63)
+        assert sum(1 for w in words if w) == 1
+        assert forced == mask
+
+
+class TestLaneTraceBufferLayout:
+    """Multi-word row-layout property: every lane of a packed
+    :class:`LaneTraceBuffer` reads back bit-for-bit what a solo
+    :class:`TraceBuffer` fed the same per-lane bits would hold —
+    including ring wrap-around and per-lane post-trigger freezes."""
+
+    @given(
+        width=st.integers(1, 4),
+        depth=st.integers(2, 5),
+        n_lanes=st.sampled_from([1, 2, 63, 64, 65, 130]),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_lane_windows_match_solo_buffers(self, width, depth, n_lanes, seed):
+        rng = random.Random(seed)
+        n_words = (n_lanes + 63) >> 6
+        # probe a boundary-heavy lane subset (first/last/middle and the
+        # first lane of word 1 when it exists) instead of all 130
+        probes = sorted({0, n_lanes - 1, n_lanes // 2, min(64, n_lanes - 1)})
+        ltb = LaneTraceBuffer(width, depth, n_lanes=n_lanes)
+        solos = {lane: TraceBuffer(width, depth) for lane in probes}
+        assert ltb.n_words == n_words
+
+        for _ in range(depth + 3):  # +3 exercises the ring wrap
+            bits = [
+                [rng.getrandbits(1) for _ in range(width)]
+                for _ in range(n_lanes)
+            ]
+            sample = np.zeros((width, n_words), dtype=np.uint64)
+            for lane in range(n_lanes):
+                w, b = lane >> 6, lane & 63
+                for ch in range(width):
+                    if bits[lane][ch]:
+                        sample[ch, w] |= np.uint64(1) << np.uint64(b)
+            trig = {lane for lane in probes if rng.random() < 0.2}
+            ltb.capture(
+                sample, trigger_mask=sum(1 << lane for lane in trig)
+            )
+            for lane, solo in solos.items():
+                solo.capture(bits[lane], trigger=lane in trig)
+
+        for lane, solo in solos.items():
+            assert ltb.window(lane).tolist() == solo.window().tolist()
+            assert ltb.stopped(lane) == solo.stopped
+            assert ltb.triggered_at(lane) == solo.triggered_at
