@@ -131,6 +131,10 @@ def render_campaign_report(
     offline_wall_s: float | None = None,
     offline_stage_s: Mapping[str, float] | None = None,
     notes: Sequence[str] = (),
+    schedule: str | None = None,
+    sched_wall_s: float | None = None,
+    overlap_ratio: float | None = None,
+    stage_concurrency: Mapping[str, float] | None = None,
     title: str = "DEBUG-CAMPAIGN REPORT",
 ) -> str:
     """Render per-scenario records plus campaign aggregates as plain text.
@@ -214,6 +218,18 @@ def render_campaign_report(
     if wall_s is not None:
         par = f", {workers} worker(s)" if workers else ""
         lines.append(f"wall clock: {wall_s:.2f} s{par}")
+    if schedule and sched_wall_s is not None:
+        line = (
+            f"schedule: {schedule}; task wall {sched_wall_s:.2f} s, "
+            f"offline/online overlap {100 * (overlap_ratio or 0.0):.0f}%"
+        )
+        if stage_concurrency:
+            conc = ", ".join(
+                f"{name}={value:.2f}"
+                for name, value in stage_concurrency.items()
+            )
+            line += f"; stage concurrency: {conc}"
+        lines.append(line)
     if lane_batches:
         occ = lane_occupancy(lane_batches)
         width = f" (lane width {lane_width})" if lane_width else ""

@@ -31,6 +31,7 @@ import sys
 from repro.campaign.cache import ArtifactStore, OfflineCache, resolve_offline
 from repro.campaign.orchestrator import (
     CampaignConfig,
+    _offline_group_key,
     prebuild_offline,
     run_campaign,
 )
@@ -97,6 +98,16 @@ def _parser() -> argparse.ArgumentParser:
         "historical one-session-per-scenario path — outcomes are "
         "byte-identical at every width (the CI lane-equivalence job "
         "diffs them)",
+    )
+    p.add_argument(
+        "--schedule",
+        choices=["dataflow", "barrier"],
+        default="dataflow",
+        help="campaign execution discipline: 'dataflow' (default) overlaps "
+        "offline builds with online lane batches on one shared worker "
+        "pool — a design's batches launch as soon as its artifact lands; "
+        "'barrier' keeps the historical offline-then-online phase "
+        "ordering (outcomes and cache stats are identical either way)",
     )
     p.add_argument(
         "--sim-backend",
@@ -206,16 +217,18 @@ def _build_scenarios(
     # Stuck-at screening needs each design's offline artifact (its tap
     # directory picks the fault sites) before any scenario exists.  Warm
     # the cache for every distinct design in one pass through the same
-    # warm-probe + worker-pool path the campaign's --offline-workers
-    # phase uses, instead of building the first design serially inside
-    # scenario generation (mutation-only runs never need it: each
-    # mutation is its own design content).
+    # scheduler path the campaign's --offline-workers phase uses, and
+    # keep the returned {cache key: artifact} map — screening consumes
+    # those build results directly instead of probing the cache for
+    # warmth again (mutation-only runs never need it: each mutation is
+    # its own design content).
+    prebuilt: dict = {}
     if args.kind != "mutation" and cache is not None:
         nets = []
         for design in designs:
             spec = get_spec(design) if isinstance(design, str) else design
             nets.append(generate_circuit(spec))
-        prebuild_offline(
+        prebuilt = prebuild_offline(
             nets,
             cache=cache,
             with_physical=args.physical,
@@ -228,15 +241,17 @@ def _build_scenarios(
         kw = dict(seed=args.seed, horizon=args.horizon)
 
         def screening_offline():
-            # resolve the stuck-at screening artifact through the campaign
-            # cache — under the same key(s) the campaign will look up.
-            # prebuild_offline above already built it, so this is a pure
-            # cache hit; only a failed prebuild (e.g. physical back-end
-            # rejection) falls through to the generic retry below
             if cache is None:
                 return None
             spec = get_spec(design) if isinstance(design, str) else design
             net = generate_circuit(spec)
+            found = prebuilt.get(
+                _offline_group_key(net, CampaignConfig().flow, args.physical)
+            )
+            if found is not None:
+                return found
+            # only a failed prebuild (e.g. physical back-end rejection)
+            # falls through to a cache resolution here
             try:
                 return resolve_offline(
                     net, cache=cache, with_physical=args.physical
@@ -327,6 +342,7 @@ def main(argv: list[str] | None = None) -> int:
         lane_width=args.lane_width,
         interpreted=args.interpreted,
         backend=None if args.sim_backend == "auto" else args.sim_backend,
+        schedule=args.schedule,
     )
     report = run_campaign(scenarios, config=config, cache=cache)
     print()

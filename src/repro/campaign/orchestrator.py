@@ -1,59 +1,57 @@
-"""Batch campaign orchestration: offline amortization + online fan-out.
+"""Batch campaign orchestration: one dataflow scheduler, two phases overlapped.
 
 :func:`run_campaign` drives a whole batch of (design, bug-scenario) pairs
 through the two-stage debug flow:
 
-* **Offline phase**: every scenario's design-under-debug is materialized
-  and resolved through :func:`~repro.campaign.cache.resolve_offline` —
-  against a whole-artifact :class:`~repro.campaign.cache.OfflineCache`, a
-  stage-granular :class:`~repro.pipeline.ArtifactStore` (each compile
-  stage reused independently under its content-addressed key), or cold.
-  Structurally identical designs share artifacts, so a campaign of N
-  stuck-at scenarios on one design pays the generic stage (and, with
+* **Offline work**: every scenario's design-under-debug is materialized
+  and resolved — against a whole-artifact
+  :class:`~repro.campaign.cache.OfflineCache`, a stage-granular
+  :class:`~repro.pipeline.ArtifactStore` (each compile stage reused
+  independently under its content-addressed key), or cold.  Structurally
+  identical designs share artifacts, so a campaign of N stuck-at
+  scenarios on one design pays the generic stage (and, with
   ``with_physical``, the full pack/place/route back-end) exactly once.
-  With ``offline_workers > 1``, *distinct* cold designs build
-  concurrently in a process pool: scenarios are grouped by offline cache
-  key, groups already warm in the cache resolve in-process, and each
-  remaining group becomes one worker task running the stage graph of
-  :mod:`repro.pipeline` — against an
-  :class:`~repro.pipeline.ArtifactStore` on the shared ``cache_dir``
-  when the campaign store is disk-backed (so every stage artifact lands
-  under its existing content-addressed key and warm restarts are
-  unchanged), or returned to the parent for backfill when the store is
-  memory-only.  Outcomes are byte-identical to serial offline builds —
-  the scheduler only changes *where* artifacts are built, never their
-  keys or content.
-* **Online phase**: scenarios are first grouped by **lane batch** — the
-  finest key that lets them share one packed emulation: the offline
-  artifact's cache key plus the golden design's identity and the horizon.
-  Each batch of up to ``lane_width`` scenarios (64 per packed word,
-  words added beyond that) runs as the lanes of
-  a single :class:`~repro.engine.LaneEngine`
-  (:func:`~repro.campaign.runner.run_scenario_batch`) — one packed golden
-  pass, one packed detection run, and a batched frontier walk that
-  advances every still-active lane per turn.  ``lane_width=1`` falls back
-  to the historical per-scenario :func:`~repro.campaign.runner.
-  run_scenario` path (the serial baseline the CI equivalence job diffs
-  against).  Batches dispatch to a
-  :class:`~concurrent.futures.ProcessPoolExecutor` when ``workers > 1``,
-  with an automatic serial fallback when process pools are unavailable
-  (sandboxes, restricted containers); each payload ships one stripped
-  copy of its artifact (the online loop only needs the virtual PConf).
+* **Online work**: scenarios are grouped by **lane batch** — the finest
+  key that lets them share one packed emulation: the offline artifact's
+  identity plus the golden design and the horizon.  Each batch of up to
+  ``lane_width`` scenarios runs as the lanes of a single
+  :class:`~repro.engine.LaneEngine`
+  (:func:`~repro.campaign.runner.run_scenario_batch`); ``lane_width=1``
+  falls back to the historical per-scenario path.
+
+Both phases are expressed as tasks on one
+:class:`~repro.pipeline.scheduler.DataflowScheduler` sharing one worker
+pool.  Under the default ``schedule="dataflow"`` there is **no phase
+barrier**: a design's lane batches launch the moment its last offline
+build lands, while other designs are still packing/placing/routing — and
+with ``offline_workers > 1`` a single design's independent stages
+(``rr-graph`` vs ``place``) overlap too, via the fused segment tasks of
+:func:`~repro.pipeline.scheduler.submit_compile`.  ``schedule="barrier"``
+keeps the historical offline-then-online ordering (the baseline
+``benchmarks/bench_overlap.py`` measures against).  The serial
+configuration (``workers=1``, ``offline_workers=1``) is the same
+scheduler with nothing pooled — the event loop degenerates to the
+historical serial loops.
+
+Store semantics are identical across schedules and worker counts: the
+parent process performs every cache probe and store put, under the same
+content-addressed keys and in the same per-design order as a serial run,
+so outcomes are byte-identical and hit/miss/invalidation statistics
+match exactly.  Process pools degrade gracefully: a pool that cannot
+start (sandboxes, restricted containers) falls back to in-parent
+execution, reported in the notes.
 
 Results aggregate into a :class:`~repro.campaign.results.CampaignReport`,
 whose ``workers`` field reports the *effective* parallelism (1 when the
-pool fell back to serial) and whose ``lane_batches`` field records the
-per-batch lane occupancy.
+pool fell back to serial), whose ``lane_batches`` field records per-batch
+lane occupancy, and which now carries the critical-path breakdown —
+``sched_wall_s``, ``overlap_ratio`` and per-stage concurrency.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import (
-    BrokenExecutor,
-    ProcessPoolExecutor,
-    as_completed,
-)
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Sequence
 
@@ -61,6 +59,11 @@ from repro.campaign.cache import ArtifactStore, OfflineCache, resolve_offline
 from repro.campaign.results import CampaignReport, ScenarioResult
 from repro.campaign.runner import run_scenario, run_scenario_batch
 from repro.core.flow import DebugFlowConfig, OfflineStage, offline_cache_key
+from repro.pipeline.scheduler import (
+    DataflowScheduler,
+    ScheduledTask,
+    submit_compile,
+)
 from repro.workloads.scenarios import DebugScenario
 
 __all__ = ["CampaignConfig", "prebuild_offline", "run_campaign"]
@@ -77,8 +80,9 @@ class CampaignConfig:
     """Online-phase parallelism; ``<= 1`` runs scenarios serially."""
     offline_workers: int = 1
     """Offline-phase parallelism: distinct cold designs (unique offline
-    cache keys) build concurrently in a process pool.  ``<= 1`` keeps the
-    historical serial build loop.  Artifacts land under the same
+    cache keys) build concurrently in a process pool, each design's
+    independent stages running as separate segment tasks.  ``<= 1`` keeps
+    the historical serial build loop.  Artifacts land under the same
     content-addressed keys either way, so outcomes and warm restarts are
     byte-identical to serial builds."""
     with_physical: bool = False
@@ -106,6 +110,13 @@ class CampaignConfig:
     :func:`repro.netlist.compiled.resolve_backend`.  Outcomes are
     byte-identical across backends (``tests/test_backend_parity.py``);
     only throughput changes.  Ignored when ``interpreted`` is set."""
+    schedule: str = "dataflow"
+    """Execution discipline: ``"dataflow"`` (default) overlaps offline
+    builds with online lane batches across designs on one shared worker
+    pool — a design's lane batches launch as soon as its artifact lands;
+    ``"barrier"`` keeps the historical offline-then-online phase
+    ordering.  Outcomes and cache statistics are identical either way —
+    only the wall-clock changes."""
 
 
 #: One pool task: a stripped offline artifact, the scenarios of one lane
@@ -224,75 +235,16 @@ def _group_payloads(
     return payloads
 
 
-#: One offline build task: the design network, the flow config, whether
-#: to run the physical back-end, and the disk directory of the shared
-#: stage store (``None`` builds against a throwaway in-process store and
-#: returns every artifact for parent-side backfill).
-OfflinePayload = tuple["object", DebugFlowConfig, bool, "str | None"]
-
-
-def _offline_build_worker(payload: OfflinePayload):
-    """Build one design's offline artifact in a worker process.
-
-    Runs the stage graph against an :class:`ArtifactStore` rooted at the
-    campaign's ``cache_dir`` when one is given — every stage artifact is
-    persisted under its existing content-addressed key, exactly as a
-    serial build would, so warm restarts can't tell the difference.
-    Returns ``("ok", stage, secs, entries, stage_s)`` where ``entries``
-    are the freshly built ``(stage name, key, value)`` triples (for
-    backfilling a memory-only parent store) and ``stage_s`` the per-stage
-    build seconds; or ``("err", message)`` — one bad design must not
-    kill the whole campaign.
-    """
-    net, flow, with_physical, cache_dir = payload
-    try:
-        from repro.pipeline import assemble_offline, compile_design
-
-        store = ArtifactStore(cache_dir=cache_dir) if cache_dir else None
-        t0 = time.perf_counter()
-        result = compile_design(
-            net, flow, store=store, with_physical=with_physical
-        )
-        stage = assemble_offline(result)
-        secs = time.perf_counter() - t0
-        entries = (
-            None
-            if cache_dir
-            else [
-                (name, a.key, a.value)
-                for name, a in result.artifacts.items()
-                if not a.hit
-            ]
-        )
-        return ("ok", stage, secs, entries, dict(result.timers.totals))
-    except Exception as exc:  # noqa: BLE001 — marshalled to a per-scenario error
-        return ("err", f"{type(exc).__name__}: {exc}")
+def _make_pool(n: int):
+    # resolved through the module global so tests that monkeypatch
+    # ProcessPoolExecutor on this module intercept pool creation
+    return ProcessPoolExecutor(max_workers=n)
 
 
 def _offline_group_key(net, flow: DebugFlowConfig, with_physical: bool) -> str:
     """The identity under which scenarios share one offline build."""
     extra = ("physical",) if with_physical else ()
     return offline_cache_key(net, flow, extra=extra)
-
-
-def _store_is_warm(cache: CacheLike, net, flow, with_physical: bool) -> bool:
-    """Probe (without stats traffic) whether ``net`` resolves fully warm."""
-    if isinstance(cache, OfflineCache):
-        key = _offline_group_key(net, flow, with_physical)
-        return cache.store.contains("offline", key)
-    if isinstance(cache, ArtifactStore):
-        from repro.pipeline.stages import (
-            DEBUG_FLOW_GRAPH,
-            GENERIC_STAGES,
-            PHYSICAL_STAGES,
-        )
-
-        stages = (
-            GENERIC_STAGES + PHYSICAL_STAGES if with_physical else GENERIC_STAGES
-        )
-        keys = DEBUG_FLOW_GRAPH.stage_keys(net, flow, stages=stages)
-        return all(cache.contains(name, keys[name]) for name in stages)
-    return False
 
 
 def _offline_error(sc: DebugScenario, message: str) -> ScenarioResult:
@@ -311,6 +263,120 @@ def _accumulate_stage_s(into: dict[str, float], totals: dict) -> None:
         into[name] = into.get(name, 0.0) + float(secs)
 
 
+def _submit_design_build(
+    sched: DataflowScheduler,
+    net,
+    flow: DebugFlowConfig,
+    with_physical: bool,
+    cache: CacheLike,
+    gkey: str,
+    *,
+    pooled: bool,
+    on_complete,
+) -> list[ScheduledTask]:
+    """Register one design's offline build as dataflow tasks.
+
+    Probes the cache **now**, in the parent, with single-read lookups
+    (:meth:`~repro.pipeline.ArtifactStore.get_if_present` behind
+    ``store.get`` / ``OfflineCache.get``) — counted exactly like a serial
+    resolution, with no warmth pre-probe doubling the disk reads.  Warm
+    designs fire ``on_complete(stage, True, {}, None)`` synchronously and
+    create no task; cold designs become fused segment tasks
+    (:func:`~repro.pipeline.scheduler.submit_compile`) whose completion
+    assembles the artifact, lands it in the cache parent-side, and fires
+    ``on_complete(stage, False, stage_seconds, None)``.  Failures fire
+    ``on_complete(None, False, {}, message)``.  Returns the created
+    tasks (empty when the design resolved warm or failed to plan).
+    """
+    from repro.pipeline import (
+        DEBUG_FLOW_GRAPH,
+        GENERIC_STAGES,
+        PHYSICAL_STAGES,
+        assemble_offline,
+    )
+    from repro.pipeline.graph import source_key
+
+    stages = (
+        GENERIC_STAGES + PHYSICAL_STAGES if with_physical else GENERIC_STAGES
+    )
+
+    def fail(exc: BaseException) -> None:
+        on_complete(None, False, {}, f"{type(exc).__name__}: {exc}")
+
+    if isinstance(cache, ArtifactStore):
+        # stage-granular: the probe inside submit_compile is the lookup
+        try:
+            plan = DEBUG_FLOW_GRAPH.plan(net, flow, stages=stages)
+        except Exception as exc:  # noqa: BLE001 — one bad design ≠ dead campaign
+            fail(exc)
+            return []
+
+        def complete(result, err):
+            if err is not None:
+                on_complete(None, False, {}, err)
+                return
+            try:
+                stage = assemble_offline(result)
+            except Exception as exc:  # noqa: BLE001
+                fail(exc)
+                return
+            on_complete(
+                stage, result.full_hit, dict(result.timers.totals), None
+            )
+
+        return submit_compile(
+            sched,
+            DEBUG_FLOW_GRAPH,
+            net,
+            plan,
+            store=cache,
+            pooled=pooled,
+            label=gkey[:12],
+            on_complete=complete,
+        )
+
+    if isinstance(cache, OfflineCache):
+        # whole-artifact: one counted lookup, then (on miss) a cold build
+        try:
+            found = cache.get(gkey, group=source_key(net))
+        except Exception as exc:  # noqa: BLE001
+            fail(exc)
+            return []
+        if found is not None:
+            on_complete(found, True, {}, None)
+            return []
+
+    try:
+        plan = DEBUG_FLOW_GRAPH.plan(net, flow, stages=stages)
+    except Exception as exc:  # noqa: BLE001
+        fail(exc)
+        return []
+
+    def complete_cold(result, err):
+        if err is not None:
+            on_complete(None, False, {}, err)
+            return
+        try:
+            stage = assemble_offline(result)
+            if isinstance(cache, OfflineCache):
+                stage = cache.put(gkey, stage)
+        except Exception as exc:  # noqa: BLE001
+            fail(exc)
+            return
+        on_complete(stage, False, dict(result.timers.totals), None)
+
+    return submit_compile(
+        sched,
+        DEBUG_FLOW_GRAPH,
+        net,
+        plan,
+        store=None,
+        pooled=pooled,
+        label=gkey[:12],
+        on_complete=complete_cold,
+    )
+
+
 def prebuild_offline(
     nets: "Sequence[object]",
     *,
@@ -322,22 +388,23 @@ def prebuild_offline(
 ) -> "dict[str, OfflineStage]":
     """Warm the cache with offline artifacts for ``nets``, concurrently.
 
-    The same warm-probe → pool → cache-landing path the campaign's
-    ``offline_workers`` phase uses, exposed for callers that need
-    artifacts *before* a campaign exists — e.g. stuck-at scenario
-    screening, which needs each design's tap directory to pick fault
-    sites.  Designs are deduped by offline cache key; warm keys resolve
-    in-process, cold keys build in a process pool of up to ``workers``
-    (serially when ``workers <= 1`` or the pool is unavailable), and
-    every artifact lands in ``cache`` under the same content-addressed
-    keys a serial :func:`~repro.campaign.cache.resolve_offline` call
-    would use — later resolutions of the same design are pure hits.
+    The same scheduler path the campaign's offline work rides, exposed
+    for callers that need artifacts *before* a campaign exists — e.g.
+    stuck-at scenario screening, which needs each design's tap directory
+    to pick fault sites.  Designs are deduped by offline cache key; warm
+    keys resolve in-process with one counted lookup, cold keys build as
+    segment tasks on a process pool of up to ``workers`` (in-process
+    when ``workers <= 1`` or the pool is unavailable), and every
+    artifact lands in ``cache`` under the same content-addressed keys a
+    serial :func:`~repro.campaign.cache.resolve_offline` call would use —
+    later resolutions of the same design are pure hits.
 
     Returns ``{offline cache key: artifact}`` for every design that
-    built (or resolved warm); failed designs are simply absent — callers
-    decide whether to retry without the physical stage or surface the
-    error.  ``notes``, when given, collects human-readable fallback
-    messages (pool unavailable etc.).
+    built (or resolved warm) — the map the CLI's screening step consumes
+    directly instead of re-probing the cache.  Failed designs are simply
+    absent; callers decide whether to retry without the physical stage
+    or surface the error.  ``notes``, when given, collects
+    human-readable fallback messages (pool unavailable etc.).
     """
     flow = flow or DebugFlowConfig()
     if notes is None:
@@ -346,236 +413,37 @@ def prebuild_offline(
     for net in nets:
         keyed.setdefault(_offline_group_key(net, flow, with_physical), net)
     out: "dict[str, OfflineStage]" = {}
-    cold: list[str] = []
-    for key, net in keyed.items():
-        if _store_is_warm(cache, net, flow, with_physical):
-            try:
-                out[key], _hit = resolve_offline(
-                    net, flow, cache=cache, with_physical=with_physical
-                )
-            except Exception:  # noqa: BLE001 — treated as a failed design
-                pass
-        else:
-            cold.append(key)
-    if not cold:
-        return out
-    cache_dir = getattr(cache, "cache_dir", None)
-    shared_dir = cache_dir if isinstance(cache, ArtifactStore) else None
-    payloads = {
-        key: (keyed[key], flow, with_physical, shared_dir) for key in cold
-    }
-    built: dict[str, tuple] = {}
-    n_workers = min(max(1, workers), len(cold))
-    if n_workers > 1:
-        try:
-            with ProcessPoolExecutor(max_workers=n_workers) as pool:
-                futures = {
-                    pool.submit(_offline_build_worker, p): key
-                    for key, p in payloads.items()
-                }
-                for fut in as_completed(futures):
-                    built[futures[fut]] = fut.result()
-        except (OSError, PermissionError, BrokenExecutor) as exc:
-            notes.append(
-                f"offline prebuild pool unavailable ({type(exc).__name__}); "
-                f"building {len(cold) - len(built)} design(s) serially"
-            )
-    for key in cold:
-        outcome = built.get(key)
-        if outcome is None:
-            outcome = _offline_build_worker(payloads[key])
-        if outcome[0] == "err":
-            continue
-        _tag, stage, _secs, entries, _totals = outcome
-        if isinstance(cache, OfflineCache):
-            stage = cache.put(key, stage)
-        elif isinstance(cache, ArtifactStore) and entries:
-            from repro.pipeline.graph import source_key
+    sched = DataflowScheduler(
+        pool_size=min(max(1, workers), max(1, len(keyed))),
+        executor_factory=_make_pool,
+    )
+    try:
+        for key, net in keyed.items():
 
-            group = source_key(keyed[key])
-            for name, skey, value in entries:
-                cache.put(name, skey, value, group=group)
-        out[key] = stage
-    return out
+            def done(stage, _hit, _totals, err, key=key):
+                if err is None and stage is not None:
+                    out[key] = stage
 
-
-def _offline_phase_parallel(
-    scenarios: Sequence[DebugScenario],
-    config: CampaignConfig,
-    cache: CacheLike,
-    notes: list[str],
-):
-    """Offline phase with cross-design parallel builds.
-
-    Scenarios are grouped by offline cache key; warm groups resolve
-    in-process (a cache lookup), cold groups fan out to a process pool —
-    one task per *distinct design*, the unit the paper amortizes over.
-    Falls back to the serial loop when the pool is unavailable.  Returns
-    the same ``(resolved, offline_s, hits, failed, stage_s, workers)``
-    shape the serial phase produces.
-    """
-    resolved: list[tuple[int, DebugScenario, OfflineStage]] = []
-    offline_s: dict[int, float] = {}
-    hits: dict[int, bool] = {}
-    failed: dict[int, ScenarioResult] = {}
-    stage_s: dict[str, float] = {}
-
-    # group scenarios by build identity
-    groups: dict[str, list[tuple[int, DebugScenario]]] = {}
-    group_net: dict[str, object] = {}
-    for idx, sc in enumerate(scenarios):
-        t0 = time.perf_counter()
-        try:
-            net = sc.debug_network()
-            key = _offline_group_key(net, config.flow, config.with_physical)
-        except Exception as exc:  # noqa: BLE001
-            failed[idx] = _offline_error(sc, f"{type(exc).__name__}: {exc}")
-            offline_s[idx] = time.perf_counter() - t0
-            hits[idx] = False
-            continue
-        offline_s[idx] = time.perf_counter() - t0
-        groups.setdefault(key, []).append((idx, sc))
-        group_net.setdefault(key, net)
-
-    # split warm from cold via a stats-free probe
-    cold: list[str] = []
-    artifact: dict[str, OfflineStage] = {}
-    group_hit: dict[str, bool] = {}
-    for key, items in groups.items():
-        if _store_is_warm(cache, group_net[key], config.flow, config.with_physical):
-            idx0, sc0 = items[0]
-            t0 = time.perf_counter()
-            try:
-                stage, hit = resolve_offline(
-                    group_net[key],
-                    config.flow,
-                    cache=cache,
-                    with_physical=config.with_physical,
-                )
-            except Exception as exc:  # noqa: BLE001
-                message = f"{type(exc).__name__}: {exc}"
-                for idx, sc in items:
-                    failed[idx] = _offline_error(sc, message)
-                    hits[idx] = False
-                offline_s[idx0] += time.perf_counter() - t0
-                continue
-            offline_s[idx0] += time.perf_counter() - t0
-            artifact[key] = stage
-            group_hit[key] = hit
-        else:
-            cold.append(key)
-
-    n_workers = min(max(1, config.offline_workers), max(1, len(cold)))
-    failed_keys: dict[str, str] = {}
-    if cold:
-        cache_dir = getattr(cache, "cache_dir", None)
-        shared_dir = cache_dir if isinstance(cache, ArtifactStore) else None
-        payloads = {
-            key: (group_net[key], config.flow, config.with_physical, shared_dir)
-            for key in cold
-        }
-        built: dict[str, tuple] = {}
-        if n_workers > 1:
-            try:
-                with ProcessPoolExecutor(max_workers=n_workers) as pool:
-                    futures = {
-                        pool.submit(_offline_build_worker, p): key
-                        for key, p in payloads.items()
-                    }
-                    for fut in as_completed(futures):
-                        built[futures[fut]] = fut.result()
-            except (OSError, PermissionError, BrokenExecutor) as exc:
-                # results collected before the pool broke are kept; only
-                # the designs still missing rebuild serially below
-                notes.append(
-                    f"offline build pool unavailable ({type(exc).__name__}); "
-                    f"building {len(cold) - len(built)} remaining cold "
-                    "design(s) serially"
-                )
-                n_workers = 1
-
-        for key in cold:
-            outcome = built.get(key)
-            if outcome is None:
-                # serial fallback (or pool-less run): build in-process
-                outcome = _offline_build_worker(payloads[key])
-            if outcome[0] == "err":
-                failed_keys[key] = outcome[1]
-                continue
-            _tag, stage, secs, entries, totals = outcome
-            idx0 = groups[key][0][0]
-            offline_s[idx0] += secs
-            _accumulate_stage_s(stage_s, totals)
-            # land the artifacts in the parent cache under their existing
-            # content-addressed keys, so duplicates and warm restarts
-            # behave exactly as after a serial build
-            if isinstance(cache, OfflineCache):
-                stage = cache.put(key, stage)
-            elif isinstance(cache, ArtifactStore) and entries:
-                from repro.pipeline.graph import source_key
-
-                group = source_key(group_net[key])
-                for name, skey, value in entries:
-                    cache.put(name, skey, value, group=group)
-            artifact[key] = stage
-            group_hit[key] = False
-
-    for key, items in groups.items():
-        if key in failed_keys:
-            for idx, sc in items:
-                failed[idx] = _offline_error(sc, failed_keys[key])
-                hits[idx] = False
-            continue
-        if key not in artifact:
-            continue  # warm probe group that failed to resolve
-        stage = artifact[key]
-        first_idx = items[0][0]
-        # duplicates of a built design ride the group's artifact: a cache
-        # hit when a cache holds it, plain build sharing when running
-        # cold (cold parallel campaigns dedupe per distinct design —
-        # outcomes are unaffected, only the redundant rebuilds go away)
-        dup_hit = cache is not None
-        for idx, sc in items:
-            hits[idx] = group_hit[key] if idx == first_idx else dup_hit
-            offline_s.setdefault(idx, 0.0)
-            resolved.append((idx, sc, stage))
-
-    resolved.sort(key=lambda t: t[0])
-    return resolved, offline_s, hits, failed, stage_s, n_workers
-
-
-def _offline_phase_serial(
-    scenarios: Sequence[DebugScenario],
-    config: CampaignConfig,
-    cache: CacheLike,
-):
-    """The historical serial offline loop (``offline_workers <= 1``)."""
-    resolved: list[tuple[int, DebugScenario, OfflineStage]] = []
-    offline_s: dict[int, float] = {}
-    hits: dict[int, bool] = {}
-    failed: dict[int, ScenarioResult] = {}
-    stage_s: dict[str, float] = {}
-    for idx, sc in enumerate(scenarios):
-        t0 = time.perf_counter()
-        try:
-            net = sc.debug_network()
-            stage, hit = resolve_offline(
+            _submit_design_build(
+                sched,
                 net,
-                config.flow,
-                cache=cache,
-                with_physical=config.with_physical,
+                flow,
+                with_physical,
+                cache,
+                key,
+                pooled=workers > 1,
+                on_complete=done,
             )
-        except Exception as exc:  # noqa: BLE001 — one bad design ≠ dead campaign
-            failed[idx] = _offline_error(sc, f"{type(exc).__name__}: {exc}")
-            offline_s[idx] = time.perf_counter() - t0
-            hits[idx] = False
-            continue
-        offline_s[idx] = time.perf_counter() - t0
-        hits[idx] = hit
-        if not hit:
-            _accumulate_stage_s(stage_s, stage.timers.totals)
-        resolved.append((idx, sc, stage))
-    return resolved, offline_s, hits, failed, stage_s, 1
+        sched.run()
+    finally:
+        sched.shutdown()
+    if sched.pool_broken:
+        notes.append(
+            "offline prebuild pool unavailable "
+            f"({type(sched.pool_error).__name__}); built cold design(s) "
+            "in-process"
+        )
+    return out
 
 
 def run_campaign(
@@ -593,7 +461,8 @@ def run_campaign(
         :mod:`repro.workloads.scenarios` for generators.
     config:
         Orchestration knobs; defaults to serial execution, generic-only
-        offline artifacts and a 48-turn localization budget.
+        offline artifacts, dataflow scheduling and a 48-turn
+        localization budget.
     cache:
         Offline-artifact cache: an :class:`~repro.pipeline.ArtifactStore`
         for stage-granular reuse, an
@@ -604,86 +473,297 @@ def run_campaign(
         (``benchmarks/bench_campaign.py``, ``bench_incremental.py``).
 
     Scenario outcomes are deterministic — the same scenarios and flow
-    config produce the same statuses, suspects and turn counts whether the
-    online phase runs serially or across a worker pool.
+    config produce the same statuses, suspects and turn counts whether
+    the phases run serially, across a worker pool, overlapped under the
+    dataflow schedule or behind the historical barrier.
     """
     config = config or CampaignConfig()
     notes: list[str] = []
     t_wall = time.perf_counter()
-
-    # -- offline phase: one artifact per distinct design content ---------------
-    t_offline = time.perf_counter()
-    if config.offline_workers > 1:
-        (
-            resolved,
-            offline_s,
-            hits,
-            failed,
-            offline_stage_s,
-            offline_workers,
-        ) = _offline_phase_parallel(scenarios, config, cache, notes)
-    else:
-        (
-            resolved,
-            offline_s,
-            hits,
-            failed,
-            offline_stage_s,
-            offline_workers,
-        ) = _offline_phase_serial(scenarios, config, cache)
-    offline_wall_s = time.perf_counter() - t_offline
-
-    # -- online phase: lane-batched debug loops, payloads deduped per key ------
     workers = max(1, config.workers)
     lane_width = max(1, config.lane_width)
-    payloads = _group_payloads(
-        resolved,
-        config.max_turns,
-        workers,
-        lane_width,
-        config.interpreted,
-        config.backend,
-    )
-    # compiled programs persist in the stage store when one is in play —
-    # worker processes compile their own (the store isn't shipped), but
-    # serial runs and warm restarts skip compilation entirely
-    program_store = cache if isinstance(cache, ArtifactStore) else None
+    barrier = config.schedule == "barrier"
+    # offline build unit: one per distinct design when pooled (builds
+    # dedupe across duplicate scenarios), one per scenario when serial —
+    # the historical granularities, now just two task layouts
+    dedup = config.offline_workers > 1
+
+    offline_s: dict[int, float] = {}
+    hits: dict[int, bool] = {}
+    failed: dict[int, ScenarioResult] = {}
+    offline_stage_s: dict[str, float] = {}
+    resolved: list[tuple[int, DebugScenario, OfflineStage]] = []
     indexed: list[tuple[int, ScenarioResult]] = []
-    effective_workers = 1
+    payloads: list[GroupPayload] = []
+
+    # -- registration: design identity per scenario ----------------------------
+    t_offline = time.perf_counter()
+    groups: dict[str, list[tuple[int, DebugScenario]]] = {}
+    group_net: dict[str, object] = {}
+    nets: dict[int, object] = {}
+    lane_key_of: dict[int, object] = {}
+    for idx, sc in enumerate(scenarios):
+        t0 = time.perf_counter()
+        try:
+            net = sc.debug_network()
+            gkey = _offline_group_key(net, config.flow, config.with_physical)
+        except Exception as exc:  # noqa: BLE001
+            failed[idx] = _offline_error(sc, f"{type(exc).__name__}: {exc}")
+            offline_s[idx] = time.perf_counter() - t0
+            hits[idx] = False
+            continue
+        offline_s[idx] = time.perf_counter() - t0
+        groups.setdefault(gkey, []).append((idx, sc))
+        group_net.setdefault(gkey, net)
+        nets[idx] = net
+        # within one campaign the flow config is fixed, so this key is
+        # equivalent to _lane_batch_key over the resolved artifacts —
+        # known *before* any artifact exists, which is what lets online
+        # batches trigger the moment their builds land
+        lane_key_of[idx] = (
+            (gkey, sc.spec, sc.design_seed, sc.horizon)
+            if lane_width > 1
+            else gkey
+        )
+
+    # -- lane-group bookkeeping: when can each batch launch? -------------------
+    lane_groups: dict[object, dict] = {}
+    for idx in lane_key_of:
+        lg = lane_groups.setdefault(
+            lane_key_of[idx], {"pending": 0, "n": 0, "triples": []}
+        )
+        lg["n"] += 1
+    if dedup:
+        for gkey, items in groups.items():
+            for lkey in dict.fromkeys(lane_key_of[idx] for idx, _sc in items):
+                lane_groups[lkey]["pending"] += 1
+    else:
+        for idx in lane_key_of:
+            lane_groups[lane_key_of[idx]]["pending"] += 1
+
+    expected_payloads = 0
+    for lg in lane_groups.values():
+        if lane_width > 1:
+            expected_payloads += (lg["n"] + lane_width - 1) // lane_width
+        else:
+            expected_payloads += max(1, min(workers, lg["n"]))
     # a pool only pays for itself when there is more than one payload to
     # spread: a single lane batch would ride one worker anyway, while the
     # parent still paid pool startup plus artifact pickling — the
     # "pooled slower than serial" regression BENCH_campaign.json recorded
-    use_pool = workers > 1 and len(payloads) > 1
-    if workers > 1 and payloads and not use_pool:
+    use_online_pool = workers > 1 and expected_payloads > 1
+    if workers > 1 and expected_payloads == 1:
         notes.append(
             "worker pool skipped: 1 online payload (serial is cheaper than "
             f"pool startup; requested {workers} workers)"
         )
-    if use_pool:
-        effective_workers = min(workers, len(payloads))
-        try:
-            with ProcessPoolExecutor(max_workers=effective_workers) as pool:
-                for batch in pool.map(_online_group_worker, payloads):
-                    indexed.extend(batch)
-        except (OSError, PermissionError, BrokenExecutor) as exc:
-            effective_workers = 1
-            notes.append(
-                f"worker pool unavailable ({type(exc).__name__}); fell back "
-                f"to serial execution (effective workers: 1, requested "
-                f"{workers})"
+
+    sched = DataflowScheduler(executor_factory=_make_pool)
+    # compiled programs persist in the stage store when one is in play —
+    # worker processes compile their own (the store isn't shipped), but
+    # in-parent runs and warm restarts skip compilation entirely
+    program_store = cache if isinstance(cache, ArtifactStore) else None
+
+    def submit_online(payload: GroupPayload) -> None:
+        payloads.append(payload)
+        sched.add(
+            ScheduledTask(
+                kind="online",
+                label=f"lanes[{len(payload[1])}]",
+                worker_fn=_online_group_worker,
+                payload=payload,
+                inline_fn=lambda p=payload: _online_group_worker(
+                    p, store=program_store
+                ),
+                pooled=use_online_pool,
+                on_done=lambda _task, out: indexed.extend(out),
             )
-            indexed = [
-                r
-                for p in payloads
-                for r in _online_group_worker(p, store=program_store)
-            ]
+        )
+
+    def lane_unit_done(lkey: object) -> None:
+        lg = lane_groups[lkey]
+        lg["pending"] -= 1
+        if lg["pending"] > 0:
+            return
+        triples = sorted(lg["triples"], key=lambda t: t[0])
+        resolved.extend(triples)
+        if barrier or not triples:
+            return
+        for payload in _group_payloads(
+            triples,
+            config.max_turns,
+            workers,
+            lane_width,
+            config.interpreted,
+            config.backend,
+        ):
+            submit_online(payload)
+
+    # -- offline tasks ---------------------------------------------------------
+    n_cold = 0
+    if dedup:
+
+        def design_done(gkey, stage, hit, totals, err):
+            items = groups[gkey]
+            first_idx = items[0][0]
+            if err is not None:
+                for idx, sc in items:
+                    failed[idx] = _offline_error(sc, err)
+                    hits[idx] = False
+            else:
+                _accumulate_stage_s(offline_stage_s, totals)
+                offline_s[first_idx] += sum(totals.values())
+                # duplicates of a built design ride the group's artifact:
+                # a cache hit when a cache holds it, plain build sharing
+                # when running cold (outcomes are unaffected, only the
+                # redundant rebuilds go away)
+                dup_hit = cache is not None
+                for idx, sc in items:
+                    hits[idx] = hit if idx == first_idx else dup_hit
+                    lane_groups[lane_key_of[idx]]["triples"].append(
+                        (idx, sc, stage)
+                    )
+            for lkey in dict.fromkeys(lane_key_of[idx] for idx, _sc in items):
+                lane_unit_done(lkey)
+
+        for gkey, items in groups.items():
+            first_idx = items[0][0]
+            t0 = time.perf_counter()
+            created = _submit_design_build(
+                sched,
+                group_net[gkey],
+                config.flow,
+                config.with_physical,
+                cache,
+                gkey,
+                pooled=True,
+                on_complete=(
+                    lambda stage, hit, totals, err, g=gkey: design_done(
+                        g, stage, hit, totals, err
+                    )
+                ),
+            )
+            offline_s[first_idx] += time.perf_counter() - t0
+            if created:
+                n_cold += 1
     else:
-        indexed = [
-            r
-            for p in payloads
-            for r in _online_group_worker(p, store=program_store)
-        ]
+
+        def submit_scenario_resolve(idx: int, sc: DebugScenario) -> None:
+            def inline():
+                t0 = time.perf_counter()
+                try:
+                    stage, hit = resolve_offline(
+                        nets[idx],
+                        config.flow,
+                        cache=cache,
+                        with_physical=config.with_physical,
+                    )
+                except Exception as exc:  # noqa: BLE001
+                    return (
+                        "err",
+                        f"{type(exc).__name__}: {exc}",
+                        time.perf_counter() - t0,
+                    )
+                return ("ok", stage, hit, time.perf_counter() - t0)
+
+            def done(_task, out):
+                if out[0] == "err":
+                    failed[idx] = _offline_error(sc, out[1])
+                    offline_s[idx] += out[2]
+                    hits[idx] = False
+                else:
+                    _tag, stage, hit, secs = out
+                    offline_s[idx] += secs
+                    hits[idx] = hit
+                    if not hit:
+                        _accumulate_stage_s(
+                            offline_stage_s, stage.timers.totals
+                        )
+                    lane_groups[lane_key_of[idx]]["triples"].append(
+                        (idx, sc, stage)
+                    )
+                lane_unit_done(lane_key_of[idx])
+
+            sched.add(
+                ScheduledTask(
+                    kind="offline",
+                    label=f"offline:{sc.name}",
+                    inline_fn=inline,
+                    on_done=done,
+                )
+            )
+
+        for idx in sorted(nets):
+            submit_scenario_resolve(idx, scenarios[idx])
+
+    t_probes_done = time.perf_counter()
+    # one shared pool, sized for whichever phase needs more slots — the
+    # pool is created lazily at the first pooled dispatch, so fully
+    # inline configurations never pay process startup
+    sched.pool_size = max(
+        1,
+        min(max(1, config.offline_workers), max(1, n_cold)) if dedup else 1,
+        min(workers, expected_payloads) if use_online_pool else 1,
+    )
+
+    # -- drain -----------------------------------------------------------------
+    try:
+        sched.run()
+        if barrier:
+            resolved.sort(key=lambda t: t[0])
+            for payload in _group_payloads(
+                resolved,
+                config.max_turns,
+                workers,
+                lane_width,
+                config.interpreted,
+                config.backend,
+            ):
+                submit_online(payload)
+            sched.run()
+    finally:
+        sched.shutdown()
+
+    # -- fallback notes + effective parallelism --------------------------------
+    if "offline" in sched.inline_fallbacks:
+        notes.append(
+            "offline build pool unavailable "
+            f"({type(sched.pool_error).__name__}); built remaining cold "
+            "design(s) in-process"
+        )
+    online_fell_back = "online" in sched.inline_fallbacks
+    if online_fell_back:
+        notes.append(
+            f"worker pool unavailable ({type(sched.pool_error).__name__}); "
+            f"fell back to serial execution (effective workers: 1, requested "
+            f"{workers})"
+        )
+    effective_workers = (
+        min(workers, len(payloads))
+        if use_online_pool and payloads and not online_fell_back
+        else 1
+    )
+    offline_workers_eff = (
+        min(max(1, config.offline_workers), max(1, n_cold))
+        if dedup and "offline" not in sched.inline_fallbacks
+        else 1
+    )
+
+    # -- critical-path metrics -------------------------------------------------
+    off_ends = [e for k, _s, e in sched.intervals if k == "offline"]
+    offline_wall_s = max([t_probes_done, *off_ends]) - t_offline
+    sched_wall_s = sched.sched_wall_s
+    overlap = sched.overlap_s("offline", "online")
+    overlap_ratio = overlap / sched_wall_s if sched_wall_s > 0 else 0.0
+    stage_concurrency = sched.stage_concurrency()
+    online_spans = [(s, e) for k, s, e in sched.intervals if k == "online"]
+    if online_spans:
+        busy = sum(e - s for s, e in online_spans)
+        lo = min(s for s, _ in online_spans)
+        hi = max(e for _, e in online_spans)
+        stage_concurrency["online"] = (
+            round(busy / (hi - lo), 3) if hi > lo else 1.0
+        )
 
     # re-interleave results (and offline-failure placeholders) in scenario order
     by_idx = dict(indexed)
@@ -699,7 +779,7 @@ def run_campaign(
         results=results,
         wall_s=time.perf_counter() - t_wall,
         workers=effective_workers,
-        offline_workers=offline_workers,
+        offline_workers=offline_workers_eff,
         offline_total_s=sum(offline_s.values()),
         offline_wall_s=offline_wall_s,
         offline_stage_s=offline_stage_s,
@@ -708,4 +788,8 @@ def run_campaign(
         lane_width=lane_width,
         lane_batches=[len(p[1]) for p in payloads] if lane_width > 1 else [],
         notes=notes,
+        schedule=config.schedule,
+        sched_wall_s=sched_wall_s,
+        overlap_ratio=overlap_ratio,
+        stage_concurrency=stage_concurrency,
     )

@@ -119,6 +119,22 @@ class CampaignReport:
     lane_batches: list[int] = field(default_factory=list)
     """Lane occupancy per online batch (empty on the serial path)."""
     notes: list[str] = field(default_factory=list)
+    schedule: str = "dataflow"
+    """Execution discipline the campaign ran under: ``"dataflow"``
+    (offline builds and online lane batches overlapped on one shared
+    pool) or ``"barrier"`` (historical offline-then-online ordering)."""
+    sched_wall_s: float = 0.0
+    """Wall-clock the dataflow scheduler's event loop ran — the
+    critical-path time all task execution (offline and online) fit in."""
+    overlap_ratio: float = 0.0
+    """Fraction of ``sched_wall_s`` during which offline and online work
+    executed simultaneously — 0 under the barrier schedule (or with
+    nothing to overlap), approaching the smaller phase's share of the
+    wall when the dataflow schedule hides it behind the larger."""
+    stage_concurrency: dict[str, float] = field(default_factory=dict)
+    """Per-stage busy-seconds / span-seconds over the campaign (pooled
+    builds only; includes an ``"online"`` pseudo-stage).  Values above 1
+    mean that stage ran concurrently across designs."""
 
     def aggregate(self) -> dict:
         """Campaign aggregates — single source of truth is
@@ -155,6 +171,10 @@ class CampaignReport:
             offline_wall_s=self.offline_wall_s,
             offline_stage_s=self.offline_stage_s,
             notes=self.notes,
+            schedule=self.schedule,
+            sched_wall_s=self.sched_wall_s,
+            overlap_ratio=self.overlap_ratio,
+            stage_concurrency=self.stage_concurrency,
         )
 
     def save(self, name: str = "campaign", base: str | None = None) -> str:

@@ -33,9 +33,11 @@ __all__ = [
     "PhysicalStage",
     "build_physical_stage",
     "physical_from_mapping",
+    "grid_for_packed",
     "pack_stage",
     "place_stage",
     "route_stage",
+    "rr_graph_stage",
     "bitgen_stage",
 ]
 
@@ -86,6 +88,27 @@ def pack_stage(
     return pack_design(build_atoms(mapping, design), arch)
 
 
+def grid_for_packed(
+    packed: PackedDesign, *, utilization: float = 0.7
+) -> DeviceGrid:
+    """The device grid a packed design places onto.
+
+    A pure function of the pack output — exactly the grid
+    :func:`repro.place.tplace.place_design` derives internally when no
+    grid is supplied.  Exposed so the ``rr-graph`` pipeline stage can
+    build the routing-resource graph from ``pack`` alone, concurrently
+    with placement (the two produce value-identical grids).
+    """
+    physical = packed.physical
+    n_pads = len(physical.pi_signals) + len(physical.po_signals)
+    return DeviceGrid.for_design(
+        packed.arch,
+        n_clbs=max(1, packed.n_clusters),
+        n_pads=n_pads,
+        utilization=utilization,
+    )
+
+
 def place_stage(
     packed: PackedDesign,
     grid: DeviceGrid | None = None,
@@ -97,11 +120,29 @@ def place_stage(
     return place_design(packed, grid, seed=seed, effort=effort)
 
 
+def rr_graph_stage(packed: PackedDesign) -> RRGraph:
+    """The ``rr-graph`` stage body: device grid + routing-resource graph.
+
+    Depends only on ``pack``, so the dataflow scheduler runs it in
+    parallel with the (much longer) placement anneal of the same design.
+    """
+    return build_rr_graph(grid_for_packed(packed))
+
+
 def route_stage(
-    placement: Placement, *, max_route_iterations: int = 40
+    placement: Placement,
+    rr: RRGraph | None = None,
+    *,
+    max_route_iterations: int = 40,
 ) -> tuple[RRGraph, RoutingResult]:
-    """The ``route`` stage body: RR-graph construction + PathFinder."""
-    rr = build_rr_graph(placement.grid)
+    """The ``route`` stage body: PathFinder over the RR graph.
+
+    ``rr`` is normally the ``rr-graph`` stage's artifact (built from the
+    identical, pack-derived grid); when absent it is built here — the
+    historical single-call path.
+    """
+    if rr is None:
+        rr = build_rr_graph(placement.grid)
     return rr, route_design(placement, rr, max_iterations=max_route_iterations)
 
 

@@ -32,8 +32,14 @@ from repro.pipeline.graph import (
     Stage,
     StageContext,
     StageGraph,
+    StagePlan,
     canonical_param,
     source_key,
+)
+from repro.pipeline.scheduler import (
+    DataflowScheduler,
+    ScheduledTask,
+    submit_compile,
 )
 from repro.pipeline.stages import (
     DEBUG_FLOW_GRAPH,
@@ -60,6 +66,10 @@ __all__ = [
     "Stage",
     "StageContext",
     "StageGraph",
+    "StagePlan",
+    "DataflowScheduler",
+    "ScheduledTask",
+    "submit_compile",
     "source_key",
     "canonical_param",
     "DEBUG_FLOW_GRAPH",

@@ -39,6 +39,7 @@ __all__ = [
     "StageContext",
     "Artifact",
     "CompileResult",
+    "StagePlan",
     "StageGraph",
     "source_key",
     "canonical_param",
@@ -132,6 +133,30 @@ class CompileResult:
     def full_hit(self) -> bool:
         """True when every stage was served from the store."""
         return all(a.hit for a in self.artifacts.values())
+
+
+@dataclass
+class StagePlan:
+    """The execution-independent half of a :meth:`StageGraph.run`.
+
+    Which stages will run, under which derived content keys, against which
+    store lookup group — everything the dataflow scheduler needs to probe
+    the store, partition the remaining work into segments and ship those
+    segments to workers, without executing anything.  Produced by
+    :meth:`StageGraph.plan`; consumed by :meth:`StageGraph.execute` (the
+    serial path) and :func:`repro.pipeline.scheduler.submit_compile` (the
+    overlapped path) so both derive byte-identical keys.
+    """
+
+    config: DebugFlowConfig
+    params: dict[str, Any]
+    source_key: str
+    group: str | None
+    selected: tuple[Stage, ...]
+    """Stages to execute, topologically ordered, preset entries excluded."""
+    keys: dict[str, str]
+    """Derived content key per artifact name (selected + preset)."""
+    preset: dict[str, tuple[str, Any]]
 
 
 def canonical_param(value: Any) -> Any:
@@ -272,6 +297,122 @@ class StageGraph:
         del keys[SOURCE]
         return keys
 
+    # -- planning --------------------------------------------------------------
+
+    def plan(
+        self,
+        net: LogicNetwork,
+        config: DebugFlowConfig | None = None,
+        *,
+        params: Mapping[str, Any] | None = None,
+        stages: Sequence[str] | None = None,
+        preset: Mapping[str, tuple[str, Any]] | None = None,
+    ) -> StagePlan:
+        """Derive keys, selection and lookup group without running anything.
+
+        The pure key-algebra half of :meth:`run`, factored out so the
+        dataflow scheduler and the serial executor share one derivation —
+        identical inputs yield identical keys by construction, which is
+        what makes scheduled and serial store statistics comparable.
+        """
+        config = config or DebugFlowConfig()
+        params = dict(params or {})
+        preset = dict(preset or {})
+        if stages is not None:
+            selected = self.prefix(stages, have=tuple(preset))
+        else:
+            selected = list(self.stages)
+        # hash the source BLIF only when a stage to run actually roots in
+        # it — a physical-only run over preset artifacts skips the
+        # O(design) serialization entirely
+        needs_source = any(
+            SOURCE in s.inputs for s in selected if s.name not in preset
+        )
+        src_key = source_key(net) if needs_source else ""
+        keys: dict[str, str] = {SOURCE: src_key}
+        for name, (key, _value) in preset.items():
+            keys[name] = key
+        selected = tuple(s for s in selected if s.name not in preset)
+        # the lookup group identifies the design behind this run for the
+        # store's invalidation accounting: the source content key, or —
+        # on preset-rooted (physical-only) runs — the preset artifact key
+        group = src_key or None
+        if group is None and preset:
+            group = (preset.get("tcon-map") or next(iter(preset.values())))[0]
+        for stage in selected:
+            keys[stage.name] = self._stage_key(stage, config, params, keys)
+        del keys[SOURCE]
+        return StagePlan(
+            config=config,
+            params=params,
+            source_key=src_key,
+            group=group,
+            selected=selected,
+            keys=keys,
+            preset=preset,
+        )
+
+    def segments(self, names: Sequence[str]) -> list[tuple[str, ...]]:
+        """Partition stages into maximal fusable chains for the scheduler.
+
+        ``names`` is any subset of this graph's stages (dependencies
+        outside the subset are treated as externally supplied — e.g.
+        store hits).  Returns topologically-ordered segments such that
+
+        * every segment is a chain the scheduler can run as **one** task
+          (no concurrency is lost: a stage is fused into its producer's
+          segment only when every *other* consumer of that segment
+          transitively depends on the stage, so nothing outside could
+          have started earlier anyway), and
+        * segments only depend on earlier segments.
+
+        For the full debug flow this yields the linear generic prefix
+        through ``pack`` as one segment, ``rr-graph`` and ``place`` as two
+        independent segments (the intra-design concurrency), and
+        ``route``+``bitgen`` fused at the join.
+        """
+        want = set(names)
+        selected = [s for s in self.stages if s.name in want]
+        consumers: dict[str, list[str]] = {}
+        depends: dict[str, set[str]] = {}
+        for s in selected:
+            deps = [d for d in s.inputs if d in want]
+            closure = set(deps)
+            for d in deps:
+                consumers.setdefault(d, []).append(s.name)
+                closure |= depends[d]
+            depends[s.name] = closure
+        seg_of: dict[str, int] = {}
+        segs: list[list[str]] = []
+        anc: list[set[int]] = []  # transitive segment ancestors
+        for s in selected:
+            dep_segs = {seg_of[d] for d in s.inputs if d in want}
+            target = None
+            for cand in dep_segs:
+                # candidate must dominate the other dep segments ...
+                if not all(d == cand or d in anc[cand] for d in dep_segs):
+                    continue
+                # ... and fusing must not delay any other consumer of it
+                blocked = any(
+                    s.name not in depends.get(c, ())
+                    for m in segs[cand]
+                    for c in consumers.get(m, ())
+                    if c != s.name and seg_of.get(c) != cand
+                )
+                if not blocked:
+                    target = cand
+                    break
+            new_anc = set().union(*(anc[d] for d in dep_segs)) if dep_segs else set()
+            if target is None:
+                seg_of[s.name] = len(segs)
+                segs.append([s.name])
+                anc.append(dep_segs | new_anc)
+            else:
+                seg_of[s.name] = target
+                segs[target].append(s.name)
+                anc[target] |= (dep_segs - {target}) | new_anc
+        return [tuple(seg) for seg in segs]
+
     # -- execution -------------------------------------------------------------
 
     def run(
@@ -302,48 +443,38 @@ class StageGraph:
             :func:`~repro.core.flow.run_physical_stage` façade feeds an
             existing offline artifact into the physical sub-graph.
         """
-        config = config or DebugFlowConfig()
-        params = params or {}
-        preset = preset or {}
-        if stages is not None:
-            selected = self.prefix(stages, have=tuple(preset))
-        else:
-            selected = list(self.stages)
-        # hash the source BLIF only when a stage to run actually roots in
-        # it — a physical-only run over preset artifacts skips the
-        # O(design) serialization entirely
-        needs_source = any(
-            SOURCE in s.inputs for s in selected if s.name not in preset
+        return self.execute(
+            self.plan(net, config, params=params, stages=stages, preset=preset),
+            net,
+            store=store,
         )
-        src_key = source_key(net) if needs_source else ""
+
+    def execute(self, plan: StagePlan, net: LogicNetwork, *, store=None) -> CompileResult:
+        """Serially execute a :meth:`plan` — the barrier-free reference path.
+
+        One stage at a time in topological order: probe the store, build
+        on a miss, store the result.  The dataflow scheduler reproduces
+        exactly this store interaction (same keys, same probe order, same
+        puts), just spread over segment tasks.
+        """
         result = CompileResult(
-            config=config, source_key=src_key, params=dict(params)
+            config=plan.config, source_key=plan.source_key, params=dict(plan.params)
         )
-        keys: dict[str, str] = {SOURCE: src_key}
         values: dict[str, Any] = {SOURCE: net}
-        for name, (key, value) in preset.items():
-            keys[name] = key
+        for name, (key, value) in plan.preset.items():
             values[name] = value
             result.artifacts[name] = Artifact(name, key, value, hit=True)
-        selected = [s for s in selected if s.name not in preset]
-        # the lookup group identifies the design behind this run for the
-        # store's invalidation accounting: the source content key, or —
-        # on preset-rooted (physical-only) runs — the preset artifact key
-        group = src_key or None
-        if group is None and preset:
-            group = (preset.get("tcon-map") or next(iter(preset.values())))[0]
-        for stage in selected:
-            key = self._stage_key(stage, config, params, keys)
-            keys[stage.name] = key
+        for stage in plan.selected:
+            key = plan.keys[stage.name]
             value = None
             hit = False
             if store is not None:
-                found = store.get(stage.name, key, group=group)
+                found = store.get(stage.name, key, group=plan.group)
                 if found is not None:
                     value, hit = found.value, True
             if not hit:
                 ctx = StageContext(
-                    config=config, params=params, artifacts=values
+                    config=plan.config, params=plan.params, artifacts=values
                 )
                 with result.timers.phase(stage.name):
                     value = stage.fn(ctx)
@@ -352,8 +483,8 @@ class StageGraph:
                         stage.name,
                         key,
                         value,
-                        group=group,
-                        ref=self._passthrough_ref(stage, value, values, keys),
+                        group=plan.group,
+                        ref=self._passthrough_ref(stage, value, values, plan.keys),
                     )
             values[stage.name] = value
             result.artifacts[stage.name] = Artifact(stage.name, key, value, hit)

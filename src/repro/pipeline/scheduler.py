@@ -1,0 +1,509 @@
+"""Futures-based dataflow scheduler for overlapped stage-graph execution.
+
+The campaign runner's two historical barriers — offline-then-online phase
+ordering, and lockstep stage execution within a design — both disappear
+here.  Work is modelled as :class:`ScheduledTask` nodes (a fused segment
+of compile stages, or an online lane batch) wired by explicit
+dependencies; one single-threaded event loop in the parent process
+dispatches every ready task onto one shared worker pool and fires
+completion callbacks the moment results land, so a design's online work
+launches while other designs are still building and a design's
+independent stages (``rr-graph`` vs ``place``) run concurrently.
+
+Store semantics are kept *exactly* equal to the serial path by
+construction: the parent — never a worker — performs every
+:class:`~repro.pipeline.store.ArtifactStore` probe and put, under the
+same keys and in the same per-design order the serial executor uses
+(:func:`submit_compile` probes with
+:meth:`~repro.pipeline.store.ArtifactStore.get_if_present` in topological
+order, then ships only the missing suffix to workers).  Hit/miss/
+invalidation counters therefore match the serial path at any worker
+count, and outcomes are byte-identical.
+
+Failure isolation: a segment raising cancels only the *same design's*
+downstream segments (its compile completes with an error); other designs'
+tasks are untouched.  A broken worker pool (``OSError``,
+``PermissionError``, ``BrokenExecutor``) degrades the affected task — and
+everything after it — to in-parent execution, recorded per task kind in
+:attr:`DataflowScheduler.inline_fallbacks`.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.pipeline.graph import (
+    SOURCE,
+    Artifact,
+    CompileResult,
+    StageContext,
+    StageGraph,
+    StagePlan,
+)
+from repro.util.timing import PhaseTimer
+
+__all__ = [
+    "ScheduledTask",
+    "DataflowScheduler",
+    "submit_compile",
+]
+
+#: Executor failures that mean "the pool is unusable", not "the task is
+#: wrong" — the scheduler falls back to in-parent execution on these.
+POOL_ERRORS = (OSError, PermissionError, BrokenProcessPool)
+
+
+def _timed_call(fn: Callable[[Any], Any], payload: Any):
+    """Pool-side wrapper: run ``fn(payload)`` and report absolute times.
+
+    ``time.perf_counter`` is ``CLOCK_MONOTONIC`` system-wide on Linux, so
+    worker-side timestamps are directly comparable with the parent's —
+    which is what makes the cross-process overlap/concurrency metrics
+    honest rather than estimated.
+    """
+    t0 = time.perf_counter()
+    out = fn(payload)
+    return out, t0, time.perf_counter()
+
+
+@dataclass
+class ScheduledTask:
+    """One schedulable unit: a compile segment or an online lane batch."""
+
+    kind: str
+    """Metric bucket — ``"offline"`` or ``"online"``."""
+    label: str
+    worker_fn: Callable[[Any], Any] | None = None
+    """Module-level (picklable) function for pool execution."""
+    payload_fn: Callable[[], Any] | None = None
+    """Builds the payload lazily at dispatch time, after deps resolved."""
+    payload: Any = None
+    inline_fn: Callable[[], Any] | None = None
+    """In-parent alternative body (used when not pooled, or pool broken)."""
+    pooled: bool = False
+    on_done: Callable[["ScheduledTask", Any], None] | None = None
+    result: Any = None
+    start_s: float = 0.0
+    end_s: float = 0.0
+    done: bool = False
+    cancelled: bool = False
+    _n_deps: int = 0
+    _children: list["ScheduledTask"] = field(default_factory=list)
+
+    def _materialize(self) -> Any:
+        if self.payload_fn is not None:
+            self.payload = self.payload_fn()
+            self.payload_fn = None
+        return self.payload
+
+
+class DataflowScheduler:
+    """Single-threaded event loop over one shared worker pool.
+
+    The parent owns all bookkeeping (dependency counts, store access via
+    task callbacks); only task bodies run in workers.  The pool is
+    created lazily at the first pooled dispatch, so fully-inline
+    configurations (``workers=1``, warm caches) never pay process
+    startup — the serial path is literally this scheduler with no pooled
+    tasks.
+    """
+
+    def __init__(
+        self,
+        *,
+        pool_size: int = 1,
+        executor_factory: Callable[[int], Any] | None = None,
+    ) -> None:
+        self.pool_size = max(1, pool_size)
+        self._executor_factory = executor_factory
+        self._pool = None
+        self.pool_error: BaseException | None = None
+        self.inline_fallbacks: set[str] = set()
+        """Task kinds that had a pooled task degrade to in-parent runs."""
+        self._ready: deque[ScheduledTask] = deque()
+        self._inflight: dict[Future, ScheduledTask] = {}
+        self._n_pending = 0
+        self.intervals: list[tuple[str, float, float]] = []
+        """(kind, start, end) execution interval per completed task."""
+        self.stage_spans: dict[str, list[tuple[float, float]]] = {}
+        """Per-compile-stage execution spans, fed by segment completions."""
+        self.n_tasks: dict[str, int] = {}
+        """Tasks ever added, per kind."""
+        self.sched_wall_s = 0.0
+
+    @property
+    def pool_broken(self) -> bool:
+        return self.pool_error is not None
+
+    # -- graph construction ----------------------------------------------------
+
+    def add(
+        self, task: ScheduledTask, deps: Sequence[ScheduledTask] = ()
+    ) -> ScheduledTask:
+        live = [d for d in deps if not d.done and not d.cancelled]
+        task._n_deps = len(live)
+        for d in live:
+            d._children.append(task)
+        self.n_tasks[task.kind] = self.n_tasks.get(task.kind, 0) + 1
+        self._n_pending += 1
+        if task._n_deps == 0:
+            self._ready.append(task)
+        return task
+
+    def cancel(self, task: ScheduledTask) -> None:
+        """Drop a not-yet-finished task (and never fire its callback).
+
+        In-flight pool work is left to finish; its result is discarded on
+        arrival.  Dependents are *not* cancelled implicitly — the caller
+        owns its task sub-graph and cancels exactly what it means to.
+        """
+        if task.done or task.cancelled:
+            return
+        task.cancelled = True
+        self._n_pending -= 1
+
+    # -- event loop ------------------------------------------------------------
+
+    def run(self) -> None:
+        """Drain every pending task; returns when all are done/cancelled.
+
+        Callbacks may :meth:`add` further tasks (that is how online lane
+        batches chain onto offline completions); the loop keeps going
+        until the whole transitive graph is drained.  Wall time across
+        all :meth:`run` calls accumulates in :attr:`sched_wall_s`.
+        """
+        t0 = time.perf_counter()
+        try:
+            while self._n_pending:
+                self._dispatch_pooled()
+                task = self._pop_ready()
+                if task is not None:
+                    self._run_inline(task)
+                elif self._inflight:
+                    done, _ = wait(self._inflight, return_when=FIRST_COMPLETED)
+                    for fut in done:
+                        self._finish_pooled(fut)
+                else:  # pragma: no cover - defensive: bookkeeping drift
+                    break
+        finally:
+            self.sched_wall_s += time.perf_counter() - t0
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    # -- metrics ---------------------------------------------------------------
+
+    def overlap_s(self, kind_a: str = "offline", kind_b: str = "online") -> float:
+        """Seconds during which both kinds had work executing."""
+
+        def merged(kind: str) -> list[tuple[float, float]]:
+            spans = sorted(
+                (s, e) for k, s, e in self.intervals if k == kind and e > s
+            )
+            out: list[tuple[float, float]] = []
+            for s, e in spans:
+                if out and s <= out[-1][1]:
+                    out[-1] = (out[-1][0], max(out[-1][1], e))
+                else:
+                    out.append((s, e))
+            return out
+
+        a, b = merged(kind_a), merged(kind_b)
+        total, i, j = 0.0, 0, 0
+        while i < len(a) and j < len(b):
+            lo = max(a[i][0], b[j][0])
+            hi = min(a[i][1], b[j][1])
+            if hi > lo:
+                total += hi - lo
+            if a[i][1] <= b[j][1]:
+                i += 1
+            else:
+                j += 1
+        return total
+
+    def stage_concurrency(self) -> dict[str, float]:
+        """Per-stage busy-time / span-time — 1.0 means fully serialized.
+
+        A stage whose executions overlap across designs (busy seconds
+        exceeding its first-start-to-last-end span would be impossible;
+        instead *campaign-level* concurrency shows up as span ≪ sum of a
+        serial schedule) is reported as busy/span of the union timeline.
+        """
+        out: dict[str, float] = {}
+        for stage, spans in sorted(self.stage_spans.items()):
+            busy = sum(e - s for s, e in spans)
+            lo = min(s for s, _ in spans)
+            hi = max(e for _, e in spans)
+            out[stage] = round(busy / (hi - lo), 3) if hi > lo else 1.0
+        return out
+
+    # -- internals -------------------------------------------------------------
+
+    def _acquire_pool(self):
+        if self._pool is None and not self.pool_broken:
+            if self._executor_factory is None:
+                self.pool_error = RuntimeError("no executor factory")
+            else:
+                try:
+                    self._pool = self._executor_factory(self.pool_size)
+                except POOL_ERRORS as exc:
+                    self.pool_error = exc
+        return self._pool
+
+    def _dispatch_pooled(self) -> None:
+        if not any(t.pooled for t in self._ready):
+            return
+        keep: deque[ScheduledTask] = deque()
+        for task in self._ready:
+            if task.cancelled:
+                continue
+            if not task.pooled or self.pool_broken:
+                keep.append(task)
+                continue
+            pool = self._acquire_pool()
+            if pool is None:
+                keep.append(task)
+                continue
+            try:
+                fut = pool.submit(_timed_call, task.worker_fn, task._materialize())
+            except POOL_ERRORS as exc:
+                self.pool_error = exc
+                keep.append(task)
+                continue
+            self._inflight[fut] = task
+        self._ready = keep
+
+    def _pop_ready(self) -> ScheduledTask | None:
+        while self._ready:
+            task = self._ready.popleft()
+            if not task.cancelled:
+                return task
+        return None
+
+    def _run_inline(self, task: ScheduledTask) -> None:
+        if task.pooled:
+            # a pooled task running here means the pool broke under it
+            self.inline_fallbacks.add(task.kind)
+        if task.inline_fn is not None:
+            fn = task.inline_fn
+        else:
+            payload = task._materialize()
+            fn = lambda: task.worker_fn(payload)  # noqa: E731
+        t0 = time.perf_counter()
+        out = fn()
+        self._complete(task, out, t0, time.perf_counter())
+
+    def _finish_pooled(self, fut: Future) -> None:
+        task = self._inflight.pop(fut)
+        try:
+            out, t0, t1 = fut.result()
+        except POOL_ERRORS as exc:
+            self.pool_error = exc
+            if not task.cancelled:
+                self._run_inline(task)
+            return
+        if task.cancelled:
+            return
+        self._complete(task, out, t0, t1)
+
+    def _complete(
+        self, task: ScheduledTask, out: Any, t0: float, t1: float
+    ) -> None:
+        task.result, task.start_s, task.end_s = out, t0, t1
+        task.done = True
+        self._n_pending -= 1
+        self.intervals.append((task.kind, t0, t1))
+        if task.on_done is not None:
+            task.on_done(task, out)
+        for child in task._children:
+            if child.cancelled or child.done:
+                continue
+            child._n_deps -= 1
+            if child._n_deps == 0:
+                self._ready.append(child)
+
+
+# -- compile-as-dataflow -------------------------------------------------------
+
+
+def _segment_worker(payload):
+    """Run one fused chain of stage bodies (pool- or parent-side).
+
+    Returns ``("ok", values, times, spans)`` with absolute
+    ``perf_counter`` spans per stage, or ``("err", message)`` — stage
+    exceptions are marshalled, not raised, so a worker failure surfaces
+    as a normal completion the parent can route to the owning design.
+    """
+    graph, config, params, names, values = payload
+    values = dict(values)
+    out: dict[str, Any] = {}
+    times: dict[str, float] = {}
+    spans: dict[str, tuple[float, float]] = {}
+    try:
+        for name in names:
+            stage = graph[name]
+            ctx = StageContext(config=config, params=params, artifacts=values)
+            s0 = time.perf_counter()
+            value = stage.fn(ctx)
+            s1 = time.perf_counter()
+            values[name] = out[name] = value
+            times[name] = s1 - s0
+            spans[name] = (s0, s1)
+    except Exception as exc:  # noqa: BLE001 - marshalled to the parent
+        return ("err", f"{type(exc).__name__}: {exc}")
+    return ("ok", out, times, spans)
+
+
+def submit_compile(
+    sched: DataflowScheduler,
+    graph: StageGraph,
+    net,
+    plan: StagePlan,
+    *,
+    store=None,
+    pooled: bool = False,
+    kind: str = "offline",
+    label: str = "",
+    on_complete: Callable[[CompileResult | None, str | None], None],
+) -> list[ScheduledTask]:
+    """Register one design's compile as dataflow tasks on ``sched``.
+
+    Probes the store for every planned stage **now**, in the parent, in
+    topological order — exactly the serial executor's lookup sequence, so
+    hit/miss statistics are identical by construction.  Missing stages
+    are fused into segments (:meth:`StageGraph.segments`) and submitted
+    as tasks wired by their true dependencies; segment completions store
+    built artifacts (again parent-side, same keys, same pass-through-ref
+    aliasing) and, when the last segment lands, ``on_complete(result,
+    None)`` fires.  A failing segment cancels only the segments
+    *downstream of it* (independent siblings of the same design still
+    complete and store their artifacts) and fires
+    ``on_complete(None, message)`` once.
+
+    A fully-warm design never creates a task: ``on_complete`` fires
+    synchronously before this returns.  Returns the created tasks.
+    """
+    values: dict[str, Any] = {SOURCE: net}
+    artifacts: dict[str, Artifact] = {}
+    totals: dict[str, float] = {}
+    for name, (key, value) in plan.preset.items():
+        values[name] = value
+        artifacts[name] = Artifact(name, key, value, hit=True)
+    missing: list[str] = []
+    for stage in plan.selected:
+        key = plan.keys[stage.name]
+        found = (
+            store.get_if_present(stage.name, key, group=plan.group)
+            if store is not None
+            else None
+        )
+        if found is not None:
+            values[stage.name] = found.value
+            artifacts[stage.name] = Artifact(stage.name, key, found.value, hit=True)
+        else:
+            missing.append(stage.name)
+
+    def finish() -> None:
+        result = CompileResult(
+            config=plan.config,
+            source_key=plan.source_key,
+            params=dict(plan.params),
+            artifacts=artifacts,
+            timers=PhaseTimer(
+                totals=dict(totals), counts={k: 1 for k in totals}
+            ),
+        )
+        on_complete(result, None)
+
+    if not missing:
+        finish()
+        return []
+
+    missing_set = set(missing)
+    state = {"left": 0, "failed": False}
+    owner: dict[str, ScheduledTask] = {}  # stage name -> owning task
+    created: list[ScheduledTask] = []
+    for seg_names in graph.segments(missing):
+        seg_set = set(seg_names)
+        ext = sorted(
+            {
+                d
+                for n in seg_names
+                for d in graph[n].inputs
+                if d not in seg_set
+            }
+        )
+        dep_tasks = sorted(
+            {id(owner[d]): owner[d] for d in ext if d in missing_set}.values(),
+            key=lambda t: t.label,
+        )
+
+        def payload_fn(names=tuple(seg_names), ext=tuple(ext)):
+            return (
+                graph,
+                plan.config,
+                plan.params,
+                names,
+                {d: values[d] for d in ext},
+            )
+
+        def seg_done(task, outcome, names=tuple(seg_names)):
+            if outcome[0] == "err":
+                already = state["failed"]
+                state["failed"] = True
+                # cancel only the segments downstream of the failure;
+                # independent sibling segments keep running (their
+                # artifacts are valid and land in the store as usual)
+                stack, seen = [task], set()
+                while stack:
+                    for child in stack.pop()._children:
+                        if id(child) not in seen:
+                            seen.add(id(child))
+                            sched.cancel(child)
+                            stack.append(child)
+                if not already:
+                    on_complete(None, outcome[1])
+                return
+            _tag, out, times, spans = outcome
+            values.update(out)
+            for name in names:
+                key = plan.keys[name]
+                value = out[name]
+                if store is not None:
+                    store.put(
+                        name,
+                        key,
+                        value,
+                        group=plan.group,
+                        ref=graph._passthrough_ref(
+                            graph[name], value, values, plan.keys
+                        ),
+                    )
+                artifacts[name] = Artifact(name, key, value, hit=False)
+                totals[name] = times[name]
+                sched.stage_spans.setdefault(name, []).append(spans[name])
+            state["left"] -= 1
+            if state["left"] == 0 and not state["failed"]:
+                finish()
+
+        task = ScheduledTask(
+            kind=kind,
+            label=f"{label or plan.group or 'design'}:{seg_names[0]}",
+            worker_fn=_segment_worker,
+            payload_fn=payload_fn,
+            pooled=pooled,
+            on_done=seg_done,
+        )
+        state["left"] += 1
+        created.append(task)
+        for n in seg_names:
+            owner[n] = task
+        sched.add(task, deps=dep_tasks)
+    return created

@@ -1,8 +1,10 @@
 """The debug flow declared as a stage graph (§IV-A, end to end).
 
-Nine stages — ``validate``, ``cleanup``, ``initial-map``,
+Ten stages — ``validate``, ``cleanup``, ``initial-map``,
 ``signal-parameterisation``, ``tcon-map`` (the generic flow) and ``pack``,
-``place``, ``route``, ``bitgen`` (the physical back-end) — each declaring
+``rr-graph``, ``place``, ``route``, ``bitgen`` (the physical back-end,
+where ``rr-graph`` and ``place`` both hang off ``pack`` and are
+independent of each other) — each declaring
 exactly the :class:`~repro.core.flow.DebugFlowConfig` fields it reads, so
 the derived keys encode the paper's incrementality:
 
@@ -55,7 +57,7 @@ GENERIC_STAGES = (
     "signal-parameterisation",
     "tcon-map",
 )
-PHYSICAL_STAGES = ("pack", "place", "route", "bitgen")
+PHYSICAL_STAGES = ("pack", "rr-graph", "place", "route", "bitgen")
 
 
 # -- generic-flow stage bodies -------------------------------------------------
@@ -134,6 +136,12 @@ def _pack(ctx: StageContext):
     )
 
 
+def _rr_graph(ctx: StageContext):
+    from repro.physical import rr_graph_stage
+
+    return rr_graph_stage(ctx["pack"])
+
+
 def _place(ctx: StageContext):
     from repro.physical import place_stage
 
@@ -149,6 +157,7 @@ def _route(ctx: StageContext):
 
     return route_stage(
         ctx["place"],
+        ctx["rr-graph"],
         max_route_iterations=ctx.params.get("max_route_iterations", 40),
     )
 
@@ -198,6 +207,10 @@ DEBUG_FLOW_GRAPH = StageGraph(
             inputs=("tcon-map", "signal-parameterisation"),
             param_fields=("arch",),
         ),
+        # depends only on pack, so it runs concurrently with the placement
+        # anneal under the dataflow scheduler (the grid is a pure function
+        # of the pack output — see repro.physical.grid_for_packed)
+        Stage("rr-graph", _rr_graph, inputs=("pack",)),
         Stage(
             "place",
             _place,
@@ -210,7 +223,7 @@ DEBUG_FLOW_GRAPH = StageGraph(
         Stage(
             "route",
             _route,
-            inputs=("place",),
+            inputs=("place", "rr-graph"),
             param_fields=("max_route_iterations",),
             # v2: array-backed PathFinder (PR 5) — different tie-breaking,
             # so persisted v1 routings are unreachable

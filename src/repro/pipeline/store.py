@@ -187,6 +187,31 @@ class ArtifactStore:
         conservative heuristic applies: any other key under the stage
         counts as an invalidation.
         """
+        return self.get_if_present(stage, key, expect=expect, group=group)
+
+    def get_if_present(
+        self,
+        stage: str,
+        key: str,
+        *,
+        expect: type | None = None,
+        group: str | None = None,
+        record_miss: bool = True,
+    ) -> Artifact | None:
+        """The single-read lookup behind :meth:`get` — one memory probe,
+        at most one disk read.
+
+        This replaced the orchestrator's warm-probe pattern of
+        ``contains()`` *followed by* ``get()``, which read (and unpickled)
+        every warm disk artifact twice.  Both the dataflow scheduler and
+        the serial resolve path go through this method, so a warm lookup
+        costs exactly one load no matter who asks.
+
+        ``record_miss=False`` turns the call into a *peek*: a found entry
+        still counts as a hit (it was genuinely served), but an absent one
+        leaves the miss/invalidation counters untouched — for speculative
+        probes that don't imply a rebuild.
+        """
         st = self.stats.for_stage(stage)
         mem_key = (stage, key)
         if mem_key in self._memory:
@@ -203,10 +228,11 @@ class ArtifactStore:
                 self._memory[mem_key] = value
             self._record_group(stage, key, group)
             return Artifact(stage, key, value, hit=True)
-        st.misses += 1
-        if self._is_invalidation(stage, key, group):
-            st.invalidations += 1
-        self._record_group(stage, key, group)
+        if record_miss:
+            st.misses += 1
+            if self._is_invalidation(stage, key, group):
+                st.invalidations += 1
+            self._record_group(stage, key, group)
         return None
 
     def put(
@@ -237,10 +263,10 @@ class ArtifactStore:
         """Whether ``(stage, key)`` is available (memory or disk), without
         loading it and without touching the hit/miss stats.
 
-        The campaign's parallel offline scheduler uses this to decide
-        which distinct designs are already warm (resolved in-process,
-        cheap) and which are cold (dispatched to build workers) — a probe
-        must not distort the store's accounting.
+        Prefer :meth:`get_if_present` when the value will be consumed on a
+        hit — ``contains()`` followed by ``get()`` reads warm disk
+        artifacts twice.  This stays for pure existence checks (admin
+        tooling, tests).
         """
         if (stage, key) in self._memory:
             return True
