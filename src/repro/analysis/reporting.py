@@ -130,6 +130,7 @@ def render_campaign_report(
     offline_workers: int | None = None,
     offline_wall_s: float | None = None,
     offline_stage_s: Mapping[str, float] | None = None,
+    intra_design_workers: int | None = None,
     notes: Sequence[str] = (),
     schedule: str | None = None,
     sched_wall_s: float | None = None,
@@ -215,6 +216,11 @@ def render_campaign_report(
             else ""
         )
         lines.append(f"offline stages built: {breakdown}{wall}")
+    if intra_design_workers:
+        lines.append(
+            f"intra-design parallelism: {intra_design_workers} worker(s) "
+            "(region-parallel place, round-parallel route)"
+        )
     if wall_s is not None:
         par = f", {workers} worker(s)" if workers else ""
         lines.append(f"wall clock: {wall_s:.2f} s{par}")

@@ -89,6 +89,17 @@ def _parser() -> argparse.ArgumentParser:
         "serial; outcomes are byte-identical either way)",
     )
     p.add_argument(
+        "--intra-design-workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="intra-design physical parallelism (requires --physical): "
+        "N >= 1 switches to the region-parallel placer and the round-"
+        "parallel router, fanning move/route waves onto the shared pool "
+        "with N slots (default 0 = historical serial algorithms; "
+        "outcomes are byte-identical across any N >= 1)",
+    )
+    p.add_argument(
         "--lane-width",
         type=int,
         default=64,
@@ -233,6 +244,7 @@ def _build_scenarios(
             cache=cache,
             with_physical=args.physical,
             workers=args.offline_workers,
+            intra_workers=args.intra_design_workers,
         )
 
     scenarios: list[DebugScenario] = []
@@ -245,8 +257,15 @@ def _build_scenarios(
                 return None
             spec = get_spec(design) if isinstance(design, str) else design
             net = generate_circuit(spec)
+            extras = (
+                ("place_regions=8",)
+                if args.intra_design_workers >= 1 and args.physical
+                else ()
+            )
             found = prebuilt.get(
-                _offline_group_key(net, CampaignConfig().flow, args.physical)
+                _offline_group_key(
+                    net, CampaignConfig().flow, args.physical, extras
+                )
             )
             if found is not None:
                 return found
@@ -334,10 +353,18 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.intra_design_workers and not args.physical:
+        print(
+            "error: --intra-design-workers only applies to the physical "
+            "back-end; add --physical",
+            file=sys.stderr,
+        )
+        return 2
     config = CampaignConfig(
         workers=args.workers,
         offline_workers=args.offline_workers,
         with_physical=args.physical,
+        intra_design_workers=args.intra_design_workers,
         max_turns=args.max_turns,
         lane_width=args.lane_width,
         interpreted=args.interpreted,

@@ -89,6 +89,16 @@ class CampaignConfig:
     """Include the physical back-end (pack/place/route, bitstream) in the
     offline artifact — the paper's full §IV-A stage.  Currently limited to
     combinational designs (the TPaR back-end does not yet route latches)."""
+    intra_design_workers: int = 0
+    """Intra-design parallelism for the physical back-end.  ``0``
+    (default) keeps the historical serial placement/routing algorithms.
+    ``>= 1`` switches to the intra-parallel algorithms — the
+    region-parallel annealer (cache-keyed as ``place_regions=8``) and the
+    round-parallel router (byte-identical to serial) — fanning their move
+    and route waves onto the campaign's one shared worker pool with this
+    many slots; ``1`` runs the same algorithms in-process.  Campaign
+    outcomes are therefore byte-identical across any ``>= 1`` setting —
+    only the wall clock changes.  Ignored without ``with_physical``."""
     max_turns: int = 48
     """Per-scenario budget of debugging turns for the localization walk."""
     lane_width: int = 64
@@ -241,9 +251,19 @@ def _make_pool(n: int):
     return ProcessPoolExecutor(max_workers=n)
 
 
-def _offline_group_key(net, flow: DebugFlowConfig, with_physical: bool) -> str:
-    """The identity under which scenarios share one offline build."""
-    extra = ("physical",) if with_physical else ()
+def _offline_group_key(
+    net,
+    flow: DebugFlowConfig,
+    with_physical: bool,
+    extras: tuple = (),
+) -> str:
+    """The identity under which scenarios share one offline build.
+
+    ``extras`` carries additional algorithm discriminators — e.g.
+    ``"place_regions=8"`` when the intra-parallel back-end is selected,
+    whose placement is a different (keyed) trajectory from serial.
+    """
+    extra = (("physical",) if with_physical else ()) + extras
     return offline_cache_key(net, flow, extra=extra)
 
 
@@ -272,6 +292,8 @@ def _submit_design_build(
     gkey: str,
     *,
     pooled: bool,
+    params: "dict | None" = None,
+    intra=None,
     on_complete,
 ) -> list[ScheduledTask]:
     """Register one design's offline build as dataflow tasks.
@@ -306,7 +328,7 @@ def _submit_design_build(
     if isinstance(cache, ArtifactStore):
         # stage-granular: the probe inside submit_compile is the lookup
         try:
-            plan = DEBUG_FLOW_GRAPH.plan(net, flow, stages=stages)
+            plan = DEBUG_FLOW_GRAPH.plan(net, flow, params=params, stages=stages)
         except Exception as exc:  # noqa: BLE001 — one bad design ≠ dead campaign
             fail(exc)
             return []
@@ -332,6 +354,7 @@ def _submit_design_build(
             store=cache,
             pooled=pooled,
             label=gkey[:12],
+            intra=intra,
             on_complete=complete,
         )
 
@@ -347,7 +370,7 @@ def _submit_design_build(
             return []
 
     try:
-        plan = DEBUG_FLOW_GRAPH.plan(net, flow, stages=stages)
+        plan = DEBUG_FLOW_GRAPH.plan(net, flow, params=params, stages=stages)
     except Exception as exc:  # noqa: BLE001
         fail(exc)
         return []
@@ -373,6 +396,7 @@ def _submit_design_build(
         store=None,
         pooled=pooled,
         label=gkey[:12],
+        intra=intra,
         on_complete=complete_cold,
     )
 
@@ -384,6 +408,7 @@ def prebuild_offline(
     cache: CacheLike = None,
     with_physical: bool = False,
     workers: int = 1,
+    intra_workers: int = 0,
     notes: "list[str] | None" = None,
 ) -> "dict[str, OfflineStage]":
     """Warm the cache with offline artifacts for ``nets``, concurrently.
@@ -405,18 +430,35 @@ def prebuild_offline(
     absent; callers decide whether to retry without the physical stage
     or surface the error.  ``notes``, when given, collects
     human-readable fallback messages (pool unavailable etc.).
+
+    ``intra_workers >= 1`` (with ``with_physical``) selects the
+    intra-parallel physical algorithms — see
+    :attr:`CampaignConfig.intra_design_workers` for the semantics.
     """
     flow = flow or DebugFlowConfig()
     if notes is None:
         notes = []
+    intra_enabled = intra_workers >= 1 and with_physical
+    extras = ("place_regions=8",) if intra_enabled else ()
+    params = {"place_regions": 8} if intra_enabled else None
     keyed: "dict[str, object]" = {}
     for net in nets:
-        keyed.setdefault(_offline_group_key(net, flow, with_physical), net)
+        keyed.setdefault(
+            _offline_group_key(net, flow, with_physical, extras), net
+        )
     out: "dict[str, OfflineStage]" = {}
     sched = DataflowScheduler(
-        pool_size=min(max(1, workers), max(1, len(keyed))),
+        pool_size=max(
+            min(max(1, workers), max(1, len(keyed))),
+            intra_workers if intra_enabled else 1,
+        ),
         executor_factory=_make_pool,
     )
+    intra = None
+    if intra_enabled:
+        from repro.util.intra import IntraPool
+
+        intra = IntraPool(intra_workers, acquire=sched._acquire_pool)
     try:
         for key, net in keyed.items():
 
@@ -432,6 +474,8 @@ def prebuild_offline(
                 cache,
                 key,
                 pooled=workers > 1,
+                params=params,
+                intra=intra,
                 on_complete=done,
             )
         sched.run()
@@ -442,6 +486,10 @@ def prebuild_offline(
             "offline prebuild pool unavailable "
             f"({type(sched.pool_error).__name__}); built cold design(s) "
             "in-process"
+        )
+    if intra is not None and intra.broken:
+        notes.append(
+            "intra-design pool unavailable; place/route rounds ran in-process"
         )
     return out
 
@@ -483,10 +531,17 @@ def run_campaign(
     workers = max(1, config.workers)
     lane_width = max(1, config.lane_width)
     barrier = config.schedule == "barrier"
+    intra_enabled = config.intra_design_workers >= 1 and config.with_physical
+    # the region-parallel annealer is a different (keyed) algorithm, so
+    # intra-enabled builds live under their own group keys and params
+    extras = ("place_regions=8",) if intra_enabled else ()
+    build_params = {"place_regions": 8} if intra_enabled else None
     # offline build unit: one per distinct design when pooled (builds
     # dedupe across duplicate scenarios), one per scenario when serial —
-    # the historical granularities, now just two task layouts
-    dedup = config.offline_workers > 1
+    # the historical granularities, now just two task layouts.  Intra-
+    # parallel builds always take the dedup path: only the segment-task
+    # layout can thread the intra pool into place/route stage bodies.
+    dedup = config.offline_workers > 1 or intra_enabled
 
     offline_s: dict[int, float] = {}
     hits: dict[int, bool] = {}
@@ -506,7 +561,9 @@ def run_campaign(
         t0 = time.perf_counter()
         try:
             net = sc.debug_network()
-            gkey = _offline_group_key(net, config.flow, config.with_physical)
+            gkey = _offline_group_key(
+                net, config.flow, config.with_physical, extras
+            )
         except Exception as exc:  # noqa: BLE001
             failed[idx] = _offline_error(sc, f"{type(exc).__name__}: {exc}")
             offline_s[idx] = time.perf_counter() - t0
@@ -559,6 +616,13 @@ def run_campaign(
         )
 
     sched = DataflowScheduler(executor_factory=_make_pool)
+    intra = None
+    if intra_enabled:
+        from repro.util.intra import IntraPool
+
+        intra = IntraPool(
+            config.intra_design_workers, acquire=sched._acquire_pool
+        )
     # compiled programs persist in the stage store when one is in play —
     # worker processes compile their own (the store isn't shipped), but
     # in-parent runs and warm restarts skip compilation entirely
@@ -636,7 +700,9 @@ def run_campaign(
                 config.with_physical,
                 cache,
                 gkey,
-                pooled=True,
+                pooled=config.offline_workers > 1,
+                params=build_params,
+                intra=intra,
                 on_complete=(
                     lambda stage, hit, totals, err, g=gkey: design_done(
                         g, stage, hit, totals, err
@@ -704,6 +770,9 @@ def run_campaign(
         1,
         min(max(1, config.offline_workers), max(1, n_cold)) if dedup else 1,
         min(workers, expected_payloads) if use_online_pool else 1,
+        # intra-parallel place/route waves ride the same pool; size it
+        # for the widest wave only when there is cold physical work
+        config.intra_design_workers if intra_enabled and n_cold else 1,
     )
 
     # -- drain -----------------------------------------------------------------
@@ -730,6 +799,10 @@ def run_campaign(
             "offline build pool unavailable "
             f"({type(sched.pool_error).__name__}); built remaining cold "
             "design(s) in-process"
+        )
+    if intra is not None and intra.broken:
+        notes.append(
+            "intra-design pool unavailable; place/route rounds ran in-process"
         )
     online_fell_back = "online" in sched.inline_fallbacks
     if online_fell_back:
@@ -787,6 +860,9 @@ def run_campaign(
         cache_stats=cache.stats.as_dict() if cache is not None else None,
         lane_width=lane_width,
         lane_batches=[len(p[1]) for p in payloads] if lane_width > 1 else [],
+        intra_design_workers=(
+            config.intra_design_workers if intra_enabled else 0
+        ),
         notes=notes,
         schedule=config.schedule,
         sched_wall_s=sched_wall_s,

@@ -118,6 +118,11 @@ class CampaignReport:
     """Configured scenarios-per-word limit of the online engine."""
     lane_batches: list[int] = field(default_factory=list)
     """Lane occupancy per online batch (empty on the serial path)."""
+    intra_design_workers: int = 0
+    """Intra-design physical parallelism the campaign ran with (0 =
+    historical serial place/route algorithms; ``>= 1`` = region-parallel
+    placement + round-parallel routing fanning waves onto the shared
+    pool — outcomes byte-identical across any ``>= 1`` value)."""
     notes: list[str] = field(default_factory=list)
     schedule: str = "dataflow"
     """Execution discipline the campaign ran under: ``"dataflow"``
@@ -170,6 +175,7 @@ class CampaignReport:
             offline_workers=self.offline_workers,
             offline_wall_s=self.offline_wall_s,
             offline_stage_s=self.offline_stage_s,
+            intra_design_workers=self.intra_design_workers,
             notes=self.notes,
             schedule=self.schedule,
             sched_wall_s=self.sched_wall_s,

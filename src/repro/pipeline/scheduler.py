@@ -333,8 +333,14 @@ class DataflowScheduler:
 # -- compile-as-dataflow -------------------------------------------------------
 
 
-def _segment_worker(payload):
+def _segment_worker(payload, intra=None):
     """Run one fused chain of stage bodies (pool- or parent-side).
+
+    ``intra`` (an :class:`~repro.util.intra.IntraPool`) is handed to every
+    stage body via :attr:`StageContext.intra` so intra-parallel stages can
+    fan their move/route waves onto the campaign's shared pool.  It is
+    only ever non-``None`` when the segment runs in the parent — a worker
+    process must not (and cannot) drive the pool it runs on.
 
     Returns ``("ok", values, times, spans)`` with absolute
     ``perf_counter`` spans per stage, or ``("err", message)`` — stage
@@ -349,7 +355,9 @@ def _segment_worker(payload):
     try:
         for name in names:
             stage = graph[name]
-            ctx = StageContext(config=config, params=params, artifacts=values)
+            ctx = StageContext(
+                config=config, params=params, artifacts=values, intra=intra
+            )
             s0 = time.perf_counter()
             value = stage.fn(ctx)
             s1 = time.perf_counter()
@@ -371,6 +379,8 @@ def submit_compile(
     pooled: bool = False,
     kind: str = "offline",
     label: str = "",
+    intra=None,
+    intra_stages: Sequence[str] = ("place", "route"),
     on_complete: Callable[[CompileResult | None, str | None], None],
 ) -> list[ScheduledTask]:
     """Register one design's compile as dataflow tasks on ``sched``.
@@ -386,6 +396,14 @@ def submit_compile(
     *downstream of it* (independent siblings of the same design still
     complete and store their artifacts) and fires
     ``on_complete(None, message)`` once.
+
+    ``intra`` (an :class:`~repro.util.intra.IntraPool`) declares
+    *intra-design* parallelism: any segment touching a stage in
+    ``intra_stages`` is forced to run **in the parent** (never pooled) so
+    its stage bodies can fan sub-task waves onto the campaign's one
+    shared worker pool through ``intra`` — intra-parallel segments do not
+    nest a second pool, they *are* the parent feeding the existing one.
+    Other segments keep the caller's ``pooled`` setting.
 
     A fully-warm design never creates a task: ``on_complete`` fires
     synchronously before this returns.  Returns the created tasks.
@@ -493,12 +511,22 @@ def submit_compile(
             if state["left"] == 0 and not state["failed"]:
                 finish()
 
+        seg_intra = intra is not None and any(
+            n in seg_set for n in intra_stages
+        )
         task = ScheduledTask(
             kind=kind,
             label=f"{label or plan.group or 'design'}:{seg_names[0]}",
-            worker_fn=_segment_worker,
+            # intra-parallel segments run parent-side and drive the shared
+            # pool themselves; shipping them to a worker would strand the
+            # (unpicklable) pool handle and serialize the waves
+            worker_fn=(
+                (lambda payload, _i=intra: _segment_worker(payload, intra=_i))
+                if seg_intra
+                else _segment_worker
+            ),
             payload_fn=payload_fn,
-            pooled=pooled,
+            pooled=pooled and not seg_intra,
             on_done=seg_done,
         )
         state["left"] += 1

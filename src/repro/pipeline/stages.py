@@ -149,6 +149,8 @@ def _place(ctx: StageContext):
         ctx["pack"],
         seed=ctx.params.get("seed", 2016),
         effort=ctx.params.get("effort", 4.0),
+        regions=ctx.params.get("place_regions") or 0,
+        intra=ctx.intra,
     )
 
 
@@ -159,6 +161,7 @@ def _route(ctx: StageContext):
         ctx["place"],
         ctx["rr-graph"],
         max_route_iterations=ctx.params.get("max_route_iterations", 40),
+        intra=ctx.intra,
     )
 
 
@@ -215,15 +218,20 @@ DEBUG_FLOW_GRAPH = StageGraph(
             "place",
             _place,
             inputs=("pack",),
-            param_fields=("seed", "effort"),
-            # v2: incremental-HPWL annealer (PR 5) — different move
-            # trajectory, so persisted v1 placements are unreachable
-            version=2,
+            # place_regions > 1 selects the region-parallel annealer — a
+            # different move trajectory, hence a key discriminator; the
+            # worker count executing it is NOT keyed (ctx.intra)
+            param_fields=("seed", "effort", "place_regions"),
+            # v3: place_regions key discriminator (region-parallel
+            # annealer); v2: incremental-HPWL annealer (PR 5)
+            version=3,
         ),
         Stage(
             "route",
             _route,
             inputs=("place", "rr-graph"),
+            # the round-parallel router is byte-identical to serial at
+            # any worker count, so intra-parallel routing needs no key
             param_fields=("max_route_iterations",),
             # v2: array-backed PathFinder (PR 5) — different tie-breaking,
             # so persisted v1 routings are unreachable

@@ -1,0 +1,492 @@
+"""Deterministic region-parallel simulated-annealing placement.
+
+The serial annealer (:mod:`repro.place.tplace`) proposes one move at a
+time against the live state.  This variant splits each temperature step
+into *rounds*: the grid is partitioned into a checkerboard of disjoint
+regions, every region proposes and locally accepts a batch of moves
+against the **round-start snapshot** (concurrently, via
+:class:`repro.util.intra.IntraPool`), and the parent then replays the
+surviving moves in fixed region order.  The replay is what makes the
+result a pure function of the seed:
+
+* Moves are *within-region* — a block only ever targets sites of its own
+  region, so two regions can never race for a site and a region's blocks
+  are exactly where its worker left them unless the replay rejected one
+  of its earlier moves (``diverged``).
+* Per round the parent tracks, per net, the sole region that has dirtied
+  it.  A survivor whose nets were touched only by its own region (or by
+  nobody) is **fast-committed**: the worker's exact swap and net updates
+  are applied verbatim — the worker evaluated them against state
+  identical to the canonical one, so its delta is exact.
+* A survivor touching a net another region dirtied (or following a
+  replay rejection) is **re-evaluated** against canonical state with the
+  worker's recorded uniform draw — an ordinary Metropolis trial.  A
+  slow-path rejection marks the region diverged for the rest of the
+  round; a slow-path accept marks its nets dirty for *everyone*
+  (``-1``), forcing later cross-region readers through the same re-check.
+
+Worker count never enters any of this: per-region batches are seeded by
+``derive_seed(seed, "place-region/<design>/<temp>/<round>/<region>")``
+and regions are replayed in sorted order, so chunking regions across 1,
+2 or 8 workers yields byte-identical placements.
+
+The checkerboard shifts by a deterministic offset every round (wrapping
+at the grid edge), so region boundaries sweep across the device and
+blocks migrate freely over a temperature step.  A short serial greedy
+polish (hill-descent from the same RNG stream) finishes the placement.
+"""
+
+from __future__ import annotations
+
+from math import exp
+from uuid import uuid4
+
+try:  # pragma: no cover - exercised via tests/no_numpy_shim
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None
+
+from repro.arch.device import DeviceGrid
+from repro.pack.tpack import PackedDesign
+from repro.place.tplace import Placement, _PlacerState
+from repro.util.intra import IntraPool
+from repro.util.rng import derive_seed
+
+__all__ = ["place_design_regions", "eval_regions"]
+
+#: Fraction of the serial schedule's estimated start temperature the
+#: region-parallel anneal starts at (see place_design_regions).
+_START_TEMP_SCALE = 0.05
+
+#: Per-temperature move budget relative to the serial schedule.  The
+#: colder start plus the final greedy polish leave margin: the parallel
+#: path meets the serial quality gate with fewer proposals, and fewer
+#: proposals shrink both the worker rounds and the commit replay.
+_EFFORT_SCALE = 0.7
+
+
+class _RegionGrid:
+    """Checkerboard partition of device coordinates into rx × ry regions.
+
+    ``region_of`` maps a coordinate (shifted by the per-round offsets
+    ``ox``/``oy``, wrapping at the grid extent) to a region id.  Shifted
+    regions are disjoint for any offsets — that is the only property the
+    commit protocol needs; wrapped regions being non-contiguous is fine.
+    """
+
+    def __init__(self, site_x: list[int], site_y: list[int], regions: int) -> None:
+        self.xmin, self.ymin = min(site_x), min(site_y)
+        w = max(site_x) - self.xmin + 1
+        h = max(site_y) - self.ymin + 1
+        rx = max(1, int(regions ** 0.5))
+        while regions % rx:
+            rx -= 1
+        ry = regions // rx
+        if (w >= h) != (rx >= ry):
+            rx, ry = ry, rx  # more columns along the wider axis
+        self.rx, self.ry = rx, ry
+        self.n_regions = rx * ry
+        self.rw = max(1, -(-w // rx))
+        self.rh = max(1, -(-h // ry))
+        self._parts: dict[tuple[int, int], tuple[list, list]] = {}
+        self._site_x, self._site_y = site_x, site_y
+
+    def region_of(self, x: int, y: int, ox: int, oy: int) -> int:
+        col = (x - self.xmin + ox) // self.rw % self.rx
+        row = (y - self.ymin + oy) // self.rh % self.ry
+        return row * self.rx + col
+
+    def offsets(self, t_index: int, rd: int) -> tuple[int, int]:
+        h1 = t_index * 1009 + rd
+        return h1 % self.rw, (h1 // 7) % self.rh
+
+    def site_partition(self, n_clb_sites: int, ox: int, oy: int):
+        """Per-region site-id lists ``(clb_by_region, io_by_region)``."""
+        key = (ox, oy)
+        cached = self._parts.get(key)
+        if cached is not None:
+            return cached
+        clb_by_r: list[list[int]] = [[] for _ in range(self.n_regions)]
+        io_by_r: list[list[int]] = [[] for _ in range(self.n_regions)]
+        for s, (x, y) in enumerate(zip(self._site_x, self._site_y)):
+            r = self.region_of(x, y, ox, oy)
+            (clb_by_r if s < n_clb_sites else io_by_r)[r].append(s)
+        self._parts[key] = (clb_by_r, io_by_r)
+        return clb_by_r, io_by_r
+
+
+def _eval_one_region(static: tuple, snap: tuple, part: tuple) -> tuple:
+    """Propose/evaluate one region's move batch against the snapshot.
+
+    Pure function of its arguments (the snapshot lists are copied before
+    mutation), so the result is independent of which worker — or the
+    parent process — runs it.  Returns ``(region, evaluated, survivors)``
+    with survivor tuples ``(bi, other, old_site, new_site, u, d, mups)``.
+    """
+    members, nets_of_block, big, site_x, site_y, is_clb, n_nets = static
+    r, rseed, movable, clb_sites, io_sites, moves, inv_temp = part
+    if np is None:  # pragma: no cover - guarded by tests/no_numpy_shim
+        raise RuntimeError("region-parallel placement requires numpy")
+    rng = np.random.default_rng(rseed)
+    pick_b = rng.integers(0, len(movable), size=moves).tolist()
+    pick_c = rng.integers(0, len(clb_sites), size=moves).tolist() if clb_sites else None
+    pick_i = rng.integers(0, len(io_sites), size=moves).tolist() if io_sites else None
+    accept_u = rng.random(moves).tolist()
+
+    site_of = list(snap[0])
+    net_cost = list(snap[1])
+    state = dict(snap[2])  # ni -> bbox state; entries replaced, never mutated
+    # coordinate/occupancy tables are derived, not shipped: site_of plus
+    # the static site tables determine them exactly
+    bx = [site_x[s] for s in site_of]
+    by = [site_y[s] for s in site_of]
+    block_at = [-1] * len(site_x)
+    for b, s in enumerate(site_of):
+        block_at[s] = b
+
+    from repro.place.tplace import _axis_move, _bbox_scan
+
+    net_stamp = [0] * n_nets
+    move_id = 0
+    ups: list[tuple] = []
+
+    def try_move(moved) -> float:
+        # mirror of _PlacerState.try_move over the region's local copies
+        nonlocal move_id
+        move_id += 1
+        mid = move_id
+        ups.clear()
+        d = 0.0
+        for entry in moved:
+            b0 = entry[0]
+            for ni in nets_of_block[b0]:
+                if net_stamp[ni] == mid:
+                    continue
+                net_stamp[ni] = mid
+                m = members[ni]
+                if not big[ni]:
+                    xmn = ymn = 1 << 30
+                    xmx = ymx = -1
+                    for mb in m:
+                        v = bx[mb]
+                        if v < xmn:
+                            xmn = v
+                        if v > xmx:
+                            xmx = v
+                        v = by[mb]
+                        if v < ymn:
+                            ymn = v
+                        if v > ymx:
+                            ymx = v
+                    new_cost = float(xmx - xmn + ymx - ymn)
+                    ups.append((ni, None, new_cost))
+                    d += new_cost - net_cost[ni]
+                    continue
+                xmn, nxmn, xmx, nxmx, ymn, nymn, ymx, nymx = state[ni]
+                ok = True
+                for b, ox_, oy_, nx_, ny_ in moved:
+                    if b != b0 and ni not in nets_of_block[b]:
+                        continue
+                    res = _axis_move(xmn, nxmn, xmx, nxmx, ox_, nx_)
+                    if res is None:
+                        ok = False
+                        break
+                    xmn, nxmn, xmx, nxmx = res
+                    res = _axis_move(ymn, nymn, ymx, nymx, oy_, ny_)
+                    if res is None:
+                        ok = False
+                        break
+                    ymn, nymn, ymx, nymx = res
+                if ok:
+                    new_state = [xmn, nxmn, xmx, nxmx, ymn, nymn, ymx, nymx]
+                else:
+                    new_state = _bbox_scan(m, bx, by)
+                    xmn, _n1, xmx, _n2, ymn, _n3, ymx, _n4 = new_state
+                new_cost = float(xmx - xmn + ymx - ymn)
+                d += new_cost - net_cost[ni]
+                ups.append((ni, new_state, new_cost))
+        return d
+
+    survivors: list[tuple] = []
+    evaluated = 0
+    for i in range(moves):
+        bi = movable[pick_b[i]]
+        if is_clb[bi]:
+            s = clb_sites[pick_c[i]]
+        else:
+            s = io_sites[pick_i[i]]
+        old_s = site_of[bi]
+        if s == old_s:
+            continue
+        other = block_at[s]
+        ox, oy = bx[bi], by[bi]
+        nx, ny = site_x[s], site_y[s]
+        bx[bi], by[bi] = nx, ny
+        if other >= 0:
+            bx[other], by[other] = ox, oy
+            moved = ((bi, ox, oy, nx, ny), (other, nx, ny, ox, oy))
+        else:
+            moved = ((bi, ox, oy, nx, ny),)
+        d = try_move(moved)
+        evaluated += 1
+        u = accept_u[i]
+        if d <= 0.0 or u < exp(d * inv_temp):
+            block_at[s] = bi
+            block_at[old_s] = other if other >= 0 else -1
+            site_of[bi] = s
+            if other >= 0:
+                site_of[other] = old_s
+            for ni, new_state, new_cost in ups:
+                if new_state is not None:
+                    state[ni] = new_state
+                net_cost[ni] = new_cost
+            survivors.append((bi, other, old_s, s, u, d, list(ups)))
+        else:
+            bx[bi], by[bi] = ox, oy
+            if other >= 0:
+                bx[other], by[other] = nx, ny
+    return (r, evaluated, survivors)
+
+
+def eval_regions(static: tuple, payload: tuple) -> list[tuple]:
+    """IntraPool kernel: evaluate a chunk of region batches for one round."""
+    snap, parts = payload
+    return [_eval_one_region(static, snap, part) for part in parts]
+
+
+def _commit_round(st: _PlacerState, region_results: list[tuple], inv_temp: float) -> int:
+    """Replay one round's survivors onto canonical state, in region order.
+
+    Implements the dirty-net protocol documented in the module docstring.
+    Returns the number of committed moves.  Pure function of
+    ``(canonical state, region_results)`` — the worker count that
+    produced ``region_results`` is invisible here.
+    """
+    dirty: dict[int, int] = {}   # net -> sole dirtying region, or -1
+    diverged: dict[int, bool] = {}
+    accepted = 0
+    site_x, site_y = st.site_x, st.site_y
+    bx, by = st.bx, st.by
+    site_of, block_at = st.site_of, st.block_at
+    state, net_cost = st.state, st.net_cost
+    for r, _evaluated, survivors in sorted(region_results):
+        for bi, other, old_s, new_s, u, d, mups in survivors:
+            if (
+                not diverged.get(r)
+                and site_of[bi] == old_s
+                and block_at[new_s] == other
+                and all(dirty.get(ni, r) == r for ni, _s, _c in mups)
+            ):
+                # fast path: the worker saw exactly this state — replay
+                # its swap and net updates verbatim
+                block_at[new_s] = bi
+                block_at[old_s] = other if other >= 0 else -1
+                site_of[bi] = new_s
+                bx[bi], by[bi] = site_x[new_s], site_y[new_s]
+                if other >= 0:
+                    site_of[other] = old_s
+                    bx[other], by[other] = site_x[old_s], site_y[old_s]
+                for ni, new_state, new_cost in mups:
+                    if new_state is not None:
+                        state[ni] = new_state
+                    net_cost[ni] = new_cost
+                    dirty[ni] = r
+                st.total += d
+                accepted += 1
+                continue
+            # slow path: a cross-region net (or an earlier replay
+            # rejection) invalidated the worker's delta — rerun the
+            # Metropolis trial against canonical state with the same u
+            old_c = site_of[bi]
+            if new_s == old_c:
+                diverged[r] = True
+                continue
+            oth = block_at[new_s]
+            ox, oy = bx[bi], by[bi]
+            nx, ny = site_x[new_s], site_y[new_s]
+            bx[bi], by[bi] = nx, ny
+            if oth >= 0:
+                bx[oth], by[oth] = ox, oy
+                moved = ((bi, ox, oy, nx, ny), (oth, nx, ny, ox, oy))
+            else:
+                moved = ((bi, ox, oy, nx, ny),)
+            dc = st.try_move(moved)
+            if dc <= 0.0 or u < exp(dc * inv_temp):
+                block_at[new_s] = bi
+                block_at[old_c] = oth if oth >= 0 else -1
+                site_of[bi] = new_s
+                if oth >= 0:
+                    site_of[oth] = old_c
+                for ni, new_state, new_cost in st.ups:
+                    if new_state is not None:
+                        state[ni] = new_state
+                    net_cost[ni] = new_cost
+                    dirty[ni] = -1
+                st.total += dc
+                accepted += 1
+            else:
+                bx[bi], by[bi] = ox, oy
+                if oth >= 0:
+                    bx[oth], by[oth] = nx, ny
+                diverged[r] = True
+    return accepted
+
+
+def _greedy_polish(st: _PlacerState, n_moves: int, sweeps: int) -> tuple[int, int]:
+    """Serial hill-descent sweeps continuing the placer's RNG stream."""
+    movable = st.movable
+    n_movable = st.n_movable
+    n_clb_sites, n_io_sites = st.n_clb_sites, st.n_io_sites
+    site_of, block_at = st.site_of, st.block_at
+    bx, by = st.bx, st.by
+    site_x, site_y = st.site_x, st.site_y
+    is_clb = st.is_clb
+    state, net_cost = st.state, st.net_cost
+    try_move, ups, rng = st.try_move, st.ups, st.rng
+    tried = accepted = 0
+    for _ in range(sweeps):
+        pick_b = rng.integers(0, n_movable, size=n_moves).tolist()
+        pick_clb = rng.integers(0, n_clb_sites, size=n_moves).tolist()
+        pick_io = rng.integers(0, n_io_sites, size=n_moves).tolist()
+        for i in range(n_moves):
+            bi = movable[pick_b[i]]
+            s = pick_clb[i] if is_clb[bi] else n_clb_sites + pick_io[i]
+            old_s = site_of[bi]
+            if s == old_s:
+                continue
+            other = block_at[s]
+            ox, oy = bx[bi], by[bi]
+            nx, ny = site_x[s], site_y[s]
+            bx[bi], by[bi] = nx, ny
+            if other >= 0:
+                bx[other], by[other] = ox, oy
+                moved = ((bi, ox, oy, nx, ny), (other, nx, ny, ox, oy))
+            else:
+                moved = ((bi, ox, oy, nx, ny),)
+            d = try_move(moved)
+            tried += 1
+            if d < 0.0:
+                block_at[s] = bi
+                block_at[old_s] = other if other >= 0 else -1
+                site_of[bi] = s
+                if other >= 0:
+                    site_of[other] = old_s
+                for ni, new_state, new_cost in ups:
+                    if new_state is not None:
+                        state[ni] = new_state
+                    net_cost[ni] = new_cost
+                st.total += d
+                accepted += 1
+            else:
+                bx[bi], by[bi] = ox, oy
+                if other >= 0:
+                    bx[other], by[other] = nx, ny
+    return tried, accepted
+
+
+def place_design_regions(
+    packed: PackedDesign,
+    grid: DeviceGrid | None = None,
+    *,
+    seed: int = 2016,
+    effort: float = 4.0,
+    utilization: float = 0.7,
+    regions: int = 8,
+    intra: IntraPool | None = None,
+) -> Placement:
+    """Region-parallel anneal; byte-identical at any worker count.
+
+    ``regions`` is part of the algorithm (it changes which placement is
+    produced); ``intra`` is pure execution (it never does).
+    """
+    if regions <= 1:
+        raise ValueError("place_design_regions needs regions >= 2")
+    st = _PlacerState(packed, grid, seed, utilization)
+    placement = st.placement
+    if not st.movable:
+        placement.cost = st.total
+        return st.export()
+
+    pool = intra if intra is not None else IntraPool(1)
+    name = packed.physical.network.name
+    rg = _RegionGrid(st.site_x, st.site_y, regions)
+    n_regions = rg.n_regions
+
+    n_moves = max(64, int(effort * st.n_blocks ** (4.0 / 3.0)))
+    anneal_moves = max(64, int(n_moves * _EFFORT_SCALE))
+    # start colder than the serial schedule: the near-100%-accept phase
+    # adds no quality over the random initial placement but floods the
+    # replay with cross-region conflicts (every survivor dirties nets),
+    # serializing the commit.  The greedy polish recovers the tail.
+    temp = st.estimate_temp() * _START_TEMP_SCALE
+    min_temp = st.min_temp()
+
+    token = f"place/{uuid4().hex}"
+    static = (
+        st.members,
+        st.nets_of_block,
+        st.big,
+        st.site_x,
+        st.site_y,
+        st.is_clb,
+        st.n_nets,
+    )
+
+    tried = 0
+    accepted_total = 0
+    rate = 0.5  # seeds the first temperature's round count
+    t_index = 0
+    while temp > min_temp:
+        # more rounds while moves still land: each round is one
+        # snapshot/commit cycle, so the accept rate bounds how stale a
+        # round's speculation can get
+        rounds = max(1, min(10, int(rate * 12.0 + 0.5)))
+        moves_per_round = max(1, anneal_moves // (rounds * n_regions))
+        inv_temp = -1.0 / temp
+        accepted = 0
+        proposed = 0
+        for rd in range(rounds):
+            ox, oy = rg.offsets(t_index, rd)
+            clb_by_r, io_by_r = rg.site_partition(st.n_clb_sites, ox, oy)
+            movable_by_r: list[list[int]] = [[] for _ in range(n_regions)]
+            for bi in st.movable:
+                movable_by_r[rg.region_of(st.bx[bi], st.by[bi], ox, oy)].append(bi)
+            parts = []
+            for r in range(n_regions):
+                if not movable_by_r[r]:
+                    continue
+                rseed = derive_seed(seed, f"place-region/{name}/{t_index}/{rd}/{r}")
+                parts.append(
+                    (r, rseed, movable_by_r[r], clb_by_r[r], io_by_r[r],
+                     moves_per_round, inv_temp)
+                )
+            if not parts:
+                continue
+            snap_state = {ni: s for ni, s in enumerate(st.state) if s is not None}
+            snap = (st.site_of, st.net_cost, snap_state)
+            payloads = [(snap, parts[a:b]) for a, b in pool.chunks(len(parts))]
+            out = pool.map_round(
+                "repro.place.parallel", "eval_regions", token, static, payloads
+            )
+            region_results = [res for chunk in out for res in chunk]
+            for _r, evaluated, _s in region_results:
+                tried += evaluated
+            proposed += moves_per_round * len(parts)
+            accepted += _commit_round(st, region_results, inv_temp)
+        accepted_total += accepted
+        rate = accepted / max(1, proposed)
+        if rate > 0.96:
+            temp *= 0.5
+        elif rate > 0.8:
+            temp *= 0.9
+        elif rate > 0.15:
+            temp *= 0.95
+        else:
+            temp *= 0.8
+        t_index += 1
+
+    p_tried, p_accepted = _greedy_polish(st, n_moves, sweeps=2)
+    placement.moves_tried = tried + p_tried
+    placement.moves_accepted = accepted_total + p_accepted
+    placement.cost = float(sum(st.net_cost))
+    return st.export()

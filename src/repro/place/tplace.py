@@ -20,6 +20,12 @@ trial move then updates each affected net in O(1) — a full member rescan
 happens only when a block leaves a boundary it alone occupied.  The
 reference implementation this was rewritten from (and is quality-gated
 against) is :func:`repro.place.ref.place_design_ref`.
+
+The setup half of the anneal (blocks, grid, initial assignment, net
+tables, incremental state, the ``try_move`` evaluator) lives in
+:class:`_PlacerState`, shared with the deterministic region-parallel
+annealer of :mod:`repro.place.parallel` — both start from the identical
+initial placement and temperature estimate for a given seed.
 """
 
 from __future__ import annotations
@@ -183,6 +189,253 @@ def _axis_move(mn: int, nmn: int, mx: int, nmx: int, old: int, new: int):
     return mn, nmn, mx, nmx
 
 
+class _PlacerState:
+    """Everything an annealer needs, built identically for every variant.
+
+    Blocks, grid, the seed-derived RNG stream, the random initial
+    assignment, net tables, the incremental bounding-box state and the
+    ``try_move`` evaluator.  The serial :func:`place_design` and the
+    region-parallel :func:`repro.place.parallel.place_design_regions`
+    both drive this state — same seed ⇒ same initial placement, same
+    temperature estimate — and differ only in their move loops.
+    """
+
+    def __init__(
+        self,
+        packed: PackedDesign,
+        grid: DeviceGrid | None,
+        seed: int,
+        utilization: float,
+    ) -> None:
+        self.packed = packed
+        physical = packed.physical
+
+        blocks: list[_Block] = []
+        for c in packed.clusters:
+            blocks.append(_Block(index=len(blocks), kind="clb", payload=c.index))
+        for s in physical.pi_signals:
+            blocks.append(_Block(index=len(blocks), kind="ipad", payload=s))
+        for s in physical.po_signals:
+            blocks.append(_Block(index=len(blocks), kind="opad", payload=s))
+        self.blocks = blocks
+
+        n_pads = sum(1 for b in blocks if b.kind != "clb")
+        if grid is None:
+            grid = DeviceGrid.for_design(
+                packed.arch,
+                n_clbs=max(1, packed.n_clusters),
+                n_pads=n_pads,
+                utilization=utilization,
+            )
+        if grid.n_clbs < packed.n_clusters or grid.n_pads < n_pads:
+            raise PlacementError(
+                f"device {grid!r} too small: need {packed.n_clusters} CLBs, "
+                f"{n_pads} pads"
+            )
+        self.grid = grid
+
+        rng = self.rng = RngHub(seed).stream(f"place/{physical.network.name}")
+
+        # sites as integer ids: CLB sites first, then I/O subtiles
+        clb_sites = [(x, y, 0) for (x, y) in grid.clb_positions()]
+        io_sites = [
+            (x, y, k)
+            for (x, y) in grid.io_positions()
+            for k in range(grid.spec.io_capacity)
+        ]
+        sites = self.sites = clb_sites + io_sites
+        n_clb_sites = self.n_clb_sites = len(clb_sites)
+        self.n_io_sites = len(io_sites)
+        site_x = self.site_x = [s[0] for s in sites]
+        site_y = self.site_y = [s[1] for s in sites]
+        n_sites = self.n_sites = len(sites)
+
+        self.placement = Placement(packed=packed, grid=grid, blocks=blocks)
+        n_blocks = self.n_blocks = len(blocks)
+        site_of = self.site_of = [-1] * n_blocks
+        block_at = self.block_at = [-1] * n_sites
+        bx = self.bx = [0] * n_blocks
+        by = self.by = [0] * n_blocks
+        self.is_clb = [b.kind == "clb" for b in blocks]
+
+        def assign(block: int, site: int) -> None:
+            site_of[block] = site
+            block_at[site] = block
+            bx[block] = site_x[site]
+            by[block] = site_y[site]
+
+        clb_blocks = [b for b in blocks if b.kind == "clb"]
+        pad_blocks = [b for b in blocks if b.kind != "clb"]
+        for b, site in zip(clb_blocks, rng.permutation(n_clb_sites)[: len(clb_blocks)]):
+            assign(b.index, int(site))
+        for b, site in zip(pad_blocks, rng.permutation(len(io_sites))[: len(pad_blocks)]):
+            assign(b.index, n_clb_sites + int(site))
+
+        nets, net_signal = _build_nets(packed, blocks)
+        self.placement.nets = nets
+        self.placement.net_signal = net_signal
+        members = self.members = [tuple(net) for net in nets]
+        self.n_nets = n_nets = len(nets)
+
+        nets_of_block: list[list[int]] = [[] for _ in range(n_blocks)]
+        for ni, net in enumerate(members):
+            for b in net:
+                nets_of_block[b].append(ni)
+        self.nets_of_block = nets_of_block
+
+        # nets below the threshold are cheaper to rescan outright (a handful
+        # of list reads) than to keep boundary counts for: a mover on a tiny
+        # net is nearly always alone on a boundary, forcing the rescan
+        # fallback anyway.  Large nets (TCON trees spanning many leaf
+        # drivers) keep the incremental state.
+        SMALL_NET = 10
+        big = self.big = [len(m) > SMALL_NET for m in members]
+        state = self.state = [
+            _bbox_scan(m, bx, by) if b else None for m, b in zip(members, big)
+        ]
+        net_cost = self.net_cost = [0.0] * n_nets
+        for ni, m in enumerate(members):
+            s = state[ni] or _bbox_scan(m, bx, by)
+            net_cost[ni] = float(s[2] - s[0] + s[6] - s[4])
+        self.total = sum(net_cost)
+
+        self.movable = [b.index for b in blocks if nets_of_block[b.index]]
+        self.n_movable = len(self.movable)
+
+        # scratch for one trial move: affected nets, their candidate states
+        net_stamp = [0] * n_nets
+        move_id = 0
+        ups: list[tuple] = []
+        self.ups = ups
+
+        def try_move(
+            moved,
+            # bind the hot lookups once; the loop below runs ~300k times/anneal
+            nets_of_block=nets_of_block,
+            members=members,
+            state=state,
+            net_cost=net_cost,
+            net_stamp=net_stamp,
+            big=big,
+            bx=bx,
+            by=by,
+            ups=ups,
+        ) -> float:
+            """Delta HPWL of a tentative move (coords already updated in
+            ``bx``/``by``); fills ``ups`` with per-net replacement states."""
+            nonlocal move_id
+            move_id += 1
+            mid = move_id
+            ups.clear()
+            d = 0.0
+            for entry in moved:
+                b0 = entry[0]
+                for ni in nets_of_block[b0]:
+                    if net_stamp[ni] == mid:
+                        continue
+                    net_stamp[ni] = mid
+                    m = members[ni]
+                    if not big[ni]:
+                        # small net: direct bounding-box rescan, no counts
+                        xmn = ymn = 1 << 30
+                        xmx = ymx = -1
+                        for mb in m:
+                            v = bx[mb]
+                            if v < xmn:
+                                xmn = v
+                            if v > xmx:
+                                xmx = v
+                            v = by[mb]
+                            if v < ymn:
+                                ymn = v
+                            if v > ymx:
+                                ymx = v
+                        new_cost = float(xmx - xmn + ymx - ymn)
+                        ups.append((ni, None, new_cost))
+                        d += new_cost - net_cost[ni]
+                        continue
+                    xmn, nxmn, xmx, nxmx, ymn, nymn, ymx, nymx = state[ni]
+                    ok = True
+                    for b, ox, oy, nx, ny in moved:
+                        if b != b0 and ni not in nets_of_block[b]:
+                            continue
+                        r = _axis_move(xmn, nxmn, xmx, nxmx, ox, nx)
+                        if r is None:
+                            ok = False
+                            break
+                        xmn, nxmn, xmx, nxmx = r
+                        r = _axis_move(ymn, nymn, ymx, nymx, oy, ny)
+                        if r is None:
+                            ok = False
+                            break
+                        ymn, nymn, ymx, nymx = r
+                    if ok:
+                        new_state = [xmn, nxmn, xmx, nxmx, ymn, nymn, ymx, nymx]
+                    else:
+                        new_state = _bbox_scan(m, bx, by)
+                        xmn, _n1, xmx, _n2, ymn, _n3, ymx, _n4 = new_state
+                    new_cost = float(xmx - xmn + ymx - ymn)
+                    d += new_cost - net_cost[ni]
+                    ups.append((ni, new_state, new_cost))
+            return d
+
+        self.try_move = try_move
+
+    def export(self) -> Placement:
+        site_of = self.site_of
+        self.placement.loc_of = {
+            b.index: self.sites[site_of[b.index]] for b in self.blocks
+        }
+        return self.placement
+
+    def estimate_temp(self) -> float:
+        """Initial temperature: std of random move deltas (trials reverted).
+
+        Draws from the shared stream in the exact order the serial anneal
+        always has, so the serial and region-parallel paths start from
+        the same temperature for a given seed.
+        """
+        movable = self.movable
+        site_of, block_at = self.site_of, self.block_at
+        bx, by = self.bx, self.by
+        site_x, site_y = self.site_x, self.site_y
+        is_clb, n_clb_sites = self.is_clb, self.n_clb_sites
+        rng = self.rng
+        deltas = []
+        n_est = min(100, 10 * self.n_movable)
+        est_blocks = rng.integers(0, self.n_movable, size=n_est).tolist()
+        est_clb = rng.integers(0, n_clb_sites, size=n_est).tolist()
+        est_io = rng.integers(0, self.n_io_sites, size=n_est).tolist()
+        for i in range(n_est):
+            bi = movable[est_blocks[i]]
+            s = est_clb[i] if is_clb[bi] else n_clb_sites + est_io[i]
+            old_s = site_of[bi]
+            if s == old_s:
+                continue
+            other = block_at[s]
+            ox, oy = bx[bi], by[bi]
+            nx, ny = site_x[s], site_y[s]
+            bx[bi], by[bi] = nx, ny
+            if other >= 0:
+                bx[other], by[other] = ox, oy
+                moved = ((bi, ox, oy, nx, ny), (other, nx, ny, ox, oy))
+            else:
+                moved = ((bi, ox, oy, nx, ny),)
+            deltas.append(self.try_move(moved))
+            bx[bi], by[bi] = ox, oy
+            if other >= 0:
+                bx[other], by[other] = nx, ny
+        if deltas:
+            mean = sum(deltas) / len(deltas)
+            std = (sum((v - mean) ** 2 for v in deltas) / len(deltas)) ** 0.5
+        else:
+            std = 1.0
+        return 20.0 * std or 1.0
+
+    def min_temp(self) -> float:
+        return 0.005 * max(1.0, self.total) / max(1, self.n_nets)
+
+
 def place_design(
     packed: PackedDesign,
     grid: DeviceGrid | None = None,
@@ -192,219 +445,30 @@ def place_design(
     utilization: float = 0.7,
 ) -> Placement:
     """Anneal a placement for ``packed``; returns the final placement."""
-    physical = packed.physical
+    st = _PlacerState(packed, grid, seed, utilization)
+    placement = st.placement
+    total = st.total
 
-    blocks: list[_Block] = []
-    for c in packed.clusters:
-        blocks.append(_Block(index=len(blocks), kind="clb", payload=c.index))
-    for s in physical.pi_signals:
-        blocks.append(_Block(index=len(blocks), kind="ipad", payload=s))
-    for s in physical.po_signals:
-        blocks.append(_Block(index=len(blocks), kind="opad", payload=s))
-
-    n_pads = sum(1 for b in blocks if b.kind != "clb")
-    if grid is None:
-        grid = DeviceGrid.for_design(
-            packed.arch,
-            n_clbs=max(1, packed.n_clusters),
-            n_pads=n_pads,
-            utilization=utilization,
-        )
-    if grid.n_clbs < packed.n_clusters or grid.n_pads < n_pads:
-        raise PlacementError(
-            f"device {grid!r} too small: need {packed.n_clusters} CLBs, "
-            f"{n_pads} pads"
-        )
-
-    rng = RngHub(seed).stream(f"place/{physical.network.name}")
-
-    # sites as integer ids: CLB sites first, then I/O subtiles
-    clb_sites = [(x, y, 0) for (x, y) in grid.clb_positions()]
-    io_sites = [
-        (x, y, k)
-        for (x, y) in grid.io_positions()
-        for k in range(grid.spec.io_capacity)
-    ]
-    sites = clb_sites + io_sites
-    n_clb_sites = len(clb_sites)
-    site_x = [s[0] for s in sites]
-    site_y = [s[1] for s in sites]
-    n_sites = len(sites)
-
-    placement = Placement(packed=packed, grid=grid, blocks=blocks)
-    n_blocks = len(blocks)
-    site_of = [-1] * n_blocks
-    block_at = [-1] * n_sites
-    bx = [0] * n_blocks
-    by = [0] * n_blocks
-    is_clb = [b.kind == "clb" for b in blocks]
-
-    def assign(block: int, site: int) -> None:
-        site_of[block] = site
-        block_at[site] = block
-        bx[block] = site_x[site]
-        by[block] = site_y[site]
-
-    clb_blocks = [b for b in blocks if b.kind == "clb"]
-    pad_blocks = [b for b in blocks if b.kind != "clb"]
-    for b, site in zip(clb_blocks, rng.permutation(n_clb_sites)[: len(clb_blocks)]):
-        assign(b.index, int(site))
-    for b, site in zip(pad_blocks, rng.permutation(len(io_sites))[: len(pad_blocks)]):
-        assign(b.index, n_clb_sites + int(site))
-
-    def export() -> Placement:
-        placement.loc_of = {
-            b.index: sites[site_of[b.index]] for b in blocks
-        }
-        return placement
-
-    nets, net_signal = _build_nets(packed, blocks)
-    placement.nets = nets
-    placement.net_signal = net_signal
-    members = [tuple(net) for net in nets]
-    n_nets = len(nets)
-
-    nets_of_block: list[list[int]] = [[] for _ in range(n_blocks)]
-    for ni, net in enumerate(members):
-        for b in net:
-            nets_of_block[b].append(ni)
-
-    # nets below the threshold are cheaper to rescan outright (a handful of
-    # list reads) than to keep boundary counts for: a mover on a tiny net
-    # is nearly always alone on a boundary, forcing the rescan fallback
-    # anyway.  Large nets (TCON trees spanning many leaf drivers) keep the
-    # incremental state.
-    SMALL_NET = 10
-    big = [len(m) > SMALL_NET for m in members]
-    state: list = [
-        _bbox_scan(m, bx, by) if b else None for m, b in zip(members, big)
-    ]
-    net_cost = [0.0] * n_nets
-    for ni, m in enumerate(members):
-        s = state[ni] or _bbox_scan(m, bx, by)
-        net_cost[ni] = float(s[2] - s[0] + s[6] - s[4])
-    total = sum(net_cost)
-
-    movable = [b.index for b in blocks if nets_of_block[b.index]]
+    movable = st.movable
     if not movable:
         placement.cost = total
-        return export()
-    n_movable = len(movable)
-    n_io_sites = len(io_sites)
+        return st.export()
+    n_movable = st.n_movable
+    n_clb_sites = st.n_clb_sites
+    n_io_sites = st.n_io_sites
+    site_of, block_at = st.site_of, st.block_at
+    bx, by = st.bx, st.by
+    site_x, site_y = st.site_x, st.site_y
+    is_clb = st.is_clb
+    state, net_cost = st.state, st.net_cost
+    try_move, ups, rng = st.try_move, st.ups, st.rng
 
-    # scratch for one trial move: affected nets, their candidate states
-    net_stamp = [0] * n_nets
-    move_id = 0
-    ups: list[tuple] = []
-
-    def try_move(
-        moved,
-        # bind the hot lookups once; the loop below runs ~300k times/anneal
-        nets_of_block=nets_of_block,
-        members=members,
-        state=state,
-        net_cost=net_cost,
-        net_stamp=net_stamp,
-        big=big,
-        bx=bx,
-        by=by,
-        ups=ups,
-    ) -> float:
-        """Delta HPWL of a tentative move (coords already updated in
-        ``bx``/``by``); fills ``ups`` with per-net replacement states."""
-        nonlocal move_id
-        move_id += 1
-        mid = move_id
-        ups.clear()
-        d = 0.0
-        for entry in moved:
-            b0 = entry[0]
-            for ni in nets_of_block[b0]:
-                if net_stamp[ni] == mid:
-                    continue
-                net_stamp[ni] = mid
-                m = members[ni]
-                if not big[ni]:
-                    # small net: direct bounding-box rescan, no counts
-                    xmn = ymn = 1 << 30
-                    xmx = ymx = -1
-                    for mb in m:
-                        v = bx[mb]
-                        if v < xmn:
-                            xmn = v
-                        if v > xmx:
-                            xmx = v
-                        v = by[mb]
-                        if v < ymn:
-                            ymn = v
-                        if v > ymx:
-                            ymx = v
-                    new_cost = float(xmx - xmn + ymx - ymn)
-                    ups.append((ni, None, new_cost))
-                    d += new_cost - net_cost[ni]
-                    continue
-                xmn, nxmn, xmx, nxmx, ymn, nymn, ymx, nymx = state[ni]
-                ok = True
-                for b, ox, oy, nx, ny in moved:
-                    if b != b0 and ni not in nets_of_block[b]:
-                        continue
-                    r = _axis_move(xmn, nxmn, xmx, nxmx, ox, nx)
-                    if r is None:
-                        ok = False
-                        break
-                    xmn, nxmn, xmx, nxmx = r
-                    r = _axis_move(ymn, nymn, ymx, nymx, oy, ny)
-                    if r is None:
-                        ok = False
-                        break
-                    ymn, nymn, ymx, nymx = r
-                if ok:
-                    new_state = [xmn, nxmn, xmx, nxmx, ymn, nymn, ymx, nymx]
-                else:
-                    new_state = _bbox_scan(m, bx, by)
-                    xmn, _n1, xmx, _n2, ymn, _n3, ymx, _n4 = new_state
-                new_cost = float(xmx - xmn + ymx - ymn)
-                d += new_cost - net_cost[ni]
-                ups.append((ni, new_state, new_cost))
-        return d
-
-    n_moves = max(64, int(effort * n_blocks ** (4.0 / 3.0)))
-
-    # initial temperature: std of random move deltas (trials reverted)
-    deltas = []
-    n_est = min(100, 10 * n_movable)
-    est_blocks = rng.integers(0, n_movable, size=n_est).tolist()
-    est_clb = rng.integers(0, n_clb_sites, size=n_est).tolist()
-    est_io = rng.integers(0, n_io_sites, size=n_est).tolist()
-    for i in range(n_est):
-        bi = movable[est_blocks[i]]
-        s = est_clb[i] if is_clb[bi] else n_clb_sites + est_io[i]
-        old_s = site_of[bi]
-        if s == old_s:
-            continue
-        other = block_at[s]
-        ox, oy = bx[bi], by[bi]
-        nx, ny = site_x[s], site_y[s]
-        bx[bi], by[bi] = nx, ny
-        if other >= 0:
-            bx[other], by[other] = ox, oy
-            moved = ((bi, ox, oy, nx, ny), (other, nx, ny, ox, oy))
-        else:
-            moved = ((bi, ox, oy, nx, ny),)
-        deltas.append(try_move(moved))
-        bx[bi], by[bi] = ox, oy
-        if other >= 0:
-            bx[other], by[other] = nx, ny
-    if deltas:
-        mean = sum(deltas) / len(deltas)
-        std = (sum((v - mean) ** 2 for v in deltas) / len(deltas)) ** 0.5
-    else:
-        std = 1.0
-    temp = 20.0 * std or 1.0
+    n_moves = max(64, int(effort * st.n_blocks ** (4.0 / 3.0)))
+    temp = st.estimate_temp()
 
     tried = 0
     accepted_total = 0
-    min_temp = 0.005 * max(1.0, total) / max(1, n_nets)
+    min_temp = st.min_temp()
     while temp > min_temp:
         accepted = 0
         pick_b = rng.integers(0, n_movable, size=n_moves).tolist()
@@ -461,4 +525,4 @@ def place_design(
     placement.moves_tried = tried
     placement.moves_accepted = accepted_total
     placement.cost = float(sum(net_cost))
-    return export()
+    return st.export()

@@ -1,0 +1,296 @@
+"""Round-parallel PathFinder: speculative routing against frozen snapshots.
+
+The serial negotiated-congestion loop routes connections one after
+another, each seeing the congestion left by the previous one.  This
+variant cuts each iteration into *waves*: a wave's connections are
+routed concurrently against the frozen wave-start cost table, and the
+results are committed in request order under a validation rule strong
+enough to make the whole thing **byte-identical to the serial router**:
+
+* every worker search records the *read set* of its A* — each node
+  whose cost it loaded — as a bitmask;
+* the parent tracks which nodes' live costs have diverged from the
+  wave snapshot (earlier commits in the wave claim and free nodes);
+* a speculative tree is committed only if its search read **no**
+  diverged node.  An A* that reads exactly the values the serial
+  router would have seen pops the same heap entries in the same order
+  and returns the same tree, so committing it is indistinguishable
+  from having routed serially;
+* invalidated requests are simply re-routed in the parent against the
+  live table — the serial path, verbatim.
+
+The per-connection *self-sharing discount* is preserved exactly: the
+parent ships each request the discounted costs of the nodes its key
+already uses (``occ_eff = occ - 1``), which equals what the serial
+rip-up + discount would produce against the same view; a node whose
+discount would have changed necessarily changed its undiscounted cost
+too, so the read-set check covers it.
+
+Because every committed tree is the one the serial router would have
+produced, worker count, wave chunking and pool scheduling cannot change
+any route: parallelism is a pure execution detail, and the identity is
+asserted (not just sampled) by the test suite.  The speculation hit
+rate only moves wall-clock time — early congested iterations replay
+more, converged iterations commit nearly everything speculatively.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from uuid import uuid4
+
+from repro.arch.routing_graph import RRGraph
+from repro.errors import UnroutableError
+from repro.route.pathfinder import (
+    ConnectionRequest,
+    PathFinder,
+    RouteTree,
+    _grow_tree,
+)
+from repro.util.intra import IntraPool
+
+__all__ = ["RoundPathFinder", "route_chunk", "prepare_static"]
+
+
+def _grow_tree_traced(
+    conn_id: int,
+    source: int,
+    sinks,
+    off: list[int],
+    dst: list[int],
+    xs: list[int],
+    ys: list[int],
+    cost: list[float],
+    is_sink: list[bool],
+    gcost: list[float],
+    gstamp: list[int],
+    vstamp: list[int],
+    back_node: list[int],
+    back_edge: list[int],
+    sid: int,
+    astar: float,
+    label: str,
+    read_mask: bytearray,
+) -> tuple[RouteTree, int]:
+    """:func:`repro.route.pathfinder._grow_tree` plus read-set tracing.
+
+    Identical search (same relaxations, same heap contents, same
+    tie-breaking) except every ``cost[nxt]`` load also sets the node's
+    bit in ``read_mask`` — the exact set of values whose change could
+    alter this search's outcome.
+    """
+    tree = RouteTree(conn_id=conn_id)
+    src = source
+    tree_nodes: set[int] = {src}
+    tree.nodes.append(src)
+
+    sx, sy = xs[src], ys[src]
+    remaining = sorted(sinks, key=lambda s: abs(xs[s] - sx) + abs(ys[s] - sy))
+    for target in remaining:
+        tx, ty = xs[target], ys[target]
+        sid += 1
+        heap: list[tuple[float, int]] = []
+        for n in tree_nodes:
+            gstamp[n] = sid
+            gcost[n] = 0.0
+            heappush(heap, (astar * (abs(xs[n] - tx) + abs(ys[n] - ty)), n))
+        found = False
+        while heap:
+            _prio, node = heappop(heap)
+            if vstamp[node] == sid:
+                continue
+            vstamp[node] = sid
+            if node == target:
+                found = True
+                break
+            g_here = gcost[node]
+            for e in range(off[node], off[node + 1]):
+                nxt = dst[e]
+                if vstamp[nxt] == sid:
+                    continue
+                if is_sink[nxt] and nxt != target:
+                    continue
+                read_mask[nxt >> 3] |= 1 << (nxt & 7)
+                c = g_here + cost[nxt]
+                if gstamp[nxt] != sid:
+                    gstamp[nxt] = sid
+                elif c >= gcost[nxt]:
+                    continue
+                gcost[nxt] = c
+                back_node[nxt] = node
+                back_edge[nxt] = e
+                heappush(
+                    heap,
+                    (c + astar * (abs(xs[nxt] - tx) + abs(ys[nxt] - ty)), nxt),
+                )
+        if not found:
+            raise UnroutableError(
+                f"connection {label or conn_id}: no path to node {target}"
+            )
+        path = [target]
+        node = target
+        while node not in tree_nodes:
+            tree.edges.append(back_edge[node])
+            node = back_node[node]
+            path.append(node)
+        path.reverse()
+        for n in path:
+            if n not in tree_nodes:
+                tree_nodes.add(n)
+                tree.nodes.append(n)
+        tree.sink_paths[target] = path
+    return tree, sid
+
+
+def prepare_static(blob: tuple) -> tuple:
+    """Worker-side: attach per-process scratch arrays to the RR tables."""
+    off, dst, xs, ys, is_sink, n, reqs = blob
+    scratch = ([0.0] * n, [0] * n, [0] * n, [0] * n, [0] * n, [0])
+    return (off, dst, xs, ys, is_sink, n, reqs, scratch)
+
+
+def route_chunk(static: tuple, payload: tuple) -> list[tuple]:
+    """IntraPool kernel: route a chunk of requests against one snapshot.
+
+    ``payload`` is ``(cost_table, [(req_idx, [(node, discounted_cost),
+    ...]), ...], astar_fac)``.  Returns per request ``(req_idx, nodes,
+    edges, sink_paths, read_mask_bytes)``.  Pure function of ``(static,
+    payload)``: the cost table is copied, discounts are restored after
+    each request, and the scratch arrays are stamp-validated.
+    """
+    off, dst, xs, ys, is_sink, n, reqs, scratch = static
+    cost_table, disc, astar = payload
+    cost = list(cost_table)
+    gcost, gstamp, vstamp, back_node, back_edge, sid_box = scratch
+    sid = sid_box[0]
+    n_mask = (n + 7) >> 3
+    out = []
+    for idx, dnodes in disc:
+        conn_id, _key, source, sinks, label = reqs[idx]
+        saved = [(dn, cost[dn]) for dn, _c in dnodes]
+        for dn, c in dnodes:
+            cost[dn] = c
+        mask = bytearray(n_mask)
+        tree, sid = _grow_tree_traced(
+            conn_id, source, sinks, off, dst, xs, ys, cost, is_sink,
+            gcost, gstamp, vstamp, back_node, back_edge, sid, astar,
+            label, mask,
+        )
+        for dn, c in saved:
+            cost[dn] = c
+        out.append((idx, tree.nodes, tree.edges, tree.sink_paths, bytes(mask)))
+    sid_box[0] = sid
+    return out
+
+
+class RoundPathFinder(PathFinder):
+    """PathFinder whose iterations route as speculative parallel waves.
+
+    Produces byte-identical results to :class:`PathFinder` at any
+    worker count; see the module docstring for the argument.
+    """
+
+    #: requests routed concurrently between snapshot refreshes.  Fixed —
+    #: never derived from the worker count — and in any case results are
+    #: validated back to serial equality; it only trades speculation hit
+    #: rate against round-trip overhead.
+    _WAVE = 64
+
+    def __init__(
+        self,
+        rr: RRGraph,
+        *,
+        intra: IntraPool | None = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(rr, **kwargs)
+        self._intra = intra if intra is not None else IntraPool(1)
+        self._token = f"route/{uuid4().hex}"
+        self._static_blob: tuple | None = None
+        #: speculative trees committed as-is vs. re-routed in the parent
+        self.speculative_hits = 0
+        self.replayed_routes = 0
+
+    def _discounted(self, node: int) -> float:
+        # cost of `node` for a key already using it: occupancy one lower
+        over = self._occ[node] - self._cap[node]
+        if over > 0:
+            return (
+                self._base[node] * (1.0 + self._pres_fac * over)
+                + self._acc[node]
+            )
+        return self._base[node] + self._acc[node]
+
+    def _route_pass(
+        self, requests: list[ConnectionRequest], trees: dict[int, RouteTree]
+    ) -> None:
+        if self._static_blob is None:
+            reqs = tuple(
+                (r.conn_id, r.key, r.source, tuple(r.sinks), r.label)
+                for r in requests
+            )
+            self._static_blob = (
+                self._off, self._dst, self._xs, self._ys, self._is_sink,
+                len(self._cost), reqs,
+            )
+        pool = self._intra
+        wave = self._WAVE
+        cost = self._cost
+        for start in range(0, len(requests), wave):
+            batch = requests[start : start + wave]
+            # old trees stay in the snapshot: the shipped discounts price
+            # a request's own wires exactly as the serial rip-up would
+            disc = []
+            for i, req in enumerate(batch):
+                kn = self._key_nodes.get(req.key)
+                dnodes = [(n, self._discounted(n)) for n in kn] if kn else []
+                disc.append((start + i, dnodes))
+            snapshot = cost[:]
+            payloads = [
+                (snapshot, disc[a:b], self.astar_fac)
+                for a, b in pool.chunks(len(disc))
+            ]
+            out = pool.map_round(
+                "repro.route.parallel", "route_chunk", self._token,
+                self._static_blob, payloads,
+            )
+            # speculative merge, in request order.  `changed` is the set
+            # of nodes whose live cost differs from the wave snapshot; a
+            # worker tree whose search read none of them would replay
+            # identically here, so committing it *is* the serial result.
+            changed: set[int] = set()
+            for idx, nodes, edges, sink_paths, mask in (
+                t for chunk in out for t in chunk
+            ):
+                req = requests[idx]
+                valid = True
+                for n in changed:
+                    if mask[n >> 3] & (1 << (n & 7)):
+                        valid = False
+                        break
+                old = trees.get(req.conn_id)
+                if valid:
+                    if old is not None:
+                        for n in old.nodes:
+                            self._remove_usage(n, req.key)
+                    tree = RouteTree(
+                        conn_id=req.conn_id,
+                        nodes=list(nodes),
+                        edges=list(edges),
+                        sink_paths={s: list(p) for s, p in sink_paths.items()},
+                    )
+                    trees[req.conn_id] = tree
+                    for n in tree.nodes:
+                        self._add_usage(n, req.key)
+                    self.speculative_hits += 1
+                else:
+                    tree = self._reroute_one(req, trees)
+                    self.replayed_routes += 1
+                affected = set(tree.nodes)
+                if old is not None:
+                    affected.update(old.nodes)
+                for n in affected:
+                    if cost[n] != snapshot[n]:
+                        changed.add(n)
+                    else:
+                        changed.discard(n)

@@ -29,8 +29,14 @@ router works on flat array state instead of per-node dictionaries:
   are skipped via the visited stamp) instead of a pure-Python
   decrease-key heap.
 
+numpy is optional: the vectorized cost rebuild and overuse scan fall
+back to plain loops when it is absent (same values, just slower), so the
+module imports clean on numpy-free interpreters.
+
 The dictionary-based implementation this was rewritten from (and is
-quality-gated against) is :class:`repro.route.ref.PathFinderRef`.
+quality-gated against) is :class:`repro.route.ref.PathFinderRef`.  The
+iteration-parallel variant routing frozen-snapshot rounds on top of this
+class is :class:`repro.route.parallel.RoundPathFinder`.
 """
 
 from __future__ import annotations
@@ -38,7 +44,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from heapq import heappop, heappush
 
-import numpy as np
+try:  # pragma: no cover - exercised via tests/no_numpy_shim
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None
 
 from repro.arch.routing_graph import RRGraph, RRNodeType
 from repro.errors import RoutingError, UnroutableError
@@ -52,6 +61,11 @@ _SOURCE = int(RRNodeType.SOURCE)
 _OPIN = int(RRNodeType.OPIN)
 _IPIN = int(RRNodeType.IPIN)
 _SINK = int(RRNodeType.SINK)
+
+
+def _tolist(a) -> list:
+    """Plain-list view of a numpy array or any sequence."""
+    return a.tolist() if hasattr(a, "tolist") else list(a)
 
 
 @dataclass(frozen=True)
@@ -80,6 +94,98 @@ class RouteTree:
     sink_paths: dict[int, list[int]] = field(default_factory=dict)
 
 
+def _grow_tree(
+    conn_id: int,
+    source: int,
+    sinks,
+    off: list[int],
+    dst: list[int],
+    xs: list[int],
+    ys: list[int],
+    cost: list[float],
+    is_sink: list[bool],
+    gcost: list[float],
+    gstamp: list[int],
+    vstamp: list[int],
+    back_node: list[int],
+    back_edge: list[int],
+    sid: int,
+    astar: float,
+    label: str,
+    node_str,
+) -> tuple[RouteTree, int]:
+    """Grow one connection's route tree by repeated A* (sink by sink).
+
+    Pure function of its arguments plus the scratch arrays (validated by
+    the ``sid`` stamp, so stale contents never leak between searches) —
+    shared verbatim by the serial router and the round-parallel workers.
+    Returns ``(tree, new_sid)``.
+    """
+    tree = RouteTree(conn_id=conn_id)
+    src = source
+    tree_nodes: set[int] = {src}
+    tree.nodes.append(src)
+
+    # nearest sink first (manhattan from the source — cheap proxy)
+    sx, sy = xs[src], ys[src]
+    remaining = sorted(sinks, key=lambda s: abs(xs[s] - sx) + abs(ys[s] - sy))
+    for target in remaining:
+        tx, ty = xs[target], ys[target]
+        sid += 1
+        heap: list[tuple[float, int]] = []
+        for n in tree_nodes:
+            gstamp[n] = sid
+            gcost[n] = 0.0
+            heappush(heap, (astar * (abs(xs[n] - tx) + abs(ys[n] - ty)), n))
+        found = False
+        while heap:
+            _prio, node = heappop(heap)
+            if vstamp[node] == sid:
+                continue
+            vstamp[node] = sid
+            if node == target:
+                found = True
+                break
+            g_here = gcost[node]
+            for e in range(off[node], off[node + 1]):
+                nxt = dst[e]
+                if vstamp[nxt] == sid:
+                    continue
+                # sinks other than the target are dead ends
+                if is_sink[nxt] and nxt != target:
+                    continue
+                c = g_here + cost[nxt]
+                if gstamp[nxt] != sid:
+                    gstamp[nxt] = sid
+                elif c >= gcost[nxt]:
+                    continue
+                gcost[nxt] = c
+                back_node[nxt] = node
+                back_edge[nxt] = e
+                heappush(
+                    heap,
+                    (c + astar * (abs(xs[nxt] - tx) + abs(ys[nxt] - ty)), nxt),
+                )
+        if not found:
+            raise UnroutableError(
+                f"connection {label or conn_id}: no path to {node_str(target)}"
+            )
+        # unwind path into the tree
+        path = [target]
+        node = target
+        while node not in tree_nodes:
+            tree.edges.append(back_edge[node])
+            node = back_node[node]
+            path.append(node)
+        path.reverse()
+        for n in path:
+            if n not in tree_nodes:
+                tree_nodes.add(n)
+                tree.nodes.append(n)
+        tree.sink_paths[target] = path
+    return tree, sid
+
+
 class PathFinder:
     """Negotiated-congestion router over one RR graph."""
 
@@ -101,29 +207,36 @@ class PathFinder:
         self.astar_fac = astar_fac
 
         n = rr.n_nodes
-        t = rr.ntype
-        self.base_cost = np.ones(n, dtype=np.float64)
-        self.base_cost[t == _OPIN] = 0.6
-        self.base_cost[t == _IPIN] = 0.6
-        self.base_cost[t == _SOURCE] = 0.2
-        self.base_cost[t == _SINK] = 0.2
-        self.acc_cost = np.zeros(n, dtype=np.float64)
+        t = _tolist(rr.ntype)
+        base = [1.0] * n
+        for i, ti in enumerate(t):
+            if ti == _OPIN or ti == _IPIN:
+                base[i] = 0.6
+            elif ti == _SOURCE or ti == _SINK:
+                base[i] = 0.2
+        if np is not None:
+            self.base_cost = np.asarray(base, dtype=np.float64)
+            self.acc_cost = np.zeros(n, dtype=np.float64)
+            self.occ = np.zeros(n, dtype=np.int32)
+        else:
+            self.base_cost = base[:]
+            self.acc_cost = [0.0] * n
+            self.occ = [0] * n
         # occupancy bookkeeping: per node the sharing keys using it, and
         # per key the nodes it uses (for the self-sharing discount)
         self._users: dict[int, dict[int, int]] = {}
         self._key_nodes: dict[int, dict[int, int]] = {}
-        self.occ = np.zeros(n, dtype=np.int32)
         self.iterations_run = 0
 
         # flat list mirrors of the static RR graph (C-speed scalar access)
-        self._off: list[int] = rr.edge_offsets.tolist()
-        self._dst: list[int] = rr.edge_dst.tolist()
-        self._xs: list[int] = rr.xs.tolist()
-        self._ys: list[int] = rr.ys.tolist()
-        self._cap: list[int] = rr.capacity.tolist()
-        self._is_sink: list[bool] = (t == _SINK).tolist()
-        self._base: list[float] = self.base_cost.tolist()
-        self._acc: list[float] = self.acc_cost.tolist()
+        self._off: list[int] = _tolist(rr.edge_offsets)
+        self._dst: list[int] = _tolist(rr.edge_dst)
+        self._xs: list[int] = _tolist(rr.xs)
+        self._ys: list[int] = _tolist(rr.ys)
+        self._cap: list[int] = _tolist(rr.capacity)
+        self._is_sink: list[bool] = [ti == _SINK for ti in t]
+        self._base: list[float] = base
+        self._acc: list[float] = _tolist(self.acc_cost)
         self._occ: list[int] = [0] * n
         #: congestion-inflated cost per node under the current ``pres_fac``
         #: (no self-sharing discount); kept in sync incrementally
@@ -189,101 +302,116 @@ class PathFinder:
         return self._base[node] * pres + self._acc[node]
 
     def _rebuild_cost(self) -> None:
-        """Vectorized recompute of the cost table (pres_fac/acc changed)."""
-        occ = np.asarray(self._occ, dtype=np.int64)
-        cap = np.asarray(self._cap, dtype=np.int64)
-        over = occ + 1 - cap
-        pres = np.where(over > 0, 1.0 + self._pres_fac * over, 1.0)
-        self._acc = self.acc_cost.tolist()
-        self._cost = (self.base_cost * pres + self.acc_cost).tolist()
+        """Recompute the cost table (pres_fac/acc changed at an iteration
+        boundary) — vectorized under numpy, plain loop otherwise."""
+        if np is not None:
+            occ = np.asarray(self._occ, dtype=np.int64)
+            cap = np.asarray(self._cap, dtype=np.int64)
+            over = occ + 1 - cap
+            pres = np.where(over > 0, 1.0 + self._pres_fac * over, 1.0)
+            self._acc = self.acc_cost.tolist()
+            self._cost = (self.base_cost * pres + self.acc_cost).tolist()
+            return
+        pf = self._pres_fac
+        acc = _tolist(self.acc_cost)
+        self._acc = acc
+        base, cap, occ = self._base, self._cap, self._occ
+        cost = self._cost
+        for i in range(len(cost)):
+            over = occ[i] + 1 - cap[i]
+            if over > 0:
+                cost[i] = base[i] * (1.0 + pf * over) + acc[i]
+            else:
+                cost[i] = base[i] + acc[i]
 
     # -- search -------------------------------------------------------------
 
     def _route_connection(self, req: ConnectionRequest) -> RouteTree:
-        off = self._off
-        dst = self._dst
-        xs = self._xs
-        ys = self._ys
-        cost = self._cost
-        is_sink = self._is_sink
-        gcost = self._gcost
-        gstamp = self._gstamp
-        vstamp = self._vstamp
-        back_node = self._back_node
-        back_edge = self._back_edge
-        astar = self.astar_fac
-
-        tree = RouteTree(conn_id=req.conn_id)
-        src = req.source
-        tree_nodes: set[int] = {src}
-        tree.nodes.append(src)
-
-        # nearest sink first (manhattan from the source — cheap proxy)
-        sx, sy = xs[src], ys[src]
-        remaining = sorted(
-            req.sinks, key=lambda s: abs(xs[s] - sx) + abs(ys[s] - sy)
+        tree, self._sid = _grow_tree(
+            req.conn_id,
+            req.source,
+            req.sinks,
+            self._off,
+            self._dst,
+            self._xs,
+            self._ys,
+            self._cost,
+            self._is_sink,
+            self._gcost,
+            self._gstamp,
+            self._vstamp,
+            self._back_node,
+            self._back_edge,
+            self._sid,
+            self.astar_fac,
+            req.label,
+            self.rr.node_str,
         )
-        for target in remaining:
-            tx, ty = xs[target], ys[target]
-            self._sid += 1
-            sid = self._sid
-            heap: list[tuple[float, int]] = []
-            for n in tree_nodes:
-                gstamp[n] = sid
-                gcost[n] = 0.0
-                heappush(
-                    heap, (astar * (abs(xs[n] - tx) + abs(ys[n] - ty)), n)
-                )
-            found = False
-            while heap:
-                _prio, node = heappop(heap)
-                if vstamp[node] == sid:
-                    continue
-                vstamp[node] = sid
-                if node == target:
-                    found = True
-                    break
-                g_here = gcost[node]
-                for e in range(off[node], off[node + 1]):
-                    nxt = dst[e]
-                    if vstamp[nxt] == sid:
-                        continue
-                    # sinks other than the target are dead ends
-                    if is_sink[nxt] and nxt != target:
-                        continue
-                    c = g_here + cost[nxt]
-                    if gstamp[nxt] != sid:
-                        gstamp[nxt] = sid
-                    elif c >= gcost[nxt]:
-                        continue
-                    gcost[nxt] = c
-                    back_node[nxt] = node
-                    back_edge[nxt] = e
-                    heappush(
-                        heap,
-                        (c + astar * (abs(xs[nxt] - tx) + abs(ys[nxt] - ty)), nxt),
-                    )
-            if not found:
-                raise UnroutableError(
-                    f"connection {req.label or req.conn_id}: no path to "
-                    f"{self.rr.node_str(target)}"
-                )
-            # unwind path into the tree
-            path = [target]
-            node = target
-            while node not in tree_nodes:
-                tree.edges.append(back_edge[node])
-                node = back_node[node]
-                path.append(node)
-            path.reverse()
-            for n in path:
-                if n not in tree_nodes:
-                    tree_nodes.add(n)
-                    tree.nodes.append(n)
-            tree.sink_paths[target] = path
         return tree
 
     # -- main loop ------------------------------------------------------------
+
+    def _reroute_one(
+        self, req: ConnectionRequest, trees: dict[int, RouteTree]
+    ) -> RouteTree:
+        """Rip up and re-route one request against the live cost table."""
+        old = trees.get(req.conn_id)
+        if old is not None:
+            for n in old.nodes:
+                self._remove_usage(n, req.key)
+        # same-key sharing is free: discount nodes this key
+        # already uses for the duration of the search
+        kn = self._key_nodes.get(req.key)
+        saved: list[tuple[int, float]] = []
+        if kn:
+            cost = self._cost
+            for node in kn:
+                saved.append((node, cost[node]))
+                self._occ[node] -= 1
+                cost[node] = self._cost_value(node)
+                self._occ[node] += 1
+        tree = self._route_connection(req)
+        if saved:
+            cost = self._cost
+            for node, c in saved:
+                cost[node] = c
+        for n in tree.nodes:
+            self._add_usage(n, req.key)
+        trees[req.conn_id] = tree
+        return tree
+
+    def _serial_pass(
+        self, requests: list[ConnectionRequest], trees: dict[int, RouteTree]
+    ) -> None:
+        """One rip-up-and-reroute sweep over all requests, in order."""
+        for req in requests:
+            self._reroute_one(req, trees)
+
+    def _route_pass(
+        self, requests: list[ConnectionRequest], trees: dict[int, RouteTree]
+    ) -> None:
+        """One iteration's routing pass; subclasses may parallelize it."""
+        self._serial_pass(requests, trees)
+
+    def _overused(self) -> list[int]:
+        """Publish ``self.occ`` and return the over-capacity node ids."""
+        if np is not None:
+            self.occ = np.asarray(self._occ, dtype=np.int32)
+            return np.nonzero(self.occ > self.rr.capacity)[0].tolist()
+        occ = self._occ
+        cap = self._cap
+        self.occ = occ[:]
+        return [i for i in range(len(occ)) if occ[i] > cap[i]]
+
+    def _end_iteration(self, over: list[int]) -> None:
+        """Bump history on overused nodes and sharpen ``pres_fac``."""
+        if np is not None:
+            self.acc_cost[over] += self.acc_fac
+        else:
+            acc = self.acc_cost
+            for i in over:
+                acc[i] += self.acc_fac
+        self._pres_fac *= self.pres_fac_mult
 
     def route(
         self, requests: list[ConnectionRequest]
@@ -301,38 +429,12 @@ class PathFinder:
         for iteration in range(1, self.max_iterations + 1):
             self.iterations_run = iteration
             self._rebuild_cost()
-            for req in requests:
-                old = trees.get(req.conn_id)
-                if old is not None:
-                    for n in old.nodes:
-                        self._remove_usage(n, req.key)
-                # same-key sharing is free: discount nodes this key
-                # already uses for the duration of the search
-                kn = self._key_nodes.get(req.key)
-                saved: list[tuple[int, float]] = []
-                if kn:
-                    cost = self._cost
-                    for node in kn:
-                        saved.append((node, cost[node]))
-                        self._occ[node] -= 1
-                        cost[node] = self._cost_value(node)
-                        self._occ[node] += 1
-                tree = self._route_connection(req)
-                if saved:
-                    cost = self._cost
-                    for node, c in saved:
-                        cost[node] = c
-                for n in tree.nodes:
-                    self._add_usage(n, req.key)
-                trees[req.conn_id] = tree
-
-            self.occ = np.asarray(self._occ, dtype=np.int32)
-            over = np.nonzero(self.occ > self.rr.capacity)[0]
-            if over.size == 0:
+            self._route_pass(requests, trees)
+            over = self._overused()
+            if not over:
                 return trees
-            n_over = int(over.size)
-            self.acc_cost[over] += self.acc_fac
-            self._pres_fac *= self.pres_fac_mult
+            n_over = len(over)
+            self._end_iteration(over)
         raise UnroutableError(
             f"{n_over} overused nodes after {self.max_iterations} iterations"
         )

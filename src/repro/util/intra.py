@@ -1,0 +1,166 @@
+"""Deterministic fan-out of intra-design kernel rounds onto a shared pool.
+
+The region-parallel placer and the round-parallel router both run as a
+sequence of *rounds*: the parent builds a batch of independent payloads,
+every payload is evaluated against the same frozen snapshot, and the
+results are merged parent-side in a fixed order.  :class:`IntraPool` is
+the one execution primitive behind both — it runs a round's payloads
+either on a shared :class:`~concurrent.futures.ProcessPoolExecutor`
+(the campaign's one worker pool, never a nested pool) or in-process,
+producing **identical results either way**: a round's outcome is a pure
+function of its payloads, so the worker count is an execution detail.
+
+Worker-side state is kept cheap with a *statics* protocol: each kernel
+registers one immutable blob (the flattened RR graph, the placement net
+tables) under a token; workers cache the prepared blob in a module
+global, and a worker that has not seen the token yet answers
+``("need", token)`` so the parent resends the blob with that payload.
+Pool failures (``OSError``, ``PermissionError``, ``BrokenExecutor`` —
+sandboxes, dead workers) permanently degrade the pool to in-process
+execution for the rest of the build; the round that hit the failure is
+re-run locally from its original payloads, so results are unaffected.
+"""
+
+from __future__ import annotations
+
+import importlib
+from concurrent.futures import BrokenExecutor
+from typing import Any, Callable
+
+__all__ = ["IntraPool", "run_round_task", "POOL_ERRORS"]
+
+#: Failures that mean "the pool is unusable", not "the payload is wrong".
+POOL_ERRORS = (OSError, PermissionError, BrokenExecutor)
+
+#: Per-process cache of prepared statics, keyed by token.  Bounded: a
+#: long-lived worker serving many builds must not accumulate RR graphs.
+_STATICS: dict[str, Any] = {}
+_MAX_STATICS = 4
+
+
+def _prepare(module: str, token: str, blob: Any) -> Any:
+    """Prepare and cache ``blob`` for ``token`` via the kernel module's
+    optional ``prepare_static`` hook (identity when absent)."""
+    mod = importlib.import_module(module)
+    prepare = getattr(mod, "prepare_static", None)
+    static = prepare(blob) if prepare is not None else blob
+    while len(_STATICS) >= _MAX_STATICS:
+        _STATICS.pop(next(iter(_STATICS)))
+    _STATICS[token] = static
+    return static
+
+
+def run_round_task(task: tuple) -> tuple:
+    """Worker-side entry point (module-level, picklable).
+
+    ``task`` is ``(module, fn_name, token, blob_or_None, payload)``.
+    Returns ``("ok", result)`` or ``("need", token)`` when the statics
+    for ``token`` are not cached here and no blob was shipped.
+    """
+    module, fn_name, token, blob, payload = task
+    static = _STATICS.get(token)
+    if static is None:
+        if blob is None:
+            return ("need", token)
+        static = _prepare(module, token, blob)
+    fn = getattr(importlib.import_module(module), fn_name)
+    return ("ok", fn(static, payload))
+
+
+class IntraPool:
+    """Round fan-out helper over a shared executor (or in-process).
+
+    Parameters
+    ----------
+    workers:
+        Requested intra-design parallelism.  ``<= 1`` never touches the
+        pool: every round runs in-process (the serial-by-construction
+        configuration the determinism tests compare against).
+    acquire:
+        Zero-argument callable returning a live executor (or ``None``) —
+        typically :meth:`DataflowScheduler._acquire_pool` bound to the
+        campaign's one shared pool.  ``None`` forces in-process rounds.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        acquire: "Callable[[], Any] | None" = None,
+    ) -> None:
+        self.workers = max(1, int(workers))
+        self._acquire = acquire
+        self.broken = False
+        """A pool failure was observed; all later rounds run in-process."""
+        self.rounds = 0
+        self.pooled_rounds = 0
+        self._sent: set[str] = set()
+
+    def chunks(self, n_items: int) -> list[tuple[int, int]]:
+        """Deterministic near-even split of ``n_items`` into at most
+        ``workers`` contiguous ``(start, end)`` ranges."""
+        n_chunks = max(1, min(self.workers, n_items))
+        k, m = divmod(n_items, n_chunks)
+        out = []
+        a = 0
+        for i in range(n_chunks):
+            b = a + k + (1 if i < m else 0)
+            out.append((a, b))
+            a = b
+        return out
+
+    def _pool(self):
+        if self.workers <= 1 or self.broken or self._acquire is None:
+            return None
+        try:
+            pool = self._acquire()
+        except POOL_ERRORS:
+            pool = None
+        if pool is None:
+            self.broken = True
+        return pool
+
+    def _run_local(
+        self, module: str, fn_name: str, token: str, blob: Any, payloads: list
+    ) -> list:
+        static = _STATICS.get(token)
+        if static is None:
+            static = _prepare(module, token, blob)
+        fn = getattr(importlib.import_module(module), fn_name)
+        return [fn(static, payload) for payload in payloads]
+
+    def map_round(
+        self, module: str, fn_name: str, token: str, blob: Any, payloads: list
+    ) -> list:
+        """Evaluate ``module.fn_name(static, payload)`` for every payload.
+
+        Results come back in payload order.  The kernel function must be
+        a pure function of ``(static, payload)`` — payloads are built
+        fresh per round, so kernels may mutate their own payload freely
+        (both the pickled pool copy and the in-process original are
+        consumed exactly once).
+        """
+        self.rounds += 1
+        pool = self._pool()
+        if pool is None or len(payloads) <= 1:
+            return self._run_local(module, fn_name, token, blob, payloads)
+        first = token not in self._sent
+        tasks = [
+            (module, fn_name, token, blob if first else None, p)
+            for p in payloads
+        ]
+        try:
+            futures = [pool.submit(run_round_task, t) for t in tasks]
+            results = []
+            for fut, task in zip(futures, tasks):
+                out = fut.result()
+                if out[0] == "need":
+                    # a fresh worker process missed the statics: resend
+                    retry = (module, fn_name, token, blob, task[4])
+                    out = pool.submit(run_round_task, retry).result()
+                results.append(out[1])
+        except POOL_ERRORS:
+            self.broken = True
+            return self._run_local(module, fn_name, token, blob, payloads)
+        self._sent.add(token)
+        self.pooled_rounds += 1
+        return results

@@ -1,0 +1,262 @@
+"""Worker-count determinism of the intra-design parallel physical pipeline.
+
+PR 8's two intra-parallel kernels make different determinism promises:
+
+* the region-parallel placer (``place/parallel.py``) is a *different*
+  algorithm from the serial annealer — cache-keyed via ``place_regions``
+  — but byte-identical to itself at any worker count;
+* the round-parallel router (``route/parallel.py``) is byte-identical to
+  the serial ``PathFinder`` on the same placement at any worker count,
+  which is why it needs no cache key at all.
+
+This module pins both, plus the commit-order invariance of the placer's
+replay protocol, the campaign-level outcome identity across
+``intra_design_workers`` ∈ {1, 2, 4}, and the numpy import guards.
+The strict equal-or-better quality gates on the benchmark design live in
+``benchmarks/bench_offline.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+
+import pytest
+
+from repro.arch import ArchSpec
+from repro.arch.routing_graph import build_rr_graph
+from repro.core.muxnet import build_trace_network
+from repro.mapping import TconMap
+from repro.pack import build_atoms, pack_design
+from repro.place import place_design
+from repro.route import route_design
+from repro.util.intra import IntraPool
+from repro.workloads import campaign_spec, generate_circuit
+
+try:
+    import numpy  # noqa: F401
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover
+    HAVE_NUMPY = False
+
+requires_numpy = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="region-parallel placement requires numpy"
+)
+
+ARCH = ArchSpec(
+    k=6, n_ble=4, n_cluster_inputs=14, channel_width=32, io_capacity=4
+)
+
+
+@pytest.fixture(scope="module")
+def packed():
+    spec = campaign_spec(
+        "intra-small", n_gates=140, depth=8, n_pis=16, n_pos=8
+    )
+    net = generate_circuit(spec)
+    instr = build_trace_network(net, n_buffer_inputs=2)
+    mapping = TconMap(params=instr.param_ids, taps=set(instr.taps)).map(
+        instr.network
+    )
+    return pack_design(build_atoms(mapping, instr), ARCH)
+
+
+@contextmanager
+def _pool(workers: int):
+    """An IntraPool backed by its own executor (in-process at <= 1)."""
+    if workers <= 1:
+        yield IntraPool(workers)
+        return
+    ex = ProcessPoolExecutor(max_workers=workers)
+    try:
+        yield IntraPool(workers, acquire=lambda: ex)
+    finally:
+        ex.shutdown()
+
+
+def _wire_lists(routing):
+    return [sorted(c.tree.nodes) for c in routing.connections]
+
+
+# -- placement -----------------------------------------------------------------
+
+
+@requires_numpy
+@pytest.mark.parametrize("seed", [7, 2016])
+def test_region_placement_determinism_across_workers(packed, seed):
+    """Identical placements (locations and HPWL) at workers 1, 2 and 4."""
+    from repro.place.parallel import place_design_regions
+
+    exports = []
+    for w in (1, 2, 4):
+        with _pool(w) as pool:
+            p = place_design_regions(packed, seed=seed, regions=8, intra=pool)
+        exports.append((p.loc_of, p.cost))
+    assert exports[0] == exports[1] == exports[2]
+
+
+@requires_numpy
+def test_region_placement_seed_sensitivity_and_quality(packed):
+    """Distinct seeds move the anneal; quality stays near the serial bar.
+
+    The strict equal-or-better HPWL gate is asserted on the benchmark
+    design in ``bench_offline.py``; this small design only bounds the
+    gap so a quality regression in the region kernel still fails fast.
+    """
+    from repro.place.parallel import place_design_regions
+
+    by_seed = {}
+    for seed in (7, 2016):
+        with _pool(1) as pool:
+            p = place_design_regions(packed, seed=seed, regions=8, intra=pool)
+        serial = place_design(packed, seed=seed)
+        assert p.cost <= 1.05 * serial.cost
+        by_seed[seed] = p.loc_of
+    assert by_seed[7] != by_seed[2016]
+
+
+@requires_numpy
+def test_commit_round_is_order_invariant(packed):
+    """Survivor replay is a pure function of (state, results) — shuffling
+    the arrival order of region results changes nothing."""
+    from repro.place import parallel as pp
+    from repro.place.tplace import _PlacerState
+
+    def fresh_state():
+        return _PlacerState(packed, None, 2016, 0.7)
+
+    st = fresh_state()
+    rg = pp._RegionGrid(st.site_x, st.site_y, 8)
+    ox, oy = rg.offsets(0, 0)
+    clb_by_r, io_by_r = rg.site_partition(st.n_clb_sites, ox, oy)
+    movable_by_r = [[] for _ in range(rg.n_regions)]
+    for bi in st.movable:
+        movable_by_r[rg.region_of(st.bx[bi], st.by[bi], ox, oy)].append(bi)
+    static = (
+        st.members, st.nets_of_block, st.big, st.site_x, st.site_y,
+        st.is_clb, st.n_nets,
+    )
+    inv_temp = -1.0 / 5.0
+    parts = [
+        (r, 1000 + r, movable_by_r[r], clb_by_r[r], io_by_r[r], 40, inv_temp)
+        for r in range(rg.n_regions)
+        if movable_by_r[r]
+    ]
+    snap_state = {ni: s for ni, s in enumerate(st.state) if s is not None}
+    snap = (st.site_of, st.net_cost, snap_state)
+    results = pp.eval_regions(static, (snap, parts))
+    assert sum(len(s) for _r, _e, s in results) > 0
+
+    st_a, st_b = fresh_state(), fresh_state()
+    n_a = pp._commit_round(st_a, list(results), inv_temp)
+    n_b = pp._commit_round(st_b, list(reversed(results)), inv_temp)
+    assert n_a == n_b
+    assert st_a.site_of == st_b.site_of
+    assert st_a.net_cost == st_b.net_cost
+    assert st_a.total == st_b.total
+
+
+# -- routing -------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [7, 2016])
+def test_round_router_byte_identical_to_serial(packed, seed):
+    """Round-parallel routed trees equal the serial PathFinder's exactly,
+    at every worker count — the property that keeps routing key-free."""
+    placement = place_design(packed, seed=seed)
+    rr = build_rr_graph(placement.grid)
+    serial = route_design(placement, rr)
+    reference = _wire_lists(serial)
+    for w in (1, 2, 4):
+        with _pool(w) as pool:
+            r = route_design(placement, rr, rounds=True, intra=pool)
+        assert _wire_lists(r) == reference
+        assert r.total_wires_used() == serial.total_wires_used()
+        assert r.iterations == serial.iterations
+
+
+def test_round_router_speculation_accounting(packed):
+    """Conflicting waves replay serially: every search is accounted as
+    either a speculative hit or an exact serial replay, and the congested
+    early iterations force both paths to run."""
+    from repro.route.parallel import RoundPathFinder
+
+    placement = place_design(packed, seed=7)
+    rr = build_rr_graph(placement.grid)
+    serial = route_design(placement, rr)
+    requests = [c.request for c in serial.connections]
+    pf = RoundPathFinder(rr)
+    pf.route(requests)
+    assert pf.replayed_routes > 0, "expected read-set conflicts to replay"
+    assert pf.speculative_hits > 0, "expected speculative commits"
+    # every search ran exactly once per (request, iteration) pair
+    assert (
+        pf.speculative_hits + pf.replayed_routes
+        == len(requests) * pf.iterations_run
+    )
+
+
+# -- campaign ------------------------------------------------------------------
+
+
+@requires_numpy
+def test_campaign_outcomes_identical_across_intra_workers():
+    import json
+
+    from repro.campaign.orchestrator import CampaignConfig, run_campaign
+    from repro.workloads.scenarios import stuck_at_scenarios
+
+    spec = campaign_spec("intra-camp", n_gates=60, depth=6, n_pis=10, n_pos=6)
+    scenarios = stuck_at_scenarios(spec, 2, seed=7, horizon=32)
+    outcomes = {}
+    for w in (1, 2, 4):
+        report = run_campaign(
+            scenarios,
+            config=CampaignConfig(
+                with_physical=True, intra_design_workers=w, max_turns=8
+            ),
+            cache=None,
+        )
+        assert report.intra_design_workers == w
+        outcomes[w] = json.dumps(report.outcomes(), default=str)
+    assert outcomes[1] == outcomes[2] == outcomes[4]
+
+
+# -- import guards -------------------------------------------------------------
+
+
+def test_region_kernel_numpy_guard(monkeypatch):
+    """With numpy masked out the region kernel fails with a clear error
+    instead of an AttributeError deep inside the move loop."""
+    from repro.place import parallel as pp
+
+    monkeypatch.setattr(pp, "np", None)
+    with pytest.raises(RuntimeError, match="numpy"):
+        pp._eval_one_region((None,) * 7, None, (0, 0, [], [], [], 0, 0.0))
+
+
+def test_serial_place_import_stays_numpy_lazy():
+    """``repro.place`` must not drag in the numpy-only parallel module —
+    the serial annealer has to stay importable on numpy-free hosts."""
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    code = (
+        "import sys\n"
+        "import repro.arch  # anchor import (package init order)\n"
+        "import repro.place\n"
+        "assert 'repro.place.parallel' not in sys.modules\n"
+        "print('lazy')\n"
+    )
+    env = dict(os.environ, PYTHONPATH=os.path.join(root, "src"))
+    out = subprocess.run(
+        [sys.executable, "-c", code],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert out.returncode == 0, out.stderr
+    assert "lazy" in out.stdout
