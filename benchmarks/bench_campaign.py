@@ -79,6 +79,9 @@ def test_campaign_cache_speedup(scenarios, results_dir):
             "offline_stage_s": {
                 k: round(v, 3) for k, v in warm.offline_stage_s.items()
             },
+            # supervision counters: a healthy bench run is all zeros;
+            # nonzero retries/timeouts/respawns flag an unstable runner
+            "resilience": warm.resilience(),
         },
     )
 

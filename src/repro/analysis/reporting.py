@@ -136,6 +136,7 @@ def render_campaign_report(
     sched_wall_s: float | None = None,
     overlap_ratio: float | None = None,
     stage_concurrency: Mapping[str, float] | None = None,
+    resilience: Mapping | None = None,
     title: str = "DEBUG-CAMPAIGN REPORT",
 ) -> str:
     """Render per-scenario records plus campaign aggregates as plain text.
@@ -259,6 +260,19 @@ def render_campaign_report(
                 f"  stage {stage}: "
                 + ", ".join(f"{k}={v}" for k, v in sorted(dict(stats).items()))
             )
+    if resilience:
+        # supervision counters + checkpoint state: only rendered when the
+        # campaign hit a fault, retried, resumed or kept a journal at all
+        parts = [
+            f"{k}={v}"
+            for k, v in resilience.items()
+            if k != "journal_path" and v
+        ]
+        path = resilience.get("journal_path")
+        if path:
+            parts.append(f"journal={path}")
+        if parts:
+            lines.append("resilience: " + ", ".join(parts))
     for note in notes:
         lines.append(f"note: {note}")
     return "\n".join(lines)

@@ -20,6 +20,17 @@ prints (optionally persists) the aggregated report.  Examples::
     python -m repro.campaign --cache-dir /tmp/c --outcomes-json /tmp/a.json
     python -m repro.campaign --cache-dir /tmp/c --outcomes-json /tmp/b.json \
         --assert-warm
+
+    # checkpointed campaign: if this process is killed mid-run, the
+    # second command replays the journaled scenarios and finishes the
+    # rest — outcomes byte-identical to an uninterrupted run
+    python -m repro.campaign --cache-dir /tmp/c --campaign-id nightly
+    python -m repro.campaign --cache-dir /tmp/c --resume nightly
+
+Exit status: 0 on success, 1 when any scenario ended in an error result
+(a failing design is isolated by default — ``--keep-going`` — or aborts
+the batch under ``--fail-fast``), 2 on usage errors, 3 when
+``--assert-warm`` saw a cache miss.
 """
 
 from __future__ import annotations
@@ -202,6 +213,64 @@ def _parser() -> argparse.ArgumentParser:
         help="exit with status 3 unless every cache lookup hit — the CI "
         "cache-correctness check for a second run on a warm --cache-dir",
     )
+    p.add_argument(
+        "--campaign-id",
+        default=None,
+        metavar="ID",
+        help="checkpoint every finished scenario to an append-only "
+        "journal under <cache-dir>/journal/ID.jsonl, so a killed "
+        "campaign can be continued with --resume ID (requires "
+        "--cache-dir)",
+    )
+    p.add_argument(
+        "--resume",
+        default=None,
+        metavar="ID",
+        help="resume campaign ID: replay scenarios already journaled "
+        "under <cache-dir>/journal/ID.jsonl and run only the remainder "
+        "— outcomes are byte-identical to an uninterrupted run",
+    )
+    p.add_argument(
+        "--journal-fsync",
+        action="store_true",
+        help="fsync the journal after every appended scenario "
+        "(crash-consistent against power loss, at an I/O cost)",
+    )
+    p.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per pooled task attempt; a timed-out "
+        "task is retried (see --task-retries) then reported as an error "
+        "result (default: no timeout)",
+    )
+    p.add_argument(
+        "--task-retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="extra attempts for a task that timed out or crashed its "
+        "worker (default 1; deterministic stage errors are never "
+        "retried)",
+    )
+    fail = p.add_mutually_exclusive_group()
+    fail.add_argument(
+        "--keep-going",
+        dest="fail_fast",
+        action="store_false",
+        help="isolate a failing design to its own scenarios' error "
+        "results and keep running everything else (the default)",
+    )
+    fail.add_argument(
+        "--fail-fast",
+        dest="fail_fast",
+        action="store_true",
+        help="abort the whole campaign at the first failing design; "
+        "pending scenarios complete as error placeholders (which are "
+        "not journaled, so --resume recomputes them)",
+    )
+    p.set_defaults(fail_fast=False)
     return p
 
 
@@ -313,6 +382,20 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.resume is not None and args.campaign_id is not None:
+        print(
+            "error: --resume already names the campaign; drop --campaign-id",
+            file=sys.stderr,
+        )
+        return 2
+    campaign_id = args.resume if args.resume is not None else args.campaign_id
+    if campaign_id is not None and (args.no_cache or args.cache_dir is None):
+        print(
+            "error: the campaign journal lives under the cache directory; "
+            "--campaign-id/--resume require --cache-dir",
+            file=sys.stderr,
+        )
+        return 2
     names = (
         [f"synthetic-{args.synthetic_gates}"]
         if args.synthetic_gates is not None
@@ -370,8 +453,24 @@ def main(argv: list[str] | None = None) -> int:
         interpreted=args.interpreted,
         backend=None if args.sim_backend == "auto" else args.sim_backend,
         schedule=args.schedule,
+        task_timeout_s=args.task_timeout,
+        task_retries=args.task_retries,
+        fail_fast=args.fail_fast,
+        campaign_id=campaign_id,
+        resume=args.resume is not None,
+        journal_fsync=args.journal_fsync,
     )
-    report = run_campaign(scenarios, config=config, cache=cache)
+    try:
+        report = run_campaign(scenarios, config=config, cache=cache)
+    except FileNotFoundError as exc:
+        print(
+            f"error: --resume {campaign_id}: no journal found ({exc})",
+            file=sys.stderr,
+        )
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print()
     print(report.render())
     if args.save:

@@ -127,6 +127,35 @@ class CampaignConfig:
     ``"barrier"`` keeps the historical offline-then-online phase
     ordering.  Outcomes and cache statistics are identical either way —
     only the wall-clock changes."""
+    task_timeout_s: float | None = None
+    """Wall-clock budget per pooled task attempt (offline segment or
+    online lane batch).  ``None`` (default) never times out.  A timed-out
+    task is retried up to ``task_retries`` times with deterministic
+    backoff, then reported as an error result — outcomes depend only on
+    whether the work eventually succeeded, never on the elapsed time."""
+    task_retries: int = 1
+    """Extra attempts for a pooled task that timed out or raised.  Stage
+    bodies marshal their own exceptions into error *results*, so
+    deterministic failures do not burn retries — only supervision-level
+    faults (hangs, worker loss, marshalling errors) do."""
+    fail_fast: bool = False
+    """Abort the whole campaign at the first failing design: pending
+    scenarios complete as ``status="error"`` placeholders (not journaled,
+    so a later ``resume`` recomputes them).  Default ``False`` ("keep
+    going"): a failure is isolated to its own design's scenarios."""
+    campaign_id: str | None = None
+    """Enable the checkpoint journal under this identity (requires a
+    cache with a persistent ``cache_dir``).  Every finished scenario is
+    appended to ``<cache_dir>/journal/<campaign_id>.jsonl``; see
+    ``resume``."""
+    resume: bool = False
+    """Replay finished scenarios from ``campaign_id``'s journal and run
+    only the remainder.  The resumed campaign's deterministic outcomes
+    are byte-identical to an uninterrupted run's; a journal written by a
+    different scenario list or flow config is refused."""
+    journal_fsync: bool = False
+    """fsync the journal after every appended line (crash-consistent even
+    against power loss, at a per-scenario I/O cost)."""
 
 
 #: One pool task: a stripped offline artifact, the scenarios of one lane
@@ -294,6 +323,8 @@ def _submit_design_build(
     pooled: bool,
     params: "dict | None" = None,
     intra=None,
+    timeout_s: "float | None" = None,
+    max_retries: int = 0,
     on_complete,
 ) -> list[ScheduledTask]:
     """Register one design's offline build as dataflow tasks.
@@ -355,6 +386,8 @@ def _submit_design_build(
             pooled=pooled,
             label=gkey[:12],
             intra=intra,
+            timeout_s=timeout_s,
+            max_retries=max_retries,
             on_complete=complete,
         )
 
@@ -397,6 +430,8 @@ def _submit_design_build(
         pooled=pooled,
         label=gkey[:12],
         intra=intra,
+        timeout_s=timeout_s,
+        max_retries=max_retries,
         on_complete=complete_cold,
     )
 
@@ -543,6 +578,57 @@ def run_campaign(
     # layout can thread the intra pool into place/route stage bodies.
     dedup = config.offline_workers > 1 or intra_enabled
 
+    # -- checkpoint journal ----------------------------------------------------
+    journal = None
+    resumed: dict[int, ScenarioResult] = {}
+    if config.campaign_id:
+        from repro.campaign.journal import (
+            CampaignJournal,
+            campaign_fingerprint,
+            journal_path,
+        )
+
+        cache_dir = getattr(cache, "cache_dir", None)
+        if cache_dir is None:
+            if config.resume:
+                raise ValueError(
+                    "resume requires a persistent cache directory "
+                    "(the journal lives under cache_dir/journal/)"
+                )
+            notes.append(
+                "journal disabled: no persistent cache directory "
+                f"(campaign id {config.campaign_id!r})"
+            )
+        else:
+            fp = campaign_fingerprint(scenarios, config)
+            jpath = journal_path(cache_dir, config.campaign_id)
+            if config.resume:
+                # the previous run may have died mid-put; readers never
+                # touch .tmp files, so sweeping the leftovers is safe here
+                # (no concurrent writer exists yet)
+                store = cache if isinstance(cache, ArtifactStore) else cache.store
+                store.sweep_stale_tmp()
+                journal, done_records = CampaignJournal.resume(
+                    jpath, fingerprint=fp, fsync=config.journal_fsync
+                )
+                resumed = {
+                    idx: ScenarioResult(**rec)
+                    for idx, rec in done_records.items()
+                    if 0 <= idx < len(scenarios)
+                }
+                notes.append(
+                    f"resumed {len(resumed)} of {len(scenarios)} "
+                    f"scenario(s) from journal"
+                )
+            else:
+                journal = CampaignJournal.start(
+                    jpath,
+                    campaign_id=config.campaign_id,
+                    fingerprint=fp,
+                    n_scenarios=len(scenarios),
+                    fsync=config.journal_fsync,
+                )
+
     offline_s: dict[int, float] = {}
     hits: dict[int, bool] = {}
     failed: dict[int, ScenarioResult] = {}
@@ -550,6 +636,19 @@ def run_campaign(
     resolved: list[tuple[int, DebugScenario, OfflineStage]] = []
     indexed: list[tuple[int, ScenarioResult]] = []
     payloads: list[GroupPayload] = []
+    aborted: dict = {"err": None}
+
+    def checkpoint(idx: int, result: ScenarioResult) -> None:
+        """Journal a finished scenario the moment its outcome is final.
+
+        Timing/hit fields are attached now (they are known by the time
+        any outcome exists) so the journaled record is the full record a
+        resumed campaign replays."""
+        if journal is None:
+            return
+        result.offline_s = offline_s.get(idx, 0.0)
+        result.offline_cache_hit = hits.get(idx, False)
+        journal.append_scenario(idx, result.as_record())
 
     # -- registration: design identity per scenario ----------------------------
     t_offline = time.perf_counter()
@@ -558,6 +657,8 @@ def run_campaign(
     nets: dict[int, object] = {}
     lane_key_of: dict[int, object] = {}
     for idx, sc in enumerate(scenarios):
+        if idx in resumed:
+            continue
         t0 = time.perf_counter()
         try:
             net = sc.debug_network()
@@ -568,6 +669,9 @@ def run_campaign(
             failed[idx] = _offline_error(sc, f"{type(exc).__name__}: {exc}")
             offline_s[idx] = time.perf_counter() - t0
             hits[idx] = False
+            checkpoint(idx, failed[idx])
+            if config.fail_fast and aborted["err"] is None:
+                aborted["err"] = failed[idx].error
             continue
         offline_s[idx] = time.perf_counter() - t0
         groups.setdefault(gkey, []).append((idx, sc))
@@ -628,7 +732,39 @@ def run_campaign(
     # in-parent runs and warm restarts skip compilation entirely
     program_store = cache if isinstance(cache, ArtifactStore) else None
 
+    def fail_fast_abort(err: str) -> None:
+        if not config.fail_fast or aborted["err"] is not None:
+            return
+        aborted["err"] = err
+        sched.abort()
+
+    def online_done(out: "list[tuple[int, ScenarioResult]]") -> None:
+        for idx, res in out:
+            indexed.append((idx, res))
+            checkpoint(idx, res)
+
+    def online_failed(payload: GroupPayload, msg: str) -> None:
+        # supervision gave up on this lane batch (timeout/retries
+        # exhausted).  The error message is wall-clock-dependent, so the
+        # results are NOT journaled — a resumed campaign re-runs them.
+        for idx, sc in payload[1]:
+            indexed.append(
+                (
+                    idx,
+                    ScenarioResult(
+                        scenario=sc.name,
+                        design=sc.spec.name,
+                        kind=sc.kind,
+                        status="error",
+                        error=f"online stage failed: {msg}",
+                    ),
+                )
+            )
+        fail_fast_abort(msg)
+
     def submit_online(payload: GroupPayload) -> None:
+        if aborted["err"] is not None:
+            return
         payloads.append(payload)
         sched.add(
             ScheduledTask(
@@ -640,7 +776,11 @@ def run_campaign(
                     p, store=program_store
                 ),
                 pooled=use_online_pool,
-                on_done=lambda _task, out: indexed.extend(out),
+                on_done=lambda _task, out: online_done(out),
+                on_fail=lambda _task, msg, p=payload: online_failed(p, msg),
+                timeout_s=config.task_timeout_s,
+                max_retries=max(0, config.task_retries),
+                key=f"online:{payload[1][0][0]}",
             )
         )
 
@@ -674,6 +814,8 @@ def run_campaign(
                 for idx, sc in items:
                     failed[idx] = _offline_error(sc, err)
                     hits[idx] = False
+                    checkpoint(idx, failed[idx])
+                fail_fast_abort(err)
             else:
                 _accumulate_stage_s(offline_stage_s, totals)
                 offline_s[first_idx] += sum(totals.values())
@@ -691,6 +833,8 @@ def run_campaign(
                 lane_unit_done(lkey)
 
         for gkey, items in groups.items():
+            if aborted["err"] is not None:
+                break
             first_idx = items[0][0]
             t0 = time.perf_counter()
             created = _submit_design_build(
@@ -703,6 +847,8 @@ def run_campaign(
                 pooled=config.offline_workers > 1,
                 params=build_params,
                 intra=intra,
+                timeout_s=config.task_timeout_s,
+                max_retries=max(0, config.task_retries),
                 on_complete=(
                     lambda stage, hit, totals, err, g=gkey: design_done(
                         g, stage, hit, totals, err
@@ -737,6 +883,8 @@ def run_campaign(
                     failed[idx] = _offline_error(sc, out[1])
                     offline_s[idx] += out[2]
                     hits[idx] = False
+                    checkpoint(idx, failed[idx])
+                    fail_fast_abort(out[1])
                 else:
                     _tag, stage, hit, secs = out
                     offline_s[idx] += secs
@@ -760,6 +908,8 @@ def run_campaign(
             )
 
         for idx in sorted(nets):
+            if aborted["err"] is not None:
+                break
             submit_scenario_resolve(idx, scenarios[idx])
 
     t_probes_done = time.perf_counter()
@@ -792,6 +942,8 @@ def run_campaign(
             sched.run()
     finally:
         sched.shutdown()
+        if journal is not None:
+            journal.close()
 
     # -- fallback notes + effective parallelism --------------------------------
     if "offline" in sched.inline_fallbacks:
@@ -838,13 +990,37 @@ def run_campaign(
             round(busy / (hi - lo), 3) if hi > lo else 1.0
         )
 
-    # re-interleave results (and offline-failure placeholders) in scenario order
+    if aborted["err"] is not None:
+        notes.append(f"campaign aborted (fail-fast): {aborted['err']}")
+
+    # re-interleave results — journal replays, offline-failure and
+    # fail-fast placeholders — in scenario order
     by_idx = dict(indexed)
     results: list[ScenarioResult] = []
     for idx in range(len(scenarios)):
-        results.append(failed[idx] if idx in failed else by_idx[idx])
+        if idx in failed:
+            results.append(failed[idx])
+        elif idx in resumed:
+            results.append(resumed[idx])
+        elif idx in by_idx:
+            results.append(by_idx[idx])
+        else:
+            # cancelled by a fail-fast abort before any outcome existed;
+            # deliberately not journaled (a resume recomputes it)
+            sc = scenarios[idx]
+            results.append(
+                ScenarioResult(
+                    scenario=sc.name,
+                    design=sc.spec.name,
+                    kind=sc.kind,
+                    status="error",
+                    error=f"aborted (fail-fast): {aborted['err']}",
+                )
+            )
 
     for idx, r in enumerate(results):
+        if idx in resumed:
+            continue  # replayed records keep their original accounting
         r.offline_s = offline_s.get(idx, 0.0)
         r.offline_cache_hit = hits.get(idx, False)
 
@@ -868,4 +1044,9 @@ def run_campaign(
         sched_wall_s=sched_wall_s,
         overlap_ratio=overlap_ratio,
         stage_concurrency=stage_concurrency,
+        retries=sched.n_retries,
+        timeouts=sched.n_timeouts,
+        pool_respawns=sched.pool_respawns,
+        resumed_scenarios=len(resumed),
+        journal_path=journal.path if journal is not None else "",
     )

@@ -140,6 +140,28 @@ class CampaignReport:
     """Per-stage busy-seconds / span-seconds over the campaign (pooled
     builds only; includes an ``"online"`` pseudo-stage).  Values above 1
     mean that stage ran concurrently across designs."""
+    retries: int = 0
+    """Supervised task retries performed (timeouts + task failures;
+    retries change wall clock only, never outcomes)."""
+    timeouts: int = 0
+    """Pooled task attempts that exceeded their wall-clock budget."""
+    pool_respawns: int = 0
+    """Worker-pool teardown/respawn cycles the supervisor performed."""
+    resumed_scenarios: int = 0
+    """Scenarios replayed from the campaign journal instead of re-run."""
+    journal_path: str = ""
+    """Checkpoint journal backing this campaign ('' = journaling off)."""
+
+    def resilience(self) -> dict:
+        """Supervision counters + checkpoint state, for the report's
+        ``resilience:`` line and the benchmark JSON."""
+        return {
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "pool_respawns": self.pool_respawns,
+            "resumed_scenarios": self.resumed_scenarios,
+            "journal_path": self.journal_path,
+        }
 
     def aggregate(self) -> dict:
         """Campaign aggregates — single source of truth is
@@ -181,6 +203,7 @@ class CampaignReport:
             sched_wall_s=self.sched_wall_s,
             overlap_ratio=self.overlap_ratio,
             stage_concurrency=self.stage_concurrency,
+            resilience=self.resilience(),
         )
 
     def save(self, name: str = "campaign", base: str | None = None) -> str:

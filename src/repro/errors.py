@@ -9,6 +9,19 @@ the flow stages: netlist handling, technology mapping, physical design
 
 from __future__ import annotations
 
+from concurrent.futures import BrokenExecutor
+
+#: Executor failures that mean "the worker pool is unusable", not "the
+#: submitted task is wrong": the pool could not start (sandboxes,
+#: restricted containers), a worker process died (OOM-kill, SIGKILL), or
+#: the executor broke mid-flight.  ``BrokenProcessPool`` subclasses
+#: ``BrokenExecutor``, so this one tuple covers both the process-pool and
+#: generic executor flavors.  Every pool consumer in the library
+#: (:mod:`repro.pipeline.scheduler`, :mod:`repro.util.intra`) catches
+#: exactly this tuple and degrades — respawn, retry or in-process
+#: fallback — instead of crashing the campaign.
+POOL_ERRORS: tuple = (OSError, PermissionError, BrokenExecutor)
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""

@@ -22,21 +22,35 @@ count, and outcomes are byte-identical.
 
 Failure isolation: a segment raising cancels only the *same design's*
 downstream segments (its compile completes with an error); other designs'
-tasks are untouched.  A broken worker pool (``OSError``,
-``PermissionError``, ``BrokenExecutor``) degrades the affected task — and
-everything after it — to in-parent execution, recorded per task kind in
-:attr:`DataflowScheduler.inline_fallbacks`.
+tasks are untouched.
+
+Supervision: every pooled task runs under the parent's watch.  A broken
+worker pool (:data:`repro.errors.POOL_ERRORS`) is **respawned** up to
+:attr:`DataflowScheduler.max_pool_respawns` times — completed in-flight
+results are salvaged, only genuinely unfinished tasks are re-enqueued, so
+store puts already performed are never redone.  Once the respawn budget
+is exhausted the pool is declared dead and pooled tasks degrade to
+in-parent execution, recorded per task kind in
+:attr:`DataflowScheduler.inline_fallbacks` (the pre-supervision
+behaviour).  Tasks may additionally carry a wall-clock ``timeout_s`` and
+a bounded ``max_retries``; a timed-out or failing task is retried after a
+**deterministic** backoff — :func:`retry_delay` derives the delay purely
+from the task key and attempt number, so a retried schedule differs from
+a fault-free one only in wall-clock time, never in outcomes.
 """
 
 from __future__ import annotations
 
+import hashlib
+import itertools
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, wait
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Any, Callable, Sequence
 
+from repro.errors import POOL_ERRORS
 from repro.pipeline.graph import (
     SOURCE,
     Artifact,
@@ -45,27 +59,43 @@ from repro.pipeline.graph import (
     StageGraph,
     StagePlan,
 )
+from repro.util import chaos
 from repro.util.timing import PhaseTimer
 
 __all__ = [
     "ScheduledTask",
     "DataflowScheduler",
     "submit_compile",
+    "retry_delay",
+    "POOL_ERRORS",
 ]
 
-#: Executor failures that mean "the pool is unusable", not "the task is
-#: wrong" — the scheduler falls back to in-parent execution on these.
-POOL_ERRORS = (OSError, PermissionError, BrokenProcessPool)
+
+def retry_delay(key: str, attempt: int, base_s: float) -> float:
+    """Deterministic exponential backoff for retry ``attempt`` of ``key``.
+
+    ``base_s * 2**(attempt-1)`` scaled by a key-derived factor in
+    ``[1, 2)`` — the factor spreads simultaneous retries apart (so a
+    respawned pool is not thundering-herded) without any randomness:
+    the same task key always backs off by the same amount, which keeps
+    retried schedules reproducible.
+    """
+    h = int.from_bytes(
+        hashlib.blake2b(key.encode("utf-8"), digest_size=2).digest(), "little"
+    )
+    return base_s * (2.0 ** max(0, attempt - 1)) * (1.0 + h / 65536.0)
 
 
-def _timed_call(fn: Callable[[Any], Any], payload: Any):
+def _timed_call(fn: Callable[[Any], Any], payload: Any, label: str = ""):
     """Pool-side wrapper: run ``fn(payload)`` and report absolute times.
 
     ``time.perf_counter`` is ``CLOCK_MONOTONIC`` system-wide on Linux, so
     worker-side timestamps are directly comparable with the parent's —
     which is what makes the cross-process overlap/concurrency metrics
-    honest rather than estimated.
+    honest rather than estimated.  The :mod:`repro.util.chaos` hook is a
+    no-op unless a test armed fault injection for this process tree.
     """
+    chaos.on_pooled_task(label)
     t0 = time.perf_counter()
     out = fn(payload)
     return out, t0, time.perf_counter()
@@ -87,12 +117,27 @@ class ScheduledTask:
     """In-parent alternative body (used when not pooled, or pool broken)."""
     pooled: bool = False
     on_done: Callable[["ScheduledTask", Any], None] | None = None
+    on_fail: Callable[["ScheduledTask", str], None] | None = None
+    """Fired instead of ``on_done`` when supervision gives up on the task
+    (timeout/retries exhausted).  Tasks whose ``on_done`` already speaks
+    the ``("err", message)`` outcome protocol (compile segments) may
+    leave this unset — they receive the failure through ``on_done``."""
+    timeout_s: float | None = None
+    """Wall-clock budget per pooled attempt (inline runs are unbounded —
+    the parent cannot preempt itself)."""
+    max_retries: int = 0
+    """Extra attempts after the first, for timeouts and task errors."""
+    key: str = ""
+    """Stable retry-backoff identity; defaults to ``label``."""
+    attempts: int = 0
+    """Pooled attempts charged so far (crash victims are not charged)."""
     result: Any = None
     start_s: float = 0.0
     end_s: float = 0.0
     done: bool = False
     cancelled: bool = False
     _n_deps: int = 0
+    _deadline: float = 0.0
     _children: list["ScheduledTask"] = field(default_factory=list)
 
     def _materialize(self) -> Any:
@@ -118,15 +163,35 @@ class DataflowScheduler:
         *,
         pool_size: int = 1,
         executor_factory: Callable[[int], Any] | None = None,
+        max_pool_respawns: int = 1,
+        retry_backoff_s: float = 0.05,
     ) -> None:
         self.pool_size = max(1, pool_size)
         self._executor_factory = executor_factory
         self._pool = None
+        self.max_pool_respawns = max(0, max_pool_respawns)
+        """Pool failures tolerated before declaring the pool dead."""
+        self.retry_backoff_s = retry_backoff_s
+        """Base unit for :func:`retry_delay` (wall time only — outcomes
+        do not depend on it)."""
         self.pool_error: BaseException | None = None
+        """Most recent pool-level failure (survives a successful respawn
+        as a diagnostic; see :attr:`pool_broken` for the current state)."""
         self.inline_fallbacks: set[str] = set()
         """Task kinds that had a pooled task degrade to in-parent runs."""
+        self.pool_respawns = 0
+        """Pool teardowns observed (charged crashes + timeout kills)."""
+        self.n_retries = 0
+        self.n_timeouts = 0
+        self.n_reenqueued = 0
+        """In-flight victim tasks re-enqueued after a pool teardown."""
+        self._respawns_charged = 0
+        self._pool_dead = False
         self._ready: deque[ScheduledTask] = deque()
+        self._delayed: list[tuple[float, int, ScheduledTask]] = []
+        self._seq = itertools.count()
         self._inflight: dict[Future, ScheduledTask] = {}
+        self._tasks: list[ScheduledTask] = []
         self._n_pending = 0
         self.intervals: list[tuple[str, float, float]] = []
         """(kind, start, end) execution interval per completed task."""
@@ -138,7 +203,9 @@ class DataflowScheduler:
 
     @property
     def pool_broken(self) -> bool:
-        return self.pool_error is not None
+        """The pool is *permanently* unusable (respawn budget exhausted);
+        transient failures that a respawn absorbed do not count."""
+        return self._pool_dead
 
     # -- graph construction ----------------------------------------------------
 
@@ -150,6 +217,7 @@ class DataflowScheduler:
         for d in live:
             d._children.append(task)
         self.n_tasks[task.kind] = self.n_tasks.get(task.kind, 0) + 1
+        self._tasks.append(task)
         self._n_pending += 1
         if task._n_deps == 0:
             self._ready.append(task)
@@ -167,6 +235,19 @@ class DataflowScheduler:
         task.cancelled = True
         self._n_pending -= 1
 
+    def abort(self) -> None:
+        """Cancel every not-yet-finished task (the fail-fast path).
+
+        No callback fires for aborted tasks; in-flight pool results are
+        discarded on arrival.  :meth:`run` returns promptly (within one
+        in-flight task completion), and the scheduler stays usable —
+        :meth:`add` after an abort starts a fresh graph.
+        """
+        for task in self._tasks:
+            self.cancel(task)
+        self._delayed.clear()
+        self._ready.clear()
+
     # -- event loop ------------------------------------------------------------
 
     def run(self) -> None:
@@ -180,14 +261,31 @@ class DataflowScheduler:
         t0 = time.perf_counter()
         try:
             while self._n_pending:
+                self._promote_delayed()
                 self._dispatch_pooled()
                 task = self._pop_ready()
                 if task is not None:
                     self._run_inline(task)
                 elif self._inflight:
-                    done, _ = wait(self._inflight, return_when=FIRST_COMPLETED)
+                    done, _ = wait(
+                        self._inflight,
+                        timeout=self._wait_timeout(),
+                        return_when=FIRST_COMPLETED,
+                    )
                     for fut in done:
                         self._finish_pooled(fut)
+                    self._expire_timeouts()
+                elif self._delayed:
+                    # nothing runnable until the earliest backoff matures
+                    time.sleep(
+                        max(0.0, self._delayed[0][0] - time.monotonic())
+                    )
+                elif self._ready:
+                    # pooled tasks parked while the pool respawns; each
+                    # failed (re)spawn charges the budget, so this loops
+                    # at most max_pool_respawns times before the tasks
+                    # degrade to inline execution
+                    continue
                 else:  # pragma: no cover - defensive: bookkeeping drift
                     break
         finally:
@@ -247,45 +345,169 @@ class DataflowScheduler:
     # -- internals -------------------------------------------------------------
 
     def _acquire_pool(self):
-        if self._pool is None and not self.pool_broken:
+        if self._pool is None and not self._pool_dead:
             if self._executor_factory is None:
                 self.pool_error = RuntimeError("no executor factory")
+                self._pool_dead = True
             else:
                 try:
                     self._pool = self._executor_factory(self.pool_size)
                 except POOL_ERRORS as exc:
-                    self.pool_error = exc
+                    self._respawn_pool(exc, charge=True)
         return self._pool
 
+    def _respawn_pool(self, exc: BaseException, *, charge: bool) -> None:
+        """Tear down the pool after a failure and recover its in-flight work.
+
+        Futures that already finished successfully are *salvaged* — their
+        results are delivered normally, so work (and the store puts its
+        callbacks perform) is never redone.  Everything else is
+        re-enqueued for the next pool, uncharged: crash victims are not
+        at fault.  ``charge`` spends one unit of the respawn budget
+        (crashes); timeout-driven teardowns pass ``charge=False`` — they
+        are bounded by per-task retry budgets instead.
+        """
+        self.pool_error = exc
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            # ProcessPoolExecutor cannot cancel a *running* task; the only
+            # way to reclaim a hung or poisoned worker is to kill the lot.
+            try:
+                for proc in list(
+                    (getattr(pool, "_processes", None) or {}).values()
+                ):
+                    proc.kill()
+            except Exception:  # noqa: BLE001 - teardown is best-effort
+                pass
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # noqa: BLE001
+                pass
+        self.pool_respawns += 1
+        if charge:
+            self._respawns_charged += 1
+            if self._respawns_charged > self.max_pool_respawns:
+                self._pool_dead = True
+        salvaged: dict[Future, ScheduledTask] = {}
+        for fut, task in self._inflight.items():
+            if fut.done() and not fut.cancelled() and fut.exception() is None:
+                salvaged[fut] = task
+                continue
+            if not task.cancelled:
+                task.attempts = max(0, task.attempts - 1)
+                self.n_reenqueued += 1
+                self._ready.append(task)
+        self._inflight = salvaged
+
     def _dispatch_pooled(self) -> None:
-        if not any(t.pooled for t in self._ready):
+        if self._pool_dead or not any(t.pooled for t in self._ready):
             return
-        keep: deque[ScheduledTask] = deque()
-        for task in self._ready:
+        pending, self._ready = self._ready, deque()
+        while pending:
+            task = pending.popleft()
             if task.cancelled:
                 continue
-            if not task.pooled or self.pool_broken:
-                keep.append(task)
+            if not task.pooled or self._pool_dead:
+                self._ready.append(task)
                 continue
             pool = self._acquire_pool()
             if pool is None:
-                keep.append(task)
+                self._ready.append(task)
                 continue
+            task.attempts += 1
+            if task.timeout_s is not None:
+                task._deadline = time.monotonic() + task.timeout_s
             try:
-                fut = pool.submit(_timed_call, task.worker_fn, task._materialize())
+                fut = pool.submit(
+                    _timed_call, task.worker_fn, task._materialize(), task.label
+                )
             except POOL_ERRORS as exc:
-                self.pool_error = exc
-                keep.append(task)
+                task.attempts = max(0, task.attempts - 1)
+                self._respawn_pool(exc, charge=True)
+                self._ready.append(task)
                 continue
             self._inflight[fut] = task
-        self._ready = keep
+        # crash victims _respawn_pool re-enqueued onto self._ready during
+        # the loop are picked up by the next dispatch pass
 
     def _pop_ready(self) -> ScheduledTask | None:
-        while self._ready:
+        for _ in range(len(self._ready)):
             task = self._ready.popleft()
-            if not task.cancelled:
-                return task
+            if task.cancelled:
+                continue
+            if task.pooled and not self._pool_dead:
+                # parked for pool (re)dispatch — inlining it here would
+                # defeat the respawn budget and serialize the campaign
+                self._ready.append(task)
+                continue
+            return task
         return None
+
+    def _promote_delayed(self) -> None:
+        now = time.monotonic()
+        while self._delayed and self._delayed[0][0] <= now:
+            _, _, task = heappop(self._delayed)
+            if not task.cancelled:
+                self._ready.append(task)
+
+    def _wait_timeout(self) -> float | None:
+        """Soonest in-flight deadline as a ``wait()`` timeout (None = block)."""
+        deadlines = [
+            t._deadline
+            for t in self._inflight.values()
+            if t.timeout_s is not None
+        ]
+        if not deadlines:
+            return None
+        return max(0.0, min(deadlines) - time.monotonic()) + 1e-3
+
+    def _expire_timeouts(self) -> None:
+        now = time.monotonic()
+        expired = [
+            (fut, task)
+            for fut, task in self._inflight.items()
+            if task.timeout_s is not None
+            and now >= task._deadline
+            and not fut.done()
+        ]
+        if not expired:
+            return
+        respawn = False
+        for fut, task in expired:
+            del self._inflight[fut]
+            if not fut.cancel():
+                # already running on a worker — only a pool teardown can
+                # actually stop it (see _respawn_pool)
+                respawn = True
+            self.n_timeouts += 1
+            if not task.cancelled:
+                self._retry_or_fail(
+                    task,
+                    f"timeout: {task.label!r} exceeded "
+                    f"{task.timeout_s}s (attempt {task.attempts})",
+                )
+        if respawn:
+            self._respawn_pool(TimeoutError("pooled task timeout"), charge=False)
+
+    def _retry_or_fail(self, task: ScheduledTask, msg: str) -> None:
+        if task.attempts <= task.max_retries:
+            self.n_retries += 1
+            delay = retry_delay(
+                task.key or task.label, task.attempts, self.retry_backoff_s
+            )
+            heappush(
+                self._delayed,
+                (time.monotonic() + delay, next(self._seq), task),
+            )
+        else:
+            self._fail(task, msg)
+
+    def _fail(self, task: ScheduledTask, msg: str) -> None:
+        now = time.perf_counter()
+        if task.on_fail is not None:
+            task.on_fail(task, msg)
+            task.on_done = None  # reported; don't double-deliver
+        self._complete(task, ("err", msg), now, now)
 
     def _run_inline(self, task: ScheduledTask) -> None:
         if task.pooled:
@@ -298,16 +520,33 @@ class DataflowScheduler:
             fn = lambda: task.worker_fn(payload)  # noqa: E731
         t0 = time.perf_counter()
         out = fn()
+        if task.cancelled:
+            # aborted by its own (or a sibling's) callback mid-execution;
+            # same contract as the pooled path: discard, no callback
+            return
         self._complete(task, out, t0, time.perf_counter())
 
     def _finish_pooled(self, fut: Future) -> None:
-        task = self._inflight.pop(fut)
+        task = self._inflight.pop(fut, None)
+        if task is None:
+            # swept out by a _respawn_pool triggered earlier in this batch
+            return
         try:
             out, t0, t1 = fut.result()
         except POOL_ERRORS as exc:
-            self.pool_error = exc
+            # The pool died under this future.  Respawn (charged) and put
+            # the triggering task back too — it is usually a victim, not
+            # the culprit, and if it *does* reliably break its pool the
+            # respawn budget caps the damage at inline degradation.
+            self._respawn_pool(exc, charge=True)
             if not task.cancelled:
-                self._run_inline(task)
+                task.attempts = max(0, task.attempts - 1)
+                self.n_reenqueued += 1
+                self._ready.append(task)
+            return
+        except Exception as exc:  # noqa: BLE001 - supervised task failure
+            if not task.cancelled:
+                self._retry_or_fail(task, f"{type(exc).__name__}: {exc}")
             return
         if task.cancelled:
             return
@@ -381,6 +620,8 @@ def submit_compile(
     label: str = "",
     intra=None,
     intra_stages: Sequence[str] = ("place", "route"),
+    timeout_s: float | None = None,
+    max_retries: int = 0,
     on_complete: Callable[[CompileResult | None, str | None], None],
 ) -> list[ScheduledTask]:
     """Register one design's compile as dataflow tasks on ``sched``.
@@ -404,6 +645,10 @@ def submit_compile(
     shared worker pool through ``intra`` — intra-parallel segments do not
     nest a second pool, they *are* the parent feeding the existing one.
     Other segments keep the caller's ``pooled`` setting.
+
+    ``timeout_s`` and ``max_retries`` are applied to every created
+    segment task (supervision: a hung or failing segment is retried with
+    deterministic backoff, then reported through the normal error path).
 
     A fully-warm design never creates a task: ``on_complete`` fires
     synchronously before this returns.  Returns the created tasks.
@@ -528,6 +773,12 @@ def submit_compile(
             payload_fn=payload_fn,
             pooled=pooled and not seg_intra,
             on_done=seg_done,
+            # seg_done already speaks the ("err", message) protocol, so
+            # supervision failures (timeout, retries exhausted) flow
+            # through the same downstream-cancel path as stage exceptions
+            timeout_s=timeout_s,
+            max_retries=max_retries,
+            key=f"{plan.group or label or 'design'}:{seg_names[0]}",
         )
         state["left"] += 1
         created.append(task)

@@ -9,8 +9,20 @@ wrapper over this class with one pseudo-stage (``"offline"``).
 Entries never expire — a key embeds the source content, the read config
 fields, the stage version and the flow version, so a stale entry is
 unreachable rather than wrong.  Disk persistence is best-effort and
-atomic (temp file + rename): concurrent users of one directory see either
-nothing or a complete artifact, never a torn file.
+atomic (temp file + rename, with an optional ``fsync`` barrier before
+the rename for crash-durability): concurrent users of one directory see
+either nothing or a complete artifact, never a torn file.
+
+Persisted entries additionally carry a **length + CRC32 trailer**
+(:data:`_TRAILER`), so a file torn *outside* the rename discipline — a
+crashed writer on a filesystem that reorders metadata, a truncated copy,
+bit rot — is detected on read: the entry is **quarantined** (moved to
+``<cache_dir>/quarantine/``, preserving the bytes for forensics) and the
+lookup degrades to a miss-and-rebuild, counted in the per-stage
+``corrupt`` statistic.  Pre-trailer files written by older versions
+still load (pickle ignores trailing bytes, absent trailers fall back to
+a plain parse); anything unparseable is quarantined the same way.  A
+lookup never raises on bad disk state.
 
 Besides the nine compile-graph stages, the online phase stores compiled
 simulation programs (:func:`repro.netlist.compiled.program_for`) under
@@ -23,13 +35,23 @@ from __future__ import annotations
 
 import os
 import pickle
+import struct
 import tempfile
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.pipeline.graph import Artifact
+from repro.util import chaos
 
 __all__ = ["StageStats", "StoreStats", "StoreRef", "ArtifactStore"]
+
+#: Trailer appended to every persisted entry: magic, payload length,
+#: CRC32 of the payload.  ``pickle.loads`` stops at the STOP opcode, so
+#: readers unaware of the trailer still parse the payload — the format is
+#: both forward- and backward-compatible.
+_TRAILER = struct.Struct("<4sQI")
+_TRAILER_MAGIC = b"RSC1"
 
 
 @dataclass(frozen=True)
@@ -63,6 +85,11 @@ class StageStats:
     warm store is a cold build, not an invalidation.  When the caller
     supplies no group, any other key under the stage counts
     (conservative).  ``misses - invalidations`` is cold builds."""
+    corrupt: int = 0
+    """Persisted entries that failed their integrity check (checksum
+    trailer mismatch, torn/truncated/unparseable pickle) and were
+    quarantined — each such lookup also counts as a miss (the consumer
+    rebuilds), never as an exception."""
 
     @property
     def lookups(self) -> int:
@@ -79,6 +106,7 @@ class StageStats:
             "disk_hits": self.disk_hits,
             "stores": self.stores,
             "invalidations": self.invalidations,
+            "corrupt": self.corrupt,
             "hit_rate": round(self.hit_rate, 4),
         }
 
@@ -118,6 +146,10 @@ class StoreStats:
         return self._sum("invalidations")
 
     @property
+    def corrupt(self) -> int:
+        return self._sum("corrupt")
+
+    @property
     def lookups(self) -> int:
         return self.hits + self.misses
 
@@ -133,6 +165,7 @@ class StoreStats:
             "disk_hits": self.disk_hits,
             "stores": self.stores,
             "invalidations": self.invalidations,
+            "corrupt": self.corrupt,
             "hit_rate": round(self.hit_rate, 4),
             "per_stage": {
                 name: s.as_dict()
@@ -156,10 +189,17 @@ class ArtifactStore:
         Whether disk-loaded and freshly built artifacts are retained in
         the in-process map (the default; disable to bound memory on very
         large campaigns while still deduplicating via disk).
+    fsync:
+        When True, every persisted entry is fsync'd (file *and* the
+        containing directory) before the atomic rename publishes it, so
+        a completed ``put`` survives a machine crash — not just a process
+        crash.  Off by default: the store is a cache, and a torn or lost
+        entry already degrades to a quarantine + rebuild.
     """
 
     cache_dir: str | None = None
     keep_in_memory: bool = True
+    fsync: bool = False
     stats: StoreStats = field(default_factory=StoreStats)
     _memory: dict[tuple[str, str], Any] = field(default_factory=dict)
     _groups: dict[tuple[str, str], set[str]] = field(default_factory=dict)
@@ -346,16 +386,61 @@ class ArtifactStore:
         assert self.cache_dir is not None
         return os.path.join(self.cache_dir, stage, f"{key}.pkl")
 
+    def _read_entry(self, stage: str, key: str) -> Any | None:
+        """Read and integrity-check one persisted entry.
+
+        Returns the decoded value (possibly a :class:`StoreRef`), or
+        ``None`` when the file is absent — or present but corrupt, in
+        which case it is quarantined and counted, never raised.
+        """
+        path = self._path(stage, key)
+        try:
+            with open(path, "rb") as fh:
+                data = fh.read()
+        except OSError:
+            return None
+        trailer_ok = None
+        if (
+            len(data) >= _TRAILER.size
+            and data[-_TRAILER.size : -_TRAILER.size + 4] == _TRAILER_MAGIC
+        ):
+            _magic, length, crc = _TRAILER.unpack(data[-_TRAILER.size :])
+            payload = data[: -_TRAILER.size]
+            trailer_ok = (
+                len(payload) == length and zlib.crc32(payload) == crc
+            )
+            data = payload
+        if trailer_ok is not False:
+            try:
+                return pickle.loads(data)
+            except Exception:
+                pass  # unparseable payload: quarantine below
+        self._quarantine(stage, key, path)
+        return None
+
+    def _quarantine(self, stage: str, key: str, path: str) -> None:
+        """Move a corrupt entry aside (best-effort) and count it.
+
+        The bad bytes are preserved under ``<cache_dir>/quarantine/`` for
+        forensics; the live slot is freed either way, so the rebuild's
+        ``put`` lands on a clean path.
+        """
+        self.stats.for_stage(stage).corrupt += 1
+        assert self.cache_dir is not None
+        qdir = os.path.join(self.cache_dir, "quarantine")
+        try:
+            os.makedirs(qdir, exist_ok=True)
+            os.replace(path, os.path.join(qdir, f"{stage}__{key}.pkl"))
+        except OSError:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
     def _load_from_disk(self, stage: str, key: str) -> Any | None:
         if self.cache_dir is None:
             return None
-        try:
-            with open(self._path(stage, key), "rb") as fh:
-                value = pickle.load(fh)
-        except Exception:
-            # best-effort load: a corrupt, truncated or stale pickle (e.g.
-            # referencing a renamed module) degrades to a miss and rebuild
-            return None
+        value = self._read_entry(stage, key)
         # resolve alias chains (pass-through stages persist a StoreRef
         # instead of duplicating the upstream pickle); bounded hops keep a
         # corrupt self-referencing entry from looping
@@ -365,11 +450,7 @@ class ArtifactStore:
             target = self._memory.get((value.stage, value.key))
             if target is not None:
                 return target
-            try:
-                with open(self._path(value.stage, value.key), "rb") as fh:
-                    value = pickle.load(fh)
-            except Exception:
-                return None
+            value = self._read_entry(value.stage, value.key)
         return None if isinstance(value, StoreRef) else value
 
     def _store_to_disk(self, stage: str, key: str, value: Any) -> None:
@@ -383,11 +464,66 @@ class ArtifactStore:
         except OSError:
             return
         try:
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
             with os.fdopen(fd, "wb") as fh:
-                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.write(payload)
+                fh.write(
+                    _TRAILER.pack(
+                        _TRAILER_MAGIC, len(payload), zlib.crc32(payload)
+                    )
+                )
+                if self.fsync:
+                    fh.flush()
+                    os.fsync(fh.fileno())
+            chaos.on_store_write(tmp, self._path(stage, key))
             os.replace(tmp, self._path(stage, key))
+            if self.fsync:
+                self._fsync_dir(stage_dir)
         except Exception:
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
+
+    @staticmethod
+    def _fsync_dir(path: str) -> None:
+        """Flush a directory entry (the rename itself) to stable storage."""
+        try:
+            fd = os.open(path, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def sweep_stale_tmp(self) -> int:
+        """Remove ``*.tmp`` leftovers of crashed writers; returns the count.
+
+        A reader never touches ``.tmp`` files (lookups address
+        ``<key>.pkl`` only), so leftovers are harmless to correctness —
+        this reclaims the disk.  Only safe to call when no other process
+        is concurrently writing this directory (e.g. on a ``--resume``
+        after a crash).
+        """
+        if self.cache_dir is None:
+            return 0
+        removed = 0
+        try:
+            stages = os.listdir(self.cache_dir)
+        except OSError:
+            return 0
+        for name in stages:
+            stage_dir = os.path.join(self.cache_dir, name)
+            try:
+                entries = os.listdir(stage_dir)
+            except OSError:
+                continue
+            for entry in entries:
+                if entry.endswith(".tmp"):
+                    try:
+                        os.unlink(os.path.join(stage_dir, entry))
+                        removed += 1
+                    except OSError:
+                        pass
+        return removed

@@ -1,0 +1,174 @@
+"""Deterministic fault injection for the campaign execution layer.
+
+The robustness claim of the supervision subsystem — a campaign survives
+worker kills, hung tasks, broken pools, torn store writes and a killed
+parent, producing outcomes **byte-identical** to a fault-free run — is
+only testable if those faults can be injected on a repeatable schedule.
+This module is that schedule: an inert-by-default hook surface the
+execution layer calls at its fault-relevant points, armed by a JSON spec
+in the :data:`ENV_VAR` environment variable so that pool *worker
+processes* (which inherit the parent's environment) observe the same
+spec without any explicit plumbing.
+
+Hook points (all no-ops unless armed):
+
+* :func:`on_pooled_task` — start of every pooled task in a worker
+  process (:func:`repro.pipeline.scheduler._timed_call`).  Drives
+  ``kill_worker_at_task`` (SIGKILL the worker at its Nth task — the
+  parent sees ``BrokenProcessPool``), ``pool_error_at_task`` (raise
+  ``BrokenProcessPool`` from the task body on schedule) and
+  ``delay_task`` (sleep a matching task past its supervision timeout).
+* :func:`on_store_write` — after an :class:`~repro.pipeline.store.
+  ArtifactStore` temp file is fully written, before the atomic rename.
+  Drives ``truncate_store_at_put`` (tear the file mid-write, so the
+  persisted artifact fails its checksum trailer on the next read).
+* :func:`on_journal_append` — after every campaign-journal append.
+  Drives ``kill_parent_at_append`` (SIGKILL the *orchestrator* process
+  itself at the Nth appended outcome — the checkpoint/resume test).
+
+Every fault is **one-shot across the whole process tree**: before
+firing, a hook atomically creates a marker file (``O_CREAT | O_EXCL``)
+under the spec's ``dir``, so a respawned pool does not re-kill its
+workers and a resumed campaign does not re-kill its parent.  That is
+what makes recovery testable: inject exactly one fault, assert the run
+converges to the fault-free outcome.
+
+Tests arm the harness with :func:`arm` (a context-manager-free
+``arm``/``disarm`` pair — subprocess tests set :data:`ENV_VAR`
+directly) and must disarm in a ``finally``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from typing import Any
+
+__all__ = [
+    "ENV_VAR",
+    "arm",
+    "disarm",
+    "reset",
+    "armed",
+    "on_pooled_task",
+    "on_store_write",
+    "on_journal_append",
+]
+
+ENV_VAR = "REPRO_CHAOS"
+
+#: Parsed spec cache: ``None`` = not yet read, ``False`` = unarmed.
+_spec: "dict[str, Any] | bool | None" = None
+#: Per-process event counters (tasks seen, store puts seen, ...).
+_counters: dict[str, int] = {}
+
+
+def arm(once_dir: str, **spec: Any) -> None:
+    """Arm the harness process-tree-wide.
+
+    ``once_dir`` must be a writable directory (one-shot marker files land
+    there); keyword arguments are the fault schedule — see the module
+    docstring for the recognized keys.  The spec travels through the
+    environment, so worker processes forked/spawned *after* arming
+    observe it too.
+    """
+    spec["dir"] = once_dir
+    os.environ[ENV_VAR] = json.dumps(spec)
+    reset()
+
+
+def disarm() -> None:
+    """Remove the spec from the environment and drop cached state."""
+    os.environ.pop(ENV_VAR, None)
+    reset()
+
+
+def reset() -> None:
+    """Drop this process's cached spec and counters (markers persist)."""
+    global _spec
+    _spec = None
+    _counters.clear()
+
+
+def armed() -> bool:
+    return bool(_load())
+
+
+def _load() -> "dict[str, Any] | bool":
+    global _spec
+    if _spec is None:
+        raw = os.environ.get(ENV_VAR)
+        try:
+            _spec = json.loads(raw) if raw else False
+        except ValueError:
+            _spec = False
+    return _spec
+
+
+def _count(name: str) -> int:
+    _counters[name] = _counters.get(name, 0) + 1
+    return _counters[name]
+
+
+def _fire_once(spec: dict, name: str) -> bool:
+    """Atomically claim the one-shot marker for fault ``name``.
+
+    Returns True exactly once across every process sharing the spec's
+    marker directory; any filesystem failure counts as "already fired"
+    so a broken marker dir can never turn one fault into many.
+    """
+    path = os.path.join(spec.get("dir", "."), f"chaos-{name}.fired")
+    try:
+        os.close(os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+        return True
+    except OSError:
+        return False
+
+
+def on_pooled_task(label: str) -> None:
+    """Hook: a pooled task is starting in a worker process."""
+    spec = _load()
+    if not spec:
+        return
+    n = _count("task")
+    at = spec.get("kill_worker_at_task")
+    if at is not None and n >= at and _fire_once(spec, "kill-worker"):
+        os.kill(os.getpid(), signal.SIGKILL)
+    at = spec.get("pool_error_at_task")
+    if at is not None and n >= at and _fire_once(spec, "pool-error"):
+        from concurrent.futures.process import BrokenProcessPool
+
+        raise BrokenProcessPool("chaos: injected pool error")
+    delay = spec.get("delay_task")
+    if (
+        delay
+        and delay.get("match", "") in label
+        and _fire_once(spec, "delay")
+    ):
+        time.sleep(float(delay["seconds"]))
+
+
+def on_store_write(tmp_path: str, final_path: str) -> None:
+    """Hook: a store temp file is fully written, rename comes next."""
+    spec = _load()
+    if not spec:
+        return
+    at = spec.get("truncate_store_at_put")
+    if at is None:
+        return
+    if _count("put") >= at and _fire_once(spec, "truncate"):
+        size = os.path.getsize(tmp_path)
+        with open(tmp_path, "r+b") as fh:
+            fh.truncate(max(1, size // 2))
+
+
+def on_journal_append(n_appends: int) -> None:
+    """Hook: the campaign journal just appended its ``n_appends``-th line."""
+    spec = _load()
+    if not spec:
+        return
+    at = spec.get("kill_parent_at_append")
+    if at is not None and n_appends >= at and _fire_once(spec, "kill-parent"):
+        os.kill(os.getpid(), signal.SIGKILL)

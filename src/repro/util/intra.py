@@ -24,13 +24,11 @@ re-run locally from its original payloads, so results are unaffected.
 from __future__ import annotations
 
 import importlib
-from concurrent.futures import BrokenExecutor
 from typing import Any, Callable
 
-__all__ = ["IntraPool", "run_round_task", "POOL_ERRORS"]
+from repro.errors import POOL_ERRORS
 
-#: Failures that mean "the pool is unusable", not "the payload is wrong".
-POOL_ERRORS = (OSError, PermissionError, BrokenExecutor)
+__all__ = ["IntraPool", "run_round_task", "POOL_ERRORS"]
 
 #: Per-process cache of prepared statics, keyed by token.  Bounded: a
 #: long-lived worker serving many builds must not accumulate RR graphs.
