@@ -220,7 +220,8 @@ def render_campaign_report(
     if intra_design_workers:
         lines.append(
             f"intra-design parallelism: {intra_design_workers} worker(s) "
-            "(region-parallel place, round-parallel route)"
+            "(level-wave mapping; region-parallel place and round-parallel "
+            "route on physical runs)"
         )
     if wall_s is not None:
         par = f", {workers} worker(s)" if workers else ""

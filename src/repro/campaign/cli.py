@@ -104,11 +104,12 @@ def _parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         metavar="N",
-        help="intra-design physical parallelism (requires --physical): "
-        "N >= 1 switches to the region-parallel placer and the round-"
-        "parallel router, fanning move/route waves onto the shared pool "
-        "with N slots (default 0 = historical serial algorithms; "
-        "outcomes are byte-identical across any N >= 1)",
+        help="intra-design parallelism: N >= 1 switches to level-wave "
+        "priority-cut mapping (always) plus, with --physical, the "
+        "region-parallel placer and round-parallel router, fanning waves "
+        "onto the shared pool with N slots (default 0 = historical "
+        "serial algorithms; outcomes are byte-identical across any "
+        "N >= 1)",
     )
     p.add_argument(
         "--lane-width",
@@ -433,13 +434,6 @@ def main(argv: list[str] | None = None) -> int:
         print(
             "error: --sim-backend numpy requires numpy, which is not "
             "importable in this environment",
-            file=sys.stderr,
-        )
-        return 2
-    if args.intra_design_workers and not args.physical:
-        print(
-            "error: --intra-design-workers only applies to the physical "
-            "back-end; add --physical",
             file=sys.stderr,
         )
         return 2

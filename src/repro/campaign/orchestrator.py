@@ -90,15 +90,17 @@ class CampaignConfig:
     offline artifact — the paper's full §IV-A stage.  Currently limited to
     combinational designs (the TPaR back-end does not yet route latches)."""
     intra_design_workers: int = 0
-    """Intra-design parallelism for the physical back-end.  ``0``
-    (default) keeps the historical serial placement/routing algorithms.
-    ``>= 1`` switches to the intra-parallel algorithms — the
-    region-parallel annealer (cache-keyed as ``place_regions=8``) and the
-    round-parallel router (byte-identical to serial) — fanning their move
-    and route waves onto the campaign's one shared worker pool with this
-    many slots; ``1`` runs the same algorithms in-process.  Campaign
-    outcomes are therefore byte-identical across any ``>= 1`` setting —
-    only the wall clock changes.  Ignored without ``with_physical``."""
+    """Intra-design parallelism.  ``0`` (default) keeps the historical
+    serial algorithms.  ``>= 1`` turns on the intra-parallel algorithms:
+    level-wave priority-cut mapping in the generic prefix (initial-map
+    and tcon-map, byte-identical to serial — see
+    :mod:`repro.mapping.parallel`) and, with ``with_physical``, the
+    region-parallel annealer (cache-keyed as ``place_regions=8``) plus
+    the round-parallel router (byte-identical to serial).  All waves fan
+    onto the campaign's one shared worker pool with this many slots;
+    ``1`` runs the same algorithms in-process.  Campaign outcomes are
+    therefore byte-identical across any ``>= 1`` setting — only the wall
+    clock changes."""
     max_turns: int = 48
     """Per-scenario budget of debugging turns for the localization walk."""
     lane_width: int = 64
@@ -466,16 +468,20 @@ def prebuild_offline(
     or surface the error.  ``notes``, when given, collects
     human-readable fallback messages (pool unavailable etc.).
 
-    ``intra_workers >= 1`` (with ``with_physical``) selects the
-    intra-parallel physical algorithms — see
+    ``intra_workers >= 1`` selects the intra-parallel algorithms
+    (level-wave mapping always; region-parallel placement and
+    round-parallel routing with ``with_physical``) — see
     :attr:`CampaignConfig.intra_design_workers` for the semantics.
     """
     flow = flow or DebugFlowConfig()
     if notes is None:
         notes = []
-    intra_enabled = intra_workers >= 1 and with_physical
-    extras = ("place_regions=8",) if intra_enabled else ()
-    params = {"place_regions": 8} if intra_enabled else None
+    intra_enabled = intra_workers >= 1
+    # place_regions=8 (a keyed, different algorithm) only applies to the
+    # physical back-end; generic-prefix waves need no key discriminator
+    phys_intra = intra_enabled and with_physical
+    extras = ("place_regions=8",) if phys_intra else ()
+    params = {"place_regions": 8} if phys_intra else None
     keyed: "dict[str, object]" = {}
     for net in nets:
         keyed.setdefault(
@@ -524,7 +530,8 @@ def prebuild_offline(
         )
     if intra is not None and intra.broken:
         notes.append(
-            "intra-design pool unavailable; place/route rounds ran in-process"
+            "intra-design pool unavailable; mapping/place/route waves ran "
+            "in-process"
         )
     return out
 
@@ -566,11 +573,14 @@ def run_campaign(
     workers = max(1, config.workers)
     lane_width = max(1, config.lane_width)
     barrier = config.schedule == "barrier"
-    intra_enabled = config.intra_design_workers >= 1 and config.with_physical
+    intra_enabled = config.intra_design_workers >= 1
     # the region-parallel annealer is a different (keyed) algorithm, so
-    # intra-enabled builds live under their own group keys and params
-    extras = ("place_regions=8",) if intra_enabled else ()
-    build_params = {"place_regions": 8} if intra_enabled else None
+    # intra-enabled *physical* builds live under their own group keys and
+    # params; the generic prefix's level-wave mapping is byte-identical to
+    # serial, so without the physical back-end nothing is keyed
+    phys_intra = intra_enabled and config.with_physical
+    extras = ("place_regions=8",) if phys_intra else ()
+    build_params = {"place_regions": 8} if phys_intra else None
     # offline build unit: one per distinct design when pooled (builds
     # dedupe across duplicate scenarios), one per scenario when serial —
     # the historical granularities, now just two task layouts.  Intra-
@@ -920,8 +930,8 @@ def run_campaign(
         1,
         min(max(1, config.offline_workers), max(1, n_cold)) if dedup else 1,
         min(workers, expected_payloads) if use_online_pool else 1,
-        # intra-parallel place/route waves ride the same pool; size it
-        # for the widest wave only when there is cold physical work
+        # intra-parallel mapping/place/route waves ride the same pool;
+        # size it for the widest wave only when there is cold build work
         config.intra_design_workers if intra_enabled and n_cold else 1,
     )
 
@@ -954,7 +964,8 @@ def run_campaign(
         )
     if intra is not None and intra.broken:
         notes.append(
-            "intra-design pool unavailable; place/route rounds ran in-process"
+            "intra-design pool unavailable; mapping/place/route waves ran "
+            "in-process"
         )
     online_fell_back = "online" in sched.inline_fallbacks
     if online_fell_back:

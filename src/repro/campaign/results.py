@@ -119,10 +119,11 @@ class CampaignReport:
     lane_batches: list[int] = field(default_factory=list)
     """Lane occupancy per online batch (empty on the serial path)."""
     intra_design_workers: int = 0
-    """Intra-design physical parallelism the campaign ran with (0 =
-    historical serial place/route algorithms; ``>= 1`` = region-parallel
-    placement + round-parallel routing fanning waves onto the shared
-    pool — outcomes byte-identical across any ``>= 1`` value)."""
+    """Intra-design parallelism the campaign ran with (0 = historical
+    serial algorithms; ``>= 1`` = level-wave priority-cut mapping, plus
+    region-parallel placement + round-parallel routing on physical
+    campaigns, fanning waves onto the shared pool — outcomes
+    byte-identical across any ``>= 1`` value)."""
     notes: list[str] = field(default_factory=list)
     schedule: str = "dataflow"
     """Execution discipline the campaign ran under: ``"dataflow"``

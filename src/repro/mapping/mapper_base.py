@@ -1,4 +1,4 @@
-"""Generic priority-cuts technology mapper.
+"""Generic priority-cuts technology mapper (flat bitset engine).
 
 :class:`PriorityCutMapper` implements the classical two-phase scheme:
 
@@ -17,21 +17,49 @@ diverts parameter-muxes to TCONs).
 Observability boundaries: node ids in ``boundary`` expose only their trivial
 cut to fan-outs, so no downstream LUT can absorb them — this models debug
 flows in which an instrumented signal must remain physically present.
+
+**Engine notes.**  Per-run state lives in flat lists indexed by the dense
+node id (cut arrays, arrivals, area flows, reference estimates); cut leaf
+sets are integer bitmasks (see :mod:`repro.mapping.cuts`).  Cut costs are
+memoized on the cut object under a per-pass stamp: within one forward or
+recovery pass a cut's leaf values are final before any fan-out ranks it
+(leaves precede users in topological order), so arrival and area flow are
+computed once per cut per pass instead of once per ranking.  Cone truth
+tables are memoized per ``(root, leaves)`` for the whole ``map()`` run —
+the depth cover, every recovery cover and TconMap's TLUT emission reuse
+them — and the underlying ``compose`` calls are value-cached process-wide,
+so re-mapping after a parameterisation change reuses unchanged cut
+functions.  The chosen mapping is a pure function of the network and the
+mapper configuration; when an :class:`~repro.util.intra.IntraPool` is
+supplied, cut enumeration fans out level by level
+(:mod:`repro.mapping.parallel`) and remains byte-identical to the serial
+pass at any worker count.
 """
 
 from __future__ import annotations
 
-from typing import Collection, Iterable
+from functools import lru_cache
+from typing import Collection
 
 from repro.errors import MappingError
 from repro.netlist.network import LogicNetwork, NodeKind
 from repro.netlist.truthtable import TruthTable
-from repro.mapping.cuts import Cut, cut_size, merge_cut_lists
+from repro.mapping.cuts import Cut, merge_ranked
 from repro.mapping.result import LutImpl, MappingResult
 
 __all__ = ["PriorityCutMapper", "cone_function"]
 
 _INF = float("inf")
+
+
+@lru_cache(maxsize=4096)
+def _compose_cached(
+    func: TruthTable, children: tuple[TruthTable, ...], n_vars: int
+) -> TruthTable:
+    """Value-keyed compose cache shared by every cone collapse in the
+    process.  Truth tables hash by content, so structurally identical
+    cones hit regardless of which network (or which stage run) asks."""
+    return func.compose(children, n_vars=n_vars)
 
 
 def cone_function(
@@ -63,8 +91,8 @@ def cone_function(
         if func.n_vars == 0:
             tt = TruthTable.const(func.bits & 1, n_vars)
         else:
-            children = [build(f) for f in net.fanins(nid)]
-            tt = func.compose(children, n_vars=n_vars)
+            children = tuple(build(f) for f in net.fanins(nid))
+            tt = _compose_cached(func, children, n_vars)
         memo[nid] = tt
         return tt
 
@@ -88,9 +116,21 @@ class PriorityCutMapper:
         Observability boundaries (see module docstring).
     max_total_leaves:
         Cap on total cut leaves including free ones (truth-table width).
+    intra:
+        Optional :class:`~repro.util.intra.IntraPool`: cut enumeration
+        and recovery fan out level by level on the shared campaign pool
+        (:mod:`repro.mapping.parallel`).  Pure execution — the chosen
+        mapping is byte-identical at any worker count, so ``intra`` is
+        never part of any cache key.
     """
 
     name = "priority-cuts"
+
+    #: Which worker-side shell class reproduces this mapper's rank
+    #: functions (see repro.mapping.parallel); subclasses overriding
+    #: ``_rank_depth``/``_rank_area`` must register there or leave
+    #: ``intra`` unset.
+    wave_shell = "priority"
 
     def __init__(
         self,
@@ -103,6 +143,7 @@ class PriorityCutMapper:
         forced_roots: Collection[int] = (),
         macro_nodes: Collection[int] = (),
         max_total_leaves: int | None = None,
+        intra=None,
     ) -> None:
         if k < 2:
             raise MappingError(f"K must be >= 2, got {k}")
@@ -118,14 +159,24 @@ class PriorityCutMapper:
         # yet may still be duplicated into readers' cones
         self.forced_roots = frozenset(forced_roots)
         self.cap = max_total_leaves if max_total_leaves is not None else k + 6
+        self.intra = intra
 
-        # per-run state
+        # per-run state (flat arrays indexed by dense node id)
         self._net: LogicNetwork | None = None
         self._order: list[int] = []
-        self._cuts: dict[int, list[Cut]] = {}
-        self._best: dict[int, Cut] = {}
-        self._arrival: dict[int, float] = {}
-        self._est_refs: dict[int, float] = {}
+        self._gate_order: list[int] = []
+        self._trivial_order: list[int] = []
+        self._recover_order: list[int] = []
+        self._cuts: list[list[Cut] | None] = []
+        self._best: list[Cut | None] = []
+        self._arrival: list[float] = []
+        self._leaf_af: list[float] = []
+        self._laf_norm: list[float] = []
+        self._est_refs: list[float] = []
+        self._stamp = 0
+        self._cone_cache: dict[tuple[int, tuple[int, ...]], TruthTable] = {}
+        self._lut_memo: dict[int, LutImpl] = {}
+        self._wave = None
 
     # -- hooks for subclasses ------------------------------------------------
 
@@ -150,37 +201,81 @@ class PriorityCutMapper:
 
     # -- cost functions ---------------------------------------------------------
 
-    def _cut_arrival(self, cut: Cut) -> float:
+    def _compute_costs(self, cut: Cut) -> Cut:
+        """Arrival/area-flow/size of ``cut``, memoized per pass stamp.
+
+        Safe because leaves precede every user of a cut in topological
+        order: by the time any node ranks the cut, all of its leaves'
+        values are final for the running pass.  Cuts built by
+        :func:`~repro.mapping.cuts.merge_ranked` arrive pre-stamped; this
+        lazy path serves the rest (trivial cuts, direct-fan-in fallbacks,
+        single-fan-in pass-throughs, previous-pass bests).
+        """
+        if cut.stamp == self._stamp:
+            return cut
+        free = self.free
+        arrival = self._arrival
+        laf_norm = self._laf_norm
         arr = 0.0
-        for leaf in cut:
-            a = self._arrival.get(leaf, 0.0)
+        af = 1.0
+        size = 0
+        for leaf in cut.leaves:
+            a = arrival[leaf]
             if a > arr:
                 arr = a
-        return arr + 1.0
+            if leaf in free:
+                continue
+            size += 1
+            af += laf_norm[leaf]
+        cut.arr = arr + 1.0
+        cut.af = af
+        cut.size = size
+        cut.stamp = self._stamp
+        return cut
+
+    def _cut_arrival(self, cut: Cut) -> float:
+        return self._compute_costs(cut).arr
 
     def _cut_area_flow(self, cut: Cut) -> float:
-        af = 1.0
-        for leaf in cut:
-            if leaf in self.free:
-                continue
-            laf = self._leaf_af.get(leaf, 0.0)
-            refs = max(1.0, self._est_refs.get(leaf, 1.0))
-            af += laf / refs
-        return af
+        return self._compute_costs(cut).af
 
     def _rank_depth(self, cut: Cut):
-        return (
-            self._cut_arrival(cut),
-            cut_size(cut, self.free),
-            self._cut_area_flow(cut),
-        )
+        c = self._compute_costs(cut)
+        return (c.arr, c.size, c.af)
 
     def _rank_area(self, cut: Cut):
-        return (
-            self._cut_area_flow(cut),
-            self._cut_arrival(cut),
-            cut_size(cut, self.free),
+        c = self._compute_costs(cut)
+        return (c.af, c.arr, c.size)
+
+    # merge_ranked-mode counterparts of the Cut-based ranks above; a
+    # subclass overriding _rank_depth/_rank_area must keep this mapping
+    # consistent (see cuts.RANK_MODES) so in-merge pruning and the final
+    # ranked choice order cuts the same way.  The multi-fan-in best comes
+    # straight off the sorted merge output, so the merge's rank mode IS
+    # the pass's rank there; the Cut-based ranks serve the single-fan-in
+    # pass-through and fallback paths.
+    def _merge_rank_mode(self, depth_mode: bool) -> str:
+        return "depth" if depth_mode else "area"
+
+    def _merge_fanins(self, fanins, depth_mode: bool) -> list[Cut]:
+        return merge_ranked(
+            [self._cuts[f] for f in fanins],
+            self.k,
+            self.cut_limit,
+            self.cap,
+            self._arrival,
+            self._laf_norm,
+            self.free,
+            self._merge_rank_mode(depth_mode),
+            self._stamp,
         )
+
+    def _direct_cut(self, fanins) -> Cut | None:
+        """The structural 1:1 cut, or None if it exceeds K physical pins."""
+        direct = Cut.from_leaves(fanins)
+        if sum(1 for l in direct.leaves if l not in self.free) > self.k:
+            return None
+        return direct
 
     # -- main entry -------------------------------------------------------------
 
@@ -188,131 +283,249 @@ class PriorityCutMapper:
         """Map ``net``; returns a verified-structure :class:`MappingResult`."""
         self._net = net
         self._order = net.topo_order()
-        self._est_refs = {
-            nid: float(c) for nid, c in enumerate(net.fanout_counts())
-        }
-        self._leaf_af: dict[int, float] = {}
+        self._est_refs = [float(c) for c in net.fanout_counts()]
+        self._leaf_af = [0.0] * net.n_nodes
+        self._cone_cache = {}
+        self._lut_memo = {}
+        self._wave = None
+        # split the topological order once: every pass walks the same
+        # gate/trivial partition, so the kind checks run once per map()
+        self._gate_order = []
+        self._trivial_order = []
+        for nid in self._order:
+            if self._is_source_like(nid) or not net.fanins(nid):
+                self._trivial_order.append(nid)
+            else:
+                self._gate_order.append(nid)
+        self._recover_order = [
+            nid for nid in self._gate_order if nid not in self.macro_nodes
+        ]
 
         self._forward_pass(depth_mode=True)
         # depth-optimal arrivals anchor the required times of every later
         # area-recovery round, so recovery can never worsen any root's depth
-        self._target_arrival = dict(self._arrival)
+        self._target_arrival = list(self._arrival)
         result = self._cover()
 
-        for _ in range(self.area_rounds):
+        for rnd in range(self.area_rounds):
             required = self._compute_required(result)
             refs = self._cover_refs(result)
-            self._est_refs = {
-                nid: float(max(1, refs.get(nid, 0))) for nid in net.nodes()
-            }
-            self._recover_area(required)
+            self._est_refs = [
+                float(max(1, refs.get(nid, 0))) for nid in range(net.n_nodes)
+            ]
+            # new reference counts re-normalize every leaf's area flow,
+            # including nodes the recovery pass skips (sources, macros)
+            self._laf_norm = [
+                af / (r if r > 1.0 else 1.0)
+                for af, r in zip(self._leaf_af, self._est_refs)
+            ]
+            # Hybrid recovery: the first round re-merges cuts under the
+            # area rank (fresh area-oriented candidates); later rounds only
+            # re-select among each node's stored priority cuts under the
+            # updated reference counts.  Re-merging every round buys ~no
+            # further area (<0.3% on the paper suite) at ~2x the runtime.
+            self._recover_area(required, remerge=(rnd == 0))
             result = self._cover()
         return result
 
+    # -- per-node kernels ----------------------------------------------------
+    #
+    # The serial passes and the level-wave parallel passes share these:
+    # each is a pure function of the committed fan-in state, so where a
+    # node runs (parent or pool worker) cannot change its outcome.
+
+    def _enumerate_node(self, nid: int, depth_mode: bool) -> tuple[Cut, list[Cut]]:
+        """Forward-pass cut choice for one gate node: ``(best, visible)``."""
+        net = self._net
+        assert net is not None
+        fanins = net.fanins(nid)
+        rank = self._rank_depth if depth_mode else self._rank_area
+        if nid in self.macro_nodes:
+            # pre-synthesized macros keep their structural 1:1 shape
+            direct = self._direct_cut(fanins)
+            if direct is None:
+                raise MappingError(
+                    f"macro node {net.node_name(nid)!r} exceeds K inputs"
+                )
+            merged = [direct]
+        else:
+            merged = self._merge_fanins(fanins, depth_mode)
+            if not merged:
+                # fall back: direct fan-in cut (always legal for fanin<=k)
+                direct = self._direct_cut(fanins)
+                if direct is None:
+                    raise MappingError(
+                        f"node {net.node_name(nid)!r} has unmappable fan-in"
+                    )
+                merged = [direct]
+        if len(fanins) >= 2 and len(merged) > 1:
+            # merge_ranked sorts multi-list output by this pass's rank mode
+            # (first-occurrence ties, same as min()), so element 0 is the
+            # ranked choice.  Single-fan-in pass-throughs keep the fan-in's
+            # own order and still need the explicit min().
+            best = merged[0]
+        else:
+            best = min(merged, key=rank)
+        if nid in self.boundary:
+            visible = [Cut((nid,))]
+        else:
+            visible = merged + [Cut((nid,))]
+        return best, visible
+
+    def _recover_node(
+        self, nid: int, req: float
+    ) -> tuple[Cut, list[Cut]] | None:
+        """Area-recovery cut choice for one gate node, or ``None`` to keep
+        the node's current choice untouched."""
+        net = self._net
+        assert net is not None
+        fanins = net.fanins(nid)
+        merged = self._merge_fanins(fanins, depth_mode=False)
+        prev_best = self._best[nid]
+        prev_appended = prev_best is not None and all(
+            c.leaves != prev_best.leaves for c in merged
+        )
+        if prev_appended:
+            merged = merged + [prev_best]
+        if not merged:
+            return None
+        if len(fanins) >= 2:
+            # The merge output is sorted by the area rank, so the first
+            # element meeting the deadline is the feasible minimum; the
+            # appended previous best sits past the sorted prefix and —
+            # like min() keeping the earlier element on ties — only wins
+            # with a strictly better rank.
+            best = None
+            scan = merged[:-1] if prev_appended else merged
+            for c in scan:
+                if self._compute_costs(c).arr <= req:
+                    best = c
+                    break
+            if prev_appended and self._compute_costs(prev_best).arr <= req:
+                if best is None or self._rank_area(prev_best) < self._rank_area(
+                    best
+                ):
+                    best = prev_best
+            if best is None:
+                # No cut meets the deadline (area pruning lost the fast
+                # ones): keep the previous depth-optimal choice so
+                # recovery can never worsen the mapping's depth.
+                best = prev_best if prev_best is not None else merged[0]
+        else:
+            feasible = [
+                c for c in merged if self._compute_costs(c).arr <= req
+            ]
+            if feasible:
+                best = min(feasible, key=self._rank_area)
+            elif prev_best is not None:
+                best = prev_best
+            else:
+                best = min(merged, key=self._rank_area)
+        if nid in self.boundary:
+            visible = [Cut((nid,))]
+        else:
+            visible = merged + [Cut((nid,))]
+        return best, visible
+
+    def _commit_node(self, nid: int, best: Cut, visible: list[Cut]) -> None:
+        c = self._compute_costs(best)
+        refs = self._est_refs[nid]
+        self._best[nid] = best
+        self._arrival[nid] = c.arr
+        self._leaf_af[nid] = c.af
+        self._laf_norm[nid] = c.af / (refs if refs > 1.0 else 1.0)
+        self._cuts[nid] = visible
+
+    def _commit_trivial(self, nid: int) -> None:
+        """Source-like or constant node: trivial cut, no enumeration."""
+        self._cuts[nid] = [Cut((nid,))]
+        if self._is_source_like(nid):
+            self._arrival[nid] = 0.0
+            self._leaf_af[nid] = 0.0
+            self._laf_norm[nid] = 0.0
+        else:  # constant gate: a 0-input LUT
+            refs = self._est_refs[nid]
+            self._best[nid] = Cut(())
+            self._arrival[nid] = 0.0
+            self._leaf_af[nid] = 1.0
+            self._laf_norm[nid] = 1.0 / (refs if refs > 1.0 else 1.0)
+
     # -- passes -----------------------------------------------------------------
+
+    def _use_waves(self) -> bool:
+        return self.intra is not None and self.intra.workers > 1
 
     def _forward_pass(self, depth_mode: bool) -> None:
         net = self._net
         assert net is not None
-        self._cuts = {}
-        self._best = {}
-        self._arrival = {}
-        self._leaf_af = {}
-        rank = self._rank_depth if depth_mode else self._rank_area
+        n = net.n_nodes
+        self._cuts = [None] * n
+        self._best = [None] * n
+        self._arrival = [0.0] * n
+        self._leaf_af = [0.0] * n
+        self._laf_norm = [0.0] * n
+        self._stamp += 1
+        for nid in self._trivial_order:
+            self._commit_trivial(nid)
+        if self._use_waves():
+            from repro.mapping.parallel import wave_forward_pass
 
-        for nid in self._order:
-            trivial = frozenset((nid,))
-            if self._is_source_like(nid):
-                self._cuts[nid] = [trivial]
-                self._arrival[nid] = 0.0
-                self._leaf_af[nid] = 0.0
-                continue
-            fanins = net.fanins(nid)
-            if not fanins:  # constant gate: a 0-input LUT
-                self._cuts[nid] = [trivial]
-                self._best[nid] = frozenset()
-                self._arrival[nid] = 0.0
-                self._leaf_af[nid] = 1.0
-                continue
+            wave_forward_pass(self, depth_mode)
+            return
+        for nid in self._gate_order:
+            best, visible = self._enumerate_node(nid, depth_mode)
+            self._commit_node(nid, best, visible)
 
-            if nid in self.macro_nodes:
-                # pre-synthesized macros keep their structural 1:1 shape
-                direct = frozenset(fanins)
-                if cut_size(direct, self.free) > self.k:
-                    raise MappingError(
-                        f"macro node {net.node_name(nid)!r} exceeds K inputs"
-                    )
-                merged = [direct]
-            else:
-                merged = merge_cut_lists(
-                    [self._cuts[f] for f in fanins],
-                    self.k,
-                    self.cut_limit,
-                    self.free,
-                    rank,
-                    self.cap,
-                )
-                if not merged:
-                    # fall back: direct fan-in cut (always legal for fanin<=k)
-                    direct = frozenset(fanins)
-                    if cut_size(direct, self.free) > self.k:
-                        raise MappingError(
-                            f"node {net.node_name(nid)!r} has unmappable fan-in"
-                        )
-                    merged = [direct]
-            best = min(merged, key=rank)
-            self._best[nid] = best
-            self._arrival[nid] = self._cut_arrival(best)
-            self._leaf_af[nid] = self._cut_area_flow(best)
+    def _recover_area(
+        self, required: dict[int, float], remerge: bool = True
+    ) -> None:
+        """Re-choose cuts minimizing area flow where timing slack permits.
 
-            if nid in self.boundary:
-                visible = [trivial]
-            else:
-                visible = merged + [trivial]
-            self._cuts[nid] = visible
-
-    def _recover_area(self, required: dict[int, float]) -> None:
-        """Re-choose cuts minimizing area flow where timing slack permits."""
+        ``remerge=True`` re-enumerates cuts under the area rank mode;
+        ``remerge=False`` only re-selects among each node's stored priority
+        cuts (cheap: no merging), which is what later hybrid rounds run.
+        Re-selection is memory-bound and stays serial even under waves.
+        """
         net = self._net
         assert net is not None
-        for nid in self._order:
-            if self._is_source_like(nid) or nid in self.macro_nodes:
-                continue
-            fanins = net.fanins(nid)
-            if not fanins:
-                continue
-            merged = merge_cut_lists(
-                [self._cuts[f] for f in fanins],
-                self.k,
-                self.cut_limit,
-                self.free,
-                self._rank_area,
-                self.cap,
-            )
-            prev_best = self._best.get(nid)
-            if prev_best is not None and prev_best not in merged:
-                merged = merged + [prev_best]
-            if not merged:
-                continue
-            req = required.get(nid, _INF)
-            feasible = [c for c in merged if self._cut_arrival(c) <= req]
-            if feasible:
-                best = min(feasible, key=self._rank_area)
-            elif prev_best is not None:
-                # No cut meets the deadline (area pruning lost the fast
-                # ones): keep the previous depth-optimal choice so recovery
-                # can never worsen the mapping's depth.
-                best = prev_best
-            else:
-                best = min(merged, key=self._rank_area)
-            self._best[nid] = best
-            self._arrival[nid] = self._cut_arrival(best)
-            self._leaf_af[nid] = self._cut_area_flow(best)
-            trivial = frozenset((nid,))
-            if nid in self.boundary:
-                self._cuts[nid] = [trivial]
-            else:
-                self._cuts[nid] = merged + [trivial]
+        self._stamp += 1
+        if remerge and self._use_waves():
+            from repro.mapping.parallel import wave_recover_pass
+
+            wave_recover_pass(self, required)
+            return
+        if remerge:
+            for nid in self._recover_order:
+                out = self._recover_node(nid, required.get(nid, _INF))
+                if out is not None:
+                    self._commit_node(nid, *out)
+            return
+        for nid in self._recover_order:
+            best = self._reselect_node(nid, required.get(nid, _INF))
+            if best is not None:
+                self._commit_node(nid, best, self._cuts[nid])
+
+    def _reselect_node(self, nid: int, req: float) -> Cut | None:
+        """Pick the best stored cut under current reference counts.
+
+        Candidates are the node's priority cuts from the last enumerating
+        pass (minus its own trivial cut, which cannot implement it) plus
+        the current best; no new cuts are merged.
+        """
+        cands = [c for c in self._cuts[nid] if c.leaves != (nid,)]
+        prev_best = self._best[nid]
+        if prev_best is not None and all(
+            c.leaves != prev_best.leaves for c in cands
+        ):
+            cands = cands + [prev_best]
+        if not cands:
+            return None
+        feasible = [c for c in cands if self._compute_costs(c).arr <= req]
+        if feasible:
+            return min(feasible, key=self._rank_area)
+        if prev_best is not None:
+            return prev_best
+        return min(cands, key=self._rank_area)
 
     # -- covering ----------------------------------------------------------------
 
@@ -328,6 +541,17 @@ class PriorityCutMapper:
         roots |= self._forced_roots()
         return {r for r in roots if not self._is_source_like(r)}
 
+    def _cone(self, root: int, leaves: tuple[int, ...]) -> TruthTable:
+        """Per-run memo over :func:`cone_function` — the depth cover, every
+        recovery cover and the TLUT path reuse unchanged cut functions."""
+        key = (root, leaves)
+        got = self._cone_cache.get(key)
+        if got is None:
+            assert self._net is not None
+            got = cone_function(self._net, root, leaves)
+            self._cone_cache[key] = got
+        return got
+
     def _cover(self) -> MappingResult:
         net = self._net
         assert net is not None
@@ -342,17 +566,24 @@ class PriorityCutMapper:
             if self._handle_special(nid, result):
                 stack.extend(self._special_deps(nid))
                 continue
-            cut = self._best.get(nid)
+            cut = self._best[nid]
             if cut is None:
                 raise MappingError(
                     f"no cut chosen for {net.node_name(nid)!r}"
                 )
-            leaves = tuple(sorted(cut))
-            func = cone_function(net, nid, leaves)
-            params = tuple(l for l in leaves if l in self.free)
-            result.luts[nid] = LutImpl(
-                root=nid, leaves=leaves, func=func, param_leaves=params
-            )
+            leaves = cut.leaves
+            lut = self._lut_memo.get(nid)
+            if lut is None or lut.leaves != leaves:
+                # LutImpl is frozen, so covers may share instances; the
+                # depth cover and every recovery cover mostly re-emit the
+                # same (root, cut) pairs
+                func = self._cone(nid, leaves)
+                params = tuple(l for l in leaves if l in self.free)
+                lut = LutImpl(
+                    root=nid, leaves=leaves, func=func, param_leaves=params
+                )
+                self._lut_memo[nid] = lut
+            result.luts[nid] = lut
             stack.extend(l for l in leaves if l not in visited)
         return result
 
@@ -363,7 +594,7 @@ class PriorityCutMapper:
         target = float(result.depth())
         required: dict[int, float] = {}
         for r in self._roots():
-            required[r] = self._target_arrival.get(r, target)
+            required[r] = self._target_arrival[r]
         for nid in reversed(self._order):
             if nid not in result.luts:
                 continue

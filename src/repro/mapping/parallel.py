@@ -1,0 +1,319 @@
+"""Level-wave parallel cut enumeration (byte-identical to serial).
+
+The priority-cuts forward pass is a topological sweep where each gate's
+cut choice is a pure function of its fan-ins' *committed* state.  Nodes
+that share a topological level therefore have no data dependencies on one
+another: the sweep is a sequence of *waves*, one per level, and every
+wave fans out over the campaign's one shared worker pool via
+:class:`~repro.util.intra.IntraPool` — the same no-nested-pools statics
+protocol the region-parallel placer and round-parallel router use.
+
+**Determinism.**  Workers run the *same methods* the serial pass runs
+(:meth:`PriorityCutMapper._enumerate_node` /
+:meth:`~PriorityCutMapper._recover_node`, on a reconstructed shell
+mapper), over input cuts whose costs the parent stamps before shipping —
+exactly the values the serial pass's lazy memo would produce.  The parent
+commits results level by level in topological order, so the flat arrays
+evolve identically and the chosen mapping is byte-identical at any worker
+count.  ``intra`` is therefore never part of any pipeline cache key.
+
+**Protocol.**  One static blob per ``map()`` run carries the mapper
+configuration and fan-in topology under a fresh token; workers cache the
+prepared shell.  Each wave ships, per contiguous chunk of the level: the
+node ids, their fan-ins' cut lists (leaves plus stamped costs) and a leaf
+environment (arrival / normalized area flow for every referenced leaf).
+Waves smaller than :data:`MIN_WAVE` nodes run inline — payload pickling
+would cost more than the merges.
+
+:class:`~repro.errors.MappingError` raised in a worker (macro over K
+inputs, unmappable fan-in) is not a pool error: it propagates to the
+parent and fails the stage, same as serial.
+"""
+
+from __future__ import annotations
+
+from uuid import uuid4
+
+from repro.mapping.cuts import Cut
+
+__all__ = ["MIN_WAVE", "wave_forward_pass", "wave_recover_pass", "run_wave"]
+
+#: Levels with fewer gates than this run inline in the parent: shipping a
+#: tiny wave costs more in pickling than the merges it offloads.
+MIN_WAVE = 24
+
+_WAVE_STAMP = 1
+
+
+# -- worker side -------------------------------------------------------------
+
+
+def prepare_static(blob: dict):
+    """Build the worker-side shell mapper from the shipped configuration.
+
+    The shell reproduces the parent mapper's per-node decision code: the
+    ``shell`` tag picks the class whose rank functions match (see
+    ``PriorityCutMapper.wave_shell``).  Flat per-run arrays are replaced
+    per payload with dict-backed views covering exactly the leaves the
+    chunk's merges can touch.
+    """
+    from repro.mapping.mapper_base import PriorityCutMapper
+    from repro.mapping.simplemap import SimpleMap
+
+    cls = {"priority": PriorityCutMapper, "simple": SimpleMap}[blob["shell"]]
+    shell = cls.__new__(cls)
+    PriorityCutMapper.__init__(
+        shell,
+        k=blob["k"],
+        cut_limit=blob["cut_limit"],
+        area_rounds=0,
+        free_leaves=blob["free"],
+        boundary=blob["boundary"],
+        macro_nodes=blob["macro"],
+        max_total_leaves=blob["cap"],
+    )
+    shell._net = _NetShim(blob["fanins"], blob["names"])
+    shell._stamp = _WAVE_STAMP
+    return shell
+
+
+class _NetShim:
+    """Just enough of :class:`LogicNetwork` for the per-node kernels."""
+
+    __slots__ = ("_fanins", "_names")
+
+    def __init__(self, fanins, names):
+        self._fanins = fanins
+        self._names = names
+
+    def fanins(self, nid: int):
+        return self._fanins[nid]
+
+    def node_name(self, nid: int) -> str:
+        return self._names[nid]
+
+
+def _cut_in(ser) -> Cut:
+    leaves, arr, size, af, stamped = ser
+    c = Cut(leaves)
+    if stamped:
+        c.arr = arr
+        c.size = size
+        c.af = af
+        c.stamp = _WAVE_STAMP
+    return c
+
+
+def _cut_out(c: Cut):
+    return (c.leaves, c.arr, c.size, c.af, c.stamp == _WAVE_STAMP)
+
+
+def run_wave(shell, payload):
+    """Worker entry: run one chunk of one wave on the shell mapper.
+
+    ``payload`` is ``(kind, mode, nids, cutlists, env_arr, env_laf)``
+    where ``kind`` is ``"fwd"`` or ``"rec"``; ``mode`` is ``depth_mode``
+    for forward waves and ``{nid: (required, prev_best_ser)}`` for
+    recovery waves.  Returns one entry per node, in payload order.
+    """
+    kind, mode, nids, cutlists, env_arr, env_laf = payload
+    shell._arrival = env_arr
+    shell._laf_norm = env_laf
+    shell._cuts = {
+        f: [_cut_in(s) for s in sers] for f, sers in cutlists.items()
+    }
+    out = []
+    if kind == "fwd":
+        for nid in nids:
+            best, visible = shell._enumerate_node(nid, mode)
+            out.append((_cut_out(best), [_cut_out(c) for c in visible]))
+    else:
+        shell._best = {}
+        for nid in nids:
+            req, prev_ser = mode[nid]
+            shell._best[nid] = None if prev_ser is None else _cut_in(prev_ser)
+            got = shell._recover_node(nid, req)
+            if got is None:
+                out.append(None)
+            else:
+                best, visible = got
+                out.append((_cut_out(best), [_cut_out(c) for c in visible]))
+    return out
+
+
+# -- parent side -------------------------------------------------------------
+
+
+class _WavePlan:
+    """Per-``map()``-run wave schedule: topological levels plus the
+    statics token/blob shared by every pass of the run."""
+
+    __slots__ = ("levels", "token", "blob")
+
+    def __init__(self, levels, token, blob):
+        self.levels = levels
+        self.token = token
+        self.blob = blob
+
+
+def _ensure_plan(mapper) -> _WavePlan:
+    if mapper._wave is not None:
+        return mapper._wave
+    net = mapper._net
+    level = [0] * net.n_nodes
+    gates = set(mapper._gate_order)
+    by_level: dict[int, list[int]] = {}
+    for nid in mapper._order:
+        if nid not in gates:
+            continue
+        lv = 1 + max(level[f] for f in net.fanins(nid))
+        level[nid] = lv
+        by_level.setdefault(lv, []).append(nid)
+    blob = {
+        "shell": type(mapper).wave_shell,
+        "k": mapper.k,
+        "cut_limit": mapper.cut_limit,
+        "cap": mapper.cap,
+        "free": tuple(sorted(mapper.free)),
+        "boundary": tuple(sorted(mapper.boundary)),
+        "macro": tuple(sorted(mapper.macro_nodes)),
+        "fanins": tuple(
+            tuple(net.fanins(nid)) if nid in gates else ()
+            for nid in range(net.n_nodes)
+        ),
+        "names": tuple(net.node_name(nid) for nid in range(net.n_nodes)),
+    }
+    plan = _WavePlan(
+        [by_level[lv] for lv in sorted(by_level)],
+        f"map/{uuid4().hex}",
+        blob,
+    )
+    mapper._wave = plan
+    return plan
+
+
+def _ship_chunk(mapper, nids, extra_cuts=()):
+    """Cut lists + leaf environment for one chunk of a wave.
+
+    Every shipped cut is stamped parent-side first — the exact floats the
+    serial pass's lazy memo would compute — so worker merges start from
+    identical state.
+    """
+    net = mapper._net
+    cutlists = {}
+    env_arr = {}
+    env_laf = {}
+    arrival = mapper._arrival
+    laf_norm = mapper._laf_norm
+
+    def add_leaves(leaves):
+        for leaf in leaves:
+            if leaf not in env_arr:
+                env_arr[leaf] = arrival[leaf]
+                env_laf[leaf] = laf_norm[leaf]
+
+    for nid in nids:
+        for f in net.fanins(nid):
+            if f in cutlists:
+                continue
+            sers = []
+            for c in mapper._cuts[f]:
+                mapper._compute_costs(c)
+                add_leaves(c.leaves)
+                sers.append(_cut_out_parent(c, mapper._stamp))
+            cutlists[f] = sers
+    for c in extra_cuts:
+        mapper._compute_costs(c)
+        add_leaves(c.leaves)
+    return cutlists, env_arr, env_laf
+
+
+def _cut_out_parent(c: Cut, stamp: int):
+    return (c.leaves, c.arr, c.size, c.af, c.stamp == stamp)
+
+
+def _cut_in_parent(ser, stamp: int) -> Cut:
+    leaves, arr, size, af, stamped = ser
+    c = Cut(leaves)
+    if stamped:
+        c.arr = arr
+        c.size = size
+        c.af = af
+        c.stamp = stamp
+    return c
+
+
+def _map_wave(mapper, plan, payloads):
+    return mapper.intra.map_round(
+        "repro.mapping.parallel", "run_wave", plan.token, plan.blob, payloads
+    )
+
+
+def wave_forward_pass(mapper, depth_mode: bool) -> None:
+    """Forward pass with per-level fan-out; commits in topological order."""
+    plan = _ensure_plan(mapper)
+    stamp = mapper._stamp
+    for wave in plan.levels:
+        if len(wave) < max(MIN_WAVE, 2 * mapper.intra.workers):
+            for nid in wave:
+                best, visible = mapper._enumerate_node(nid, depth_mode)
+                mapper._commit_node(nid, best, visible)
+            continue
+        chunks = mapper.intra.chunks(len(wave))
+        payloads = []
+        for a, b in chunks:
+            nids = wave[a:b]
+            cutlists, env_arr, env_laf = _ship_chunk(mapper, nids)
+            payloads.append(
+                ("fwd", depth_mode, nids, cutlists, env_arr, env_laf)
+            )
+        results = _map_wave(mapper, plan, payloads)
+        for (a, b), chunk_out in zip(chunks, results):
+            for nid, (best_ser, visible_sers) in zip(wave[a:b], chunk_out):
+                best = _cut_in_parent(best_ser, stamp)
+                visible = [_cut_in_parent(s, stamp) for s in visible_sers]
+                mapper._commit_node(nid, best, visible)
+
+
+def wave_recover_pass(mapper, required: dict[int, float]) -> None:
+    """Re-merging area-recovery pass with per-level fan-out."""
+    from repro.mapping.mapper_base import _INF
+
+    plan = _ensure_plan(mapper)
+    stamp = mapper._stamp
+    macro = mapper.macro_nodes
+    for wave in plan.levels:
+        nids = [nid for nid in wave if nid not in macro]
+        if len(nids) < max(MIN_WAVE, 2 * mapper.intra.workers):
+            for nid in nids:
+                out = mapper._recover_node(nid, required.get(nid, _INF))
+                if out is not None:
+                    mapper._commit_node(nid, *out)
+            continue
+        chunks = mapper.intra.chunks(len(nids))
+        payloads = []
+        for a, b in chunks:
+            part = nids[a:b]
+            prevs = [mapper._best[nid] for nid in part]
+            cutlists, env_arr, env_laf = _ship_chunk(
+                mapper, part, extra_cuts=[c for c in prevs if c is not None]
+            )
+            mode = {
+                nid: (
+                    required.get(nid, _INF),
+                    None
+                    if prev is None
+                    else _cut_out_parent(prev, stamp),
+                )
+                for nid, prev in zip(part, prevs)
+            }
+            payloads.append(("rec", mode, part, cutlists, env_arr, env_laf))
+        results = _map_wave(mapper, plan, payloads)
+        for (a, b), chunk_out in zip(chunks, results):
+            for nid, got in zip(nids[a:b], chunk_out):
+                if got is None:
+                    continue
+                best_ser, visible_sers = got
+                best = _cut_in_parent(best_ser, stamp)
+                visible = [_cut_in_parent(s, stamp) for s in visible_sers]
+                mapper._commit_node(nid, best, visible)

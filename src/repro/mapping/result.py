@@ -24,7 +24,7 @@ from repro.netlist.truthtable import TruthTable
 __all__ = ["LutImpl", "TconImpl", "MappingResult"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LutImpl:
     """One LUT of the mapped design.
 
@@ -59,7 +59,7 @@ class LutImpl:
         return tuple(l for l in self.leaves if l not in pset)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TconImpl:
     """A parameter-controlled 2:1 multiplexer realized in routing.
 

@@ -21,6 +21,7 @@ class SimpleMap(PriorityCutMapper):
     """Depth-only structural mapper (no area recovery)."""
 
     name = "simplemap"
+    wave_shell = "simple"
 
     def __init__(
         self,
@@ -31,6 +32,7 @@ class SimpleMap(PriorityCutMapper):
         free_leaves: Collection[int] = (),
         forced_roots: Collection[int] = (),
         macro_nodes: Collection[int] = (),
+        intra=None,
     ) -> None:
         super().__init__(
             k=k,
@@ -40,6 +42,7 @@ class SimpleMap(PriorityCutMapper):
             free_leaves=free_leaves,
             forced_roots=forced_roots,
             macro_nodes=macro_nodes,
+            intra=intra,
         )
 
     def _rank_depth(self, cut: Cut):
@@ -48,3 +51,6 @@ class SimpleMap(PriorityCutMapper):
         # depth-accurate but fragment the cover into many LUTs — the
         # no-area-recovery behaviour the SM column exhibits in the paper.
         return (self._cut_arrival(cut), len(cut))
+
+    def _merge_rank_mode(self, depth_mode: bool) -> str:
+        return "depth-size" if depth_mode else "area"

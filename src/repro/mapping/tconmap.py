@@ -34,8 +34,8 @@ from __future__ import annotations
 from typing import Collection
 
 from repro.errors import MappingError
-from repro.mapping.cuts import Cut, cut_size
-from repro.mapping.mapper_base import PriorityCutMapper, cone_function
+from repro.mapping.cuts import cut_size
+from repro.mapping.mapper_base import PriorityCutMapper
 from repro.mapping.result import LutImpl, MappingResult, TconImpl
 from repro.netlist.network import LogicNetwork, NodeKind
 from repro.netlist.truthtable import TruthTable
@@ -58,6 +58,7 @@ class TconMap(PriorityCutMapper):
         taps: Collection[int] = (),
         latch_adjacent: Collection[int] | None = None,
         fold_polarity: bool = True,
+        intra=None,
     ) -> None:
         """
         Parameters
@@ -72,6 +73,9 @@ class TconMap(PriorityCutMapper):
             omitted.
         fold_polarity:
             Enable the buffer/inverter configuration-bit fold.
+        intra:
+            Optional :class:`~repro.util.intra.IntraPool` for level-wave
+            parallel cut enumeration (byte-identical to serial).
         """
         super().__init__(
             k=k,
@@ -79,6 +83,7 @@ class TconMap(PriorityCutMapper):
             area_rounds=area_rounds,
             free_leaves=params,
             forced_roots=taps,
+            intra=intra,
         )
         self.taps = frozenset(taps)
         self._latch_adjacent = (
@@ -141,11 +146,9 @@ class TconMap(PriorityCutMapper):
         sel, a, b = mux
 
         if self._qualifies_tlut(nid, sel, a, b):
-            leaves_set = (self._best.get(a) or frozenset((a,))) | (
-                self._best.get(b) or frozenset((b,))
-            ) | {sel}
+            leaves_set = self._tlut_leaves(sel, a, b)
             leaves = tuple(sorted(leaves_set))
-            func = cone_function(net, nid, leaves)
+            func = self._cone(nid, leaves)
             params = tuple(l for l in leaves if l in self.free)
             result.luts[nid] = LutImpl(
                 root=nid, leaves=leaves, func=func, param_leaves=params
@@ -162,6 +165,20 @@ class TconMap(PriorityCutMapper):
     def _special_deps(self, nid: int) -> tuple[int, ...]:
         return self._deps
 
+    def _tlut_leaves(self, sel: int, a: int, b: int) -> set[int]:
+        """Leaf set of a TLUT recomputing both data cones plus the select.
+
+        A data input whose best cut is missing (source-like) or empty
+        (constant gate) contributes its trivial leaf, matching the
+        pre-flat-engine ``self._best.get(x) or frozenset((x,))``.
+        """
+        cut_a = self._best[a]
+        cut_b = self._best[b]
+        merged = set(cut_a.leaves if cut_a else (a,))
+        merged.update(cut_b.leaves if cut_b else (b,))
+        merged.add(sel)
+        return merged
+
     def _qualifies_tlut(self, nid: int, sel: int, a: int, b: int) -> bool:
         """TLUT recomputation pays off for gated, latch-adjacent leaf taps."""
         assert self._latch_adjacent is not None
@@ -172,9 +189,7 @@ class TconMap(PriorityCutMapper):
             return False
         if not (a in self._latch_adjacent or b in self._latch_adjacent):
             return False
-        cut_a = self._best.get(a) or frozenset((a,))
-        cut_b = self._best.get(b) or frozenset((b,))
-        merged = cut_a | cut_b | {sel}
+        merged = self._tlut_leaves(sel, a, b)
         if len(merged) > self.cap:
             return False
         return cut_size(merged, self.free) <= self.k

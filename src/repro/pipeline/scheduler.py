@@ -619,7 +619,12 @@ def submit_compile(
     kind: str = "offline",
     label: str = "",
     intra=None,
-    intra_stages: Sequence[str] = ("place", "route"),
+    intra_stages: Sequence[str] = (
+        "initial-map",
+        "tcon-map",
+        "place",
+        "route",
+    ),
     timeout_s: float | None = None,
     max_retries: int = 0,
     on_complete: Callable[[CompileResult | None, str | None], None],

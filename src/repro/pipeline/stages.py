@@ -82,6 +82,9 @@ def _initial_map(ctx: StageContext) -> dict[str, Any]:
         k=ctx.config.k,
         cut_limit=ctx.config.cut_limit,
         area_rounds=ctx.config.area_rounds,
+        # level-wave parallel cut enumeration is byte-identical to serial
+        # (repro.mapping.parallel), so the worker count is never keyed
+        intra=ctx.intra,
     ).map(work)
     # the initial mapping's LUT roots (plus latch outputs) are the default
     # observable signal set — the nets that physically exist on the emulator
@@ -116,6 +119,8 @@ def _tcon_map(ctx: StageContext):
         params=instrumented.param_ids,
         taps=set(instrumented.taps),
         fold_polarity=ctx.config.fold_polarity,
+        # byte-identical at any worker count — never part of the cache key
+        intra=ctx.intra,
     ).map(instrumented.network)
 
 

@@ -226,6 +226,30 @@ def test_campaign_outcomes_identical_across_intra_workers():
     assert outcomes[1] == outcomes[2] == outcomes[4]
 
 
+def test_generic_campaign_outcomes_identical_across_intra_workers():
+    """Without the physical back-end, ``intra_design_workers`` now drives
+    level-wave mapping in the generic prefix (PR 10) — outcomes must
+    match the 0-worker serial campaign exactly, and the serial and intra
+    configurations must share cache keys (no group-key discriminator)."""
+    import json
+
+    from repro.campaign.orchestrator import CampaignConfig, run_campaign
+    from repro.workloads.scenarios import stuck_at_scenarios
+
+    spec = campaign_spec("intra-gen", n_gates=60, depth=6, n_pis=10, n_pos=6)
+    scenarios = stuck_at_scenarios(spec, 2, seed=7, horizon=32)
+    outcomes = {}
+    for w in (0, 2):
+        report = run_campaign(
+            scenarios,
+            config=CampaignConfig(intra_design_workers=w, max_turns=8),
+            cache=None,
+        )
+        assert report.intra_design_workers == w
+        outcomes[w] = json.dumps(report.outcomes(), default=str)
+    assert outcomes[0] == outcomes[2]
+
+
 # -- import guards -------------------------------------------------------------
 
 

@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Aggregate the machine-readable benchmark records into one report.
+
+Every benchmark under ``benchmarks/`` persists its headline numbers as
+``results/BENCH_<name>.json`` (see ``benchmarks/conftest.py``); CI's
+bench-smoke job uploads those files as artifacts and enforces regression
+floors on individual fields.  This tool folds them into a single table —
+the perf trajectory at a glance, for humans and for PR descriptions.
+
+Usage::
+
+    python tools/bench_report.py                  # text table
+    python tools/bench_report.py --markdown       # GitHub-flavored table
+    python tools/bench_report.py --check          # exit 1 if any recorded
+                                                  # floor field is violated
+
+``--check`` compares every ``<metric>`` against its ``<metric>_floor``
+companion when one was recorded (e.g. ``flat_speedup`` vs
+``flat_floor``), so a stale results/ tree fails loudly instead of
+shipping a regressed artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def load_records(results_dir: str) -> dict[str, dict]:
+    records = {}
+    for path in sorted(glob.glob(os.path.join(results_dir, "BENCH_*.json"))):
+        name = os.path.basename(path)[len("BENCH_") : -len(".json")]
+        try:
+            with open(path, encoding="utf-8") as fh:
+                records[name] = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"warning: skipping unreadable {path}: {exc}", file=sys.stderr)
+    return records
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.3f}" if abs(value) < 100 else f"{value:.1f}"
+    return str(value)
+
+
+def floor_violations(records: dict[str, dict]) -> list[str]:
+    """``<metric>`` fields below their recorded ``<prefix>_floor``.
+
+    A floor field named ``x_floor`` (or ``floor``) applies to the metric
+    sharing its prefix whose name ends in ``_speedup`` — the convention
+    every bench file follows (``flat_speedup``/``flat_floor``,
+    ``speedup``/``floor``, ...).
+    """
+    bad = []
+    for bench, rec in records.items():
+        for key, floor in rec.items():
+            if not key.endswith("floor") or not isinstance(floor, (int, float)):
+                continue
+            prefix = key[: -len("floor")]
+            for metric in (f"{prefix}speedup", "speedup"):
+                got = rec.get(metric)
+                if isinstance(got, (int, float)) and not isinstance(got, bool):
+                    if got < floor:
+                        bad.append(
+                            f"{bench}.{metric} = {got:.2f} below its "
+                            f"recorded floor {floor:.2f}"
+                        )
+                    break
+    return bad
+
+
+def render(records: dict[str, dict], markdown: bool) -> str:
+    lines = []
+    if markdown:
+        lines += ["| bench | metric | value |", "| --- | --- | --- |"]
+        for bench, rec in records.items():
+            for key in sorted(rec):
+                lines.append(f"| {bench} | {key} | {_fmt(rec[key])} |")
+    else:
+        width = max(
+            (len(k) for rec in records.values() for k in rec), default=10
+        )
+        for bench, rec in records.items():
+            lines.append(f"{bench}")
+            for key in sorted(rec):
+                lines.append(f"  {key:<{width}}  {_fmt(rec[key])}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results-dir",
+        default=os.path.join(os.path.dirname(__file__), "..", "results"),
+        help="directory holding BENCH_*.json records (default: results/)",
+    )
+    parser.add_argument(
+        "--markdown", action="store_true", help="emit a GitHub-flavored table"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail (exit 1) when a metric is below its recorded floor",
+    )
+    args = parser.parse_args(argv)
+    records = load_records(os.path.abspath(args.results_dir))
+    if not records:
+        print("no BENCH_*.json records found", file=sys.stderr)
+        return 1
+    print(render(records, args.markdown))
+    if args.check:
+        bad = floor_violations(records)
+        for line in bad:
+            print(f"FLOOR VIOLATION: {line}", file=sys.stderr)
+        return 1 if bad else 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
